@@ -1,0 +1,434 @@
+// Package core assembles the full P2P index of the paper: the indexing
+// framework of Figure 1 instantiated as P-Ring (Section 2.3) with the PEPPER
+// correctness and availability protocols embedded in the Fault Tolerant Ring
+// and Data Store (Sections 4 and 5).
+//
+// A Cluster runs every peer in-process — each peer is a stack of ring, Data
+// Store, Replication Manager and Content Router components sharing one
+// network endpoint, with its own goroutines for stabilization, failure
+// detection, storage balancing and replica refresh — over the simulated
+// network substrate. The Cluster owns the free-peer pool of the P-Ring Data
+// Store: splits draw peers from it, merges return them to it.
+//
+// The P2P Index API of the paper (insertItem, deleteItem, findItems as a
+// range query) is exposed on the Cluster; queries run the scanRange protocol
+// with abort/retry and are journaled for correctness checking against
+// Definition 4.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/datastore"
+	"repro/internal/history"
+	"repro/internal/keyspace"
+	"repro/internal/replication"
+	"repro/internal/ring"
+	"repro/internal/router"
+	"repro/internal/simnet"
+)
+
+// Config aggregates the component configurations.
+type Config struct {
+	Net         simnet.Config
+	Ring        ring.Config
+	Store       datastore.Config
+	Replication replication.Config
+	Router      router.Config
+	// QueryAttemptTimeout bounds one scan attempt before the query retries.
+	QueryAttemptTimeout time.Duration
+	// MaxQueryAttempts bounds retries within the caller's context.
+	MaxQueryAttempts int
+	// NaiveQueries evaluates range queries with the unlocked application
+	// scan instead of scanRange (the Section 6.2 baseline).
+	NaiveQueries bool
+	// Seed drives entry-peer selection.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's experimental defaults (Section 6.1) at
+// millisecond scale: successor list length 4, stabilization period 4 time
+// units, storage factor 5, replication factor 6.
+func DefaultConfig() Config {
+	return Config{
+		Net: simnet.DefaultConfig(),
+		Ring: ring.Config{
+			SuccListLen: 4,
+			StabPeriod:  40 * time.Millisecond,
+		},
+		Store: datastore.Config{
+			StorageFactor: 5,
+		},
+		Replication: replication.Config{
+			Factor: 6,
+		},
+		Router:              router.Config{},
+		QueryAttemptTimeout: time.Second,
+		MaxQueryAttempts:    20,
+		Seed:                1,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueryAttemptTimeout <= 0 {
+		c.QueryAttemptTimeout = time.Second
+	}
+	if c.MaxQueryAttempts <= 0 {
+		c.MaxQueryAttempts = 20
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Peer is one fully assembled peer stack.
+type Peer struct {
+	Addr   simnet.Addr
+	Mux    *simnet.Mux
+	Ring   *ring.Peer
+	Store  *datastore.Store
+	Rep    *replication.Manager
+	Router *router.Router
+
+	collMu     sync.Mutex
+	collectors map[uint64]*collector
+}
+
+// Errors surfaced by index operations.
+var (
+	ErrNoLivePeer  = errors.New("core: no live peer in the ring")
+	ErrQueryFailed = errors.New("core: range query exhausted its retries")
+	ErrNoFreePeer  = errors.New("core: free-peer pool is empty")
+)
+
+// Cluster is the whole P2P system: all peers plus the free pool.
+type Cluster struct {
+	cfg Config
+	net *simnet.Network
+	log *history.Log
+
+	mu      sync.Mutex
+	peers   map[simnet.Addr]*Peer
+	free    []simnet.Addr
+	nextID  int
+	queryID uint64
+	// Counters carried over from departed (merged-away) peers, whose stacks
+	// leave the peer map.
+	departedStats Stats
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// NewCluster creates an empty cluster.
+func NewCluster(cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	return &Cluster{
+		cfg:   cfg,
+		net:   simnet.New(cfg.Net),
+		log:   history.NewLog(),
+		peers: make(map[simnet.Addr]*Peer),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Net exposes the network for failure injection and stats.
+func (c *Cluster) Net() *simnet.Network { return c.net }
+
+// Log exposes the correctness journal.
+func (c *Cluster) Log() *history.Log { return c.log }
+
+// handlerRangeQuery is the scan handler id used by range queries.
+const handlerRangeQuery = "core.rangeQuery"
+
+// methodQueryResult delivers a peer's piece of a query result to the origin.
+const methodQueryResult = "idx.queryResult"
+
+// queryParam travels with a scan; it tells every visited peer where to send
+// its piece of the result.
+type queryParam struct {
+	Origin  simnet.Addr
+	QueryID uint64
+	Attempt int
+}
+
+type queryResultMsg struct {
+	QueryID uint64
+	Attempt int
+	Piece   keyspace.Interval
+	Items   []datastore.Item
+}
+
+// newPeer constructs and registers a full peer stack in the FREE state.
+func (c *Cluster) newPeer() (*Peer, error) {
+	c.mu.Lock()
+	c.nextID++
+	addr := simnet.Addr(fmt.Sprintf("peer-%d", c.nextID))
+	c.mu.Unlock()
+
+	mux := simnet.NewMux()
+	p := &Peer{Addr: addr, Mux: mux, collectors: make(map[uint64]*collector)}
+
+	// The ring callbacks close over the peer struct; the components are
+	// created right after and the callbacks only fire once the peer joins.
+	cb := ring.Callbacks{
+		PrepareJoinData: func(j ring.Node) any { return p.Store.PrepareJoinData(j) },
+		OnJoined: func(self, pred ring.Node, data any) {
+			p.Store.OnJoined(self, pred, data)
+			p.Rep.Start()
+			p.Router.Start()
+		},
+		OnPredChanged: func(newPred, prev ring.Node, predFailed bool) {
+			p.Store.OnPredChanged(newPred, prev, predFailed)
+		},
+		OnNewSuccessor: func(ring.Node) { p.Rep.ItemsChanged() },
+	}
+	p.Ring = ring.NewPeer(c.net, mux, c.cfg.Ring, ring.Node{Addr: addr}, cb)
+	p.Store = datastore.New(c.net, mux, p.Ring, c.log, c.cfg.Store)
+	p.Rep = replication.New(c.net, mux, p.Ring, p.Store, c.cfg.Replication)
+	p.Router = router.New(c.net, mux, p.Ring, p.Store, c.cfg.Router)
+	p.Store.SetDeps(p.Rep, (*freePool)(c))
+
+	// Range query handler: send this peer's piece of the scan to the origin.
+	p.Store.RegisterHandler(handlerRangeQuery, func(items []datastore.Item, piece keyspace.Interval, param any) any {
+		qp, ok := param.(queryParam)
+		if !ok {
+			return param
+		}
+		c.net.Send(addr, qp.Origin, methodQueryResult, queryResultMsg{
+			QueryID: qp.QueryID, Attempt: qp.Attempt, Piece: piece, Items: items,
+		})
+		return param
+	})
+	// Result collection and abort notification at the origin.
+	mux.Handle(methodQueryResult, func(_ simnet.Addr, _ string, payload any) (any, error) {
+		msg, ok := payload.(queryResultMsg)
+		if !ok {
+			return nil, fmt.Errorf("core: bad query result %T", payload)
+		}
+		p.deliverResult(msg)
+		return true, nil
+	})
+	p.Store.OnScanAbort(func(param any) {
+		if qp, ok := param.(queryParam); ok {
+			p.abortCollector(qp.QueryID, qp.Attempt)
+		}
+	})
+
+	if err := c.net.Register(addr, mux.Dispatch); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.peers[addr] = p
+	c.mu.Unlock()
+	return p, nil
+}
+
+// AddFirstPeer bootstraps the ring with its first member, which owns the
+// whole key space.
+func (c *Cluster) AddFirstPeer() (*Peer, error) {
+	p, err := c.newPeer()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Ring.InitRing(); err != nil {
+		return nil, err
+	}
+	p.Store.InitFirstPeer()
+	p.Store.Start()
+	p.Rep.Start()
+	p.Router.Start()
+	return p, nil
+}
+
+// AddFreePeer constructs a peer and parks it in the free pool, from which
+// Data Store splits draw new ring members (Section 2.3).
+func (c *Cluster) AddFreePeer() (*Peer, error) {
+	p, err := c.newPeer()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.free = append(c.free, p.Addr)
+	c.mu.Unlock()
+	return p, nil
+}
+
+// AddFreePeers adds n free peers.
+func (c *Cluster) AddFreePeers(n int) error {
+	for i := 0; i < n; i++ {
+		if _, err := c.AddFreePeer(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// freePool adapts Cluster to datastore.FreePool.
+type freePool Cluster
+
+// Acquire pops a free peer.
+func (fp *freePool) Acquire() (simnet.Addr, bool) {
+	c := (*Cluster)(fp)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.free) == 0 {
+		return "", false
+	}
+	addr := c.free[0]
+	c.free = c.free[1:]
+	return addr, true
+}
+
+// Release recycles a merged-away peer: the departed stack is defunct (the
+// paper's model forbids re-entering with the same identifier), so a fresh
+// peer replaces it in the pool.
+func (fp *freePool) Release(addr simnet.Addr) {
+	c := (*Cluster)(fp)
+	c.mu.Lock()
+	old := c.peers[addr]
+	delete(c.peers, addr)
+	if old != nil {
+		c.departedStats.Splits += old.Store.Splits.Load()
+		c.departedStats.Merges += old.Store.Merges.Load()
+		c.departedStats.Redistributes += old.Store.Redistributes.Load()
+		c.departedStats.ScanAborts += old.Store.ScanAborts.Load()
+	}
+	c.mu.Unlock()
+	if old != nil {
+		go func() {
+			old.Ring.Stop()
+			old.Store.Stop()
+			old.Rep.Stop()
+			old.Router.Stop()
+		}()
+	}
+	_, _ = c.AddFreePeer()
+}
+
+// FreeCount returns the number of free peers available for splits.
+func (c *Cluster) FreeCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.free)
+}
+
+// Peers returns all constructed peers (live and free).
+func (c *Cluster) Peers() []*Peer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Peer, 0, len(c.peers))
+	for _, p := range c.peers {
+		out = append(out, p)
+	}
+	return out
+}
+
+// LivePeers returns the peers currently serving a ring range.
+func (c *Cluster) LivePeers() []*Peer {
+	var out []*Peer
+	for _, p := range c.Peers() {
+		if !c.net.Alive(p.Addr) {
+			continue
+		}
+		if _, ok := p.Store.Range(); ok && p.Ring.State() == ring.StateJoined {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// RingPeers returns the underlying ring.Peer objects of all peers still
+// alive on the network, for the Definition 5 checker (a fail-stopped peer's
+// local object never learns of its own death, so liveness is the network's
+// to decide).
+func (c *Cluster) RingPeers() []*ring.Peer {
+	var out []*ring.Peer
+	for _, p := range c.Peers() {
+		if c.net.Alive(p.Addr) {
+			out = append(out, p.Ring)
+		}
+	}
+	return out
+}
+
+// CheckRing verifies consistent successor pointers (Definition 5).
+func (c *Cluster) CheckRing() error { return ring.CheckConsistency(c.RingPeers()) }
+
+// KillPeer fail-stops a peer (failure injection). Items it was serving stop
+// being live until replication revives them. The failure is journaled
+// unconditionally: a peer killed mid-merge has already dropped its range
+// while the journal may still attribute in-flight items to it, and those
+// must read as dead (Failed is a no-op for peers holding nothing).
+func (c *Cluster) KillPeer(addr simnet.Addr) {
+	c.mu.Lock()
+	p := c.peers[addr]
+	c.mu.Unlock()
+	c.net.Kill(addr)
+	c.log.Failed(string(addr))
+	if p != nil {
+		go func() {
+			p.Ring.Stop()
+			p.Store.Stop()
+			p.Rep.Stop()
+			p.Router.Stop()
+		}()
+	}
+}
+
+// Shutdown stops every peer's background work.
+func (c *Cluster) Shutdown() {
+	for _, p := range c.Peers() {
+		p.Ring.Stop()
+		p.Store.Stop()
+		p.Rep.Stop()
+		p.Router.Stop()
+	}
+}
+
+// Stats aggregates system-wide state and maintenance counters.
+type Stats struct {
+	LivePeers     int    // peers currently serving a range
+	FreePeers     int    // peers parked in the free pool
+	Items         int    // items across all live Data Stores
+	Splits        uint64 // Data Store splits executed
+	Merges        uint64 // merges executed (peers that departed)
+	Redistributes uint64 // boundary redistributions executed
+	ScanAborts    uint64 // scan attempts aborted (retried transparently)
+}
+
+// Stats returns a snapshot of the aggregate counters.
+func (c *Cluster) Stats() Stats {
+	c.mu.Lock()
+	st := c.departedStats
+	st.FreePeers = len(c.free)
+	c.mu.Unlock()
+	for _, p := range c.Peers() {
+		st.Splits += p.Store.Splits.Load()
+		st.Merges += p.Store.Merges.Load()
+		st.Redistributes += p.Store.Redistributes.Load()
+		st.ScanAborts += p.Store.ScanAborts.Load()
+	}
+	for _, p := range c.LivePeers() {
+		st.LivePeers++
+		st.Items += p.Store.ItemCount()
+	}
+	return st
+}
+
+// randomLive picks a random live entry peer for an API call.
+func (c *Cluster) randomLive() (*Peer, error) {
+	live := c.LivePeers()
+	if len(live) == 0 {
+		return nil, ErrNoLivePeer
+	}
+	c.rngMu.Lock()
+	p := live[c.rng.Intn(len(live))]
+	c.rngMu.Unlock()
+	return p, nil
+}

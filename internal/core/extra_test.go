@@ -1,0 +1,189 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/datastore"
+	"repro/internal/keyspace"
+)
+
+// Items at the top of the key space live in the wrap-around range of the
+// anchor peer; queries there must work like anywhere else.
+func TestKeysNearMaxKey(t *testing.T) {
+	c := bootCluster(t, fastConfig(), 6)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	top := keyspace.MaxKey
+	keys := []keyspace.Key{top, top - 1, top - 100, top - 10_000, 5, 500}
+	for _, k := range keys {
+		if err := c.InsertItem(ctx, datastore.Item{Key: k, Payload: "edge"}); err != nil {
+			t.Fatalf("insert %d: %v", k, err)
+		}
+	}
+	items, err := c.RangeQuery(ctx, keyspace.ClosedInterval(top-10_000, top))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 4 {
+		t.Fatalf("high-end query returned %d items, want 4", len(items))
+	}
+	items, err = c.RangeQuery(ctx, keyspace.Point(top))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 1 || items[0].Key != top {
+		t.Fatalf("MaxKey point query = %v", items)
+	}
+	if v := c.Log().CheckAllQueries(); len(v) != 0 {
+		t.Errorf("violations: %v", v)
+	}
+}
+
+// A query spanning the split boundary while many splits are in flight must
+// be complete — the continuation validation forces retries, never holes.
+func TestWideQueriesDuringSplitStorm(t *testing.T) {
+	c := bootCluster(t, fastConfig(), 16)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	insertErrs := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= 120; i++ {
+			if err := c.InsertItem(ctx, mkItem(uint64(i)*100)); err != nil {
+				select {
+				case insertErrs <- err:
+				default:
+				}
+				return
+			}
+		}
+	}()
+
+	for q := 0; q < 20; q++ {
+		if _, err := c.RangeQuery(ctx, keyspace.ClosedInterval(0, 130*100)); err != nil {
+			t.Fatalf("query %d during split storm: %v", q, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	wg.Wait()
+	select {
+	case err := <-insertErrs:
+		t.Fatal(err)
+	default:
+	}
+	if v := c.Log().CheckAllQueries(); len(v) != 0 {
+		for _, viol := range v {
+			t.Errorf("violation: %v", viol)
+		}
+	}
+}
+
+// Stats aggregates maintenance counters across the cluster.
+func TestClusterStats(t *testing.T) {
+	c := bootCluster(t, fastConfig(), 8)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for i := 1; i <= 40; i++ {
+		if err := c.InsertItem(ctx, mkItem(uint64(i)*1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 10*time.Second, "splits", func() bool { return c.Stats().Splits >= 3 })
+	for i := 1; i <= 34; i++ {
+		_, _ = c.DeleteItem(ctx, keyspace.Key(uint64(i)*1000))
+	}
+	waitFor(t, 20*time.Second, "merges", func() bool { return c.Stats().Merges >= 1 })
+	st := c.Stats()
+	if st.LivePeers == 0 || st.Items == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// Soak: sustained mixed workload with periodic audits — queries, churn and
+// failures interleaved for several seconds of wall time.
+func TestSoakMixedWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	cfg := fastConfig()
+	cfg.Replication.Factor = 4
+	c := bootCluster(t, cfg, 20)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	for i := 1; i <= 50; i++ {
+		if err := c.InsertItem(ctx, mkItem(uint64(i)*200)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 10*time.Second, "initial splits", func() bool { return len(c.LivePeers()) >= 4 })
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // mutator
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(11))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := uint64(rng.Intn(100)+1) * 200
+			if rng.Intn(3) == 0 {
+				_, _ = c.DeleteItem(ctx, keyspace.Key(k))
+			} else {
+				_ = c.InsertItem(ctx, mkItem(k))
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // killer: one failure roughly every 600ms, bounded
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(13))
+		t := time.NewTicker(600 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				live := c.LivePeers()
+				if len(live) > 5 {
+					c.KillPeer(live[rng.Intn(len(live))].Addr)
+				}
+			}
+		}
+	}()
+
+	qrng := rand.New(rand.NewSource(17))
+	okQueries := 0
+	for i := 0; i < 40; i++ {
+		lb := uint64(qrng.Intn(80)+1) * 200
+		span := uint64(qrng.Intn(15)+1) * 200
+		if _, err := c.RangeQuery(ctx, keyspace.ClosedInterval(keyspace.Key(lb), keyspace.Key(lb+span))); err == nil {
+			okQueries++
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	if okQueries < 35 {
+		t.Errorf("only %d/40 queries succeeded under soak", okQueries)
+	}
+	if v := c.Log().CheckAllQueries(); len(v) != 0 {
+		for _, viol := range v {
+			t.Errorf("soak violation: %v", viol)
+		}
+	}
+}

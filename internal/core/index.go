@@ -1,0 +1,307 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/datastore"
+	"repro/internal/history"
+	"repro/internal/keyspace"
+	"repro/internal/simnet"
+)
+
+// InsertItem stores an item in the index (the P2P Index insertItem API).
+// It routes from a random live entry peer to the owner of the item's search
+// key value and retries through ownership movements until ctx expires.
+func (c *Cluster) InsertItem(ctx context.Context, item datastore.Item) error {
+	return c.retryRouted(ctx, item.Key, func(entry *Peer, owner simnet.Addr) error {
+		return entry.Store.InsertAt(ctx, owner, item)
+	})
+}
+
+// DeleteItem removes an item from the index, reporting whether it existed.
+func (c *Cluster) DeleteItem(ctx context.Context, key keyspace.Key) (bool, error) {
+	var found bool
+	err := c.retryRouted(ctx, key, func(entry *Peer, owner simnet.Addr) error {
+		var err error
+		found, err = entry.Store.DeleteAt(ctx, owner, key)
+		return err
+	})
+	return found, err
+}
+
+// retryRouted locates the owner of key and applies op, retrying with a fresh
+// lookup while ownership is moving (splits, merges, failures).
+func (c *Cluster) retryRouted(ctx context.Context, key keyspace.Key, op func(entry *Peer, owner simnet.Addr) error) error {
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxQueryAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		entry, err := c.randomLive()
+		if err != nil {
+			lastErr = err
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		owner, _, err := entry.Router.FindOwner(ctx, key)
+		if err != nil {
+			lastErr = err
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		if err := op(entry, owner); err != nil {
+			lastErr = err
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("core: routed operation failed after retries: %w", lastErr)
+}
+
+// collector assembles the pieces of one range query attempt.
+type collector struct {
+	mu      sync.Mutex
+	iv      keyspace.Interval
+	attempt int
+	pieces  []history.ScanPiece
+	items   []datastore.Item
+	done    chan struct{}
+	aborted bool
+	closed  bool
+}
+
+func newCollector(iv keyspace.Interval, attempt int) *collector {
+	return &collector{iv: iv, attempt: attempt, done: make(chan struct{})}
+}
+
+// add merges one piece; it signals completion when the pieces cover iv.
+func (col *collector) add(msg queryResultMsg) {
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	if col.closed || msg.Attempt != col.attempt {
+		return
+	}
+	col.pieces = append(col.pieces, history.ScanPiece{Interval: msg.Piece})
+	col.items = append(col.items, msg.Items...)
+	if history.CheckScanCover(col.iv, col.pieces) == nil {
+		col.closed = true
+		close(col.done)
+	}
+}
+
+// abort fails the attempt.
+func (col *collector) abort(attempt int) {
+	col.mu.Lock()
+	defer col.mu.Unlock()
+	if col.closed || attempt != col.attempt {
+		return
+	}
+	col.aborted = true
+	col.closed = true
+	close(col.done)
+}
+
+// deliverResult routes a result piece to the matching collector at the
+// origin peer.
+func (p *Peer) deliverResult(msg queryResultMsg) {
+	p.collMu.Lock()
+	col := p.collectors[msg.QueryID]
+	p.collMu.Unlock()
+	if col != nil {
+		col.add(msg)
+	}
+}
+
+// abortCollector fails the matching collector's current attempt.
+func (p *Peer) abortCollector(queryID uint64, attempt int) {
+	p.collMu.Lock()
+	col := p.collectors[queryID]
+	p.collMu.Unlock()
+	if col != nil {
+		col.abort(attempt)
+	}
+}
+
+// RangeQuery evaluates a range predicate from a random live entry peer.
+func (c *Cluster) RangeQuery(ctx context.Context, iv keyspace.Interval) ([]datastore.Item, error) {
+	entry, err := c.randomLive()
+	if err != nil {
+		return nil, err
+	}
+	items, _, err := c.RangeQueryFrom(ctx, entry, iv)
+	return items, err
+}
+
+// QueryStats reports how a range query executed.
+type QueryStats struct {
+	Hops     int           // ring hops of the successful scan (peers visited - 1)
+	Attempts int           // scan attempts including the successful one
+	ScanTime time.Duration // duration of the successful scan, excluding the owner lookup (the Figure 21 metric)
+}
+
+// RangeQueryFrom evaluates a range predicate issued at the given peer,
+// returning the matching items and the number of ring hops the final
+// (successful) scan took. With NaiveQueries configured it uses the unlocked
+// application-level scan of Section 6.2 instead of scanRange.
+func (c *Cluster) RangeQueryFrom(ctx context.Context, origin *Peer, iv keyspace.Interval) ([]datastore.Item, int, error) {
+	items, stats, err := c.RangeQueryStatsFrom(ctx, origin, iv)
+	return items, stats.Hops, err
+}
+
+// RangeQueryStatsFrom is RangeQueryFrom with execution statistics.
+func (c *Cluster) RangeQueryStatsFrom(ctx context.Context, origin *Peer, iv keyspace.Interval) ([]datastore.Item, QueryStats, error) {
+	if !iv.Valid() {
+		return nil, QueryStats{}, fmt.Errorf("core: empty query interval %v", iv)
+	}
+	if c.cfg.NaiveQueries {
+		return c.naiveRangeQueryFrom(ctx, origin, iv)
+	}
+
+	c.mu.Lock()
+	c.queryID++
+	qid := c.queryID
+	c.mu.Unlock()
+
+	logID, start := c.log.BeginQuery(iv)
+	var lastErr error = ErrQueryFailed
+	for attempt := 1; attempt <= c.cfg.MaxQueryAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, QueryStats{}, err
+		}
+		items, stats, err := c.runScanAttempt(ctx, origin, iv, qid, attempt)
+		if err == nil {
+			stats.Attempts = attempt
+			c.log.EndQuery(logID, iv, start, keysOf(items))
+			return items, stats, nil
+		}
+		lastErr = err
+	}
+	return nil, QueryStats{}, fmt.Errorf("%w: %v", ErrQueryFailed, lastErr)
+}
+
+// runScanAttempt performs one scanRange attempt of a range query.
+func (c *Cluster) runScanAttempt(ctx context.Context, origin *Peer, iv keyspace.Interval, qid uint64, attempt int) ([]datastore.Item, QueryStats, error) {
+	first, _, err := origin.Router.FindOwner(ctx, firstKeyOf(iv))
+	if err != nil {
+		time.Sleep(2 * time.Millisecond)
+		return nil, QueryStats{}, fmt.Errorf("core: owner lookup failed: %w", err)
+	}
+
+	col := newCollector(iv, attempt)
+	origin.collMu.Lock()
+	origin.collectors[qid] = col
+	origin.collMu.Unlock()
+	defer func() {
+		origin.collMu.Lock()
+		if origin.collectors[qid] == col {
+			delete(origin.collectors, qid)
+		}
+		origin.collMu.Unlock()
+	}()
+
+	// The scan-time metric starts after the owner lookup, matching the
+	// paper's Figure 21 methodology ("once the first peer with items in the
+	// search range was found").
+	scanStart := time.Now()
+	scanCtx, cancel := context.WithTimeout(ctx, c.cfg.QueryAttemptTimeout)
+	defer cancel()
+	err = origin.Store.StartScan(scanCtx, first, iv, handlerRangeQuery, queryParam{
+		Origin: origin.Addr, QueryID: qid, Attempt: attempt,
+	})
+	if err != nil {
+		time.Sleep(2 * time.Millisecond)
+		return nil, QueryStats{}, fmt.Errorf("core: scan start rejected: %w", err)
+	}
+
+	select {
+	case <-col.done:
+		col.mu.Lock()
+		defer col.mu.Unlock()
+		if col.aborted {
+			return nil, QueryStats{}, errors.New("core: scan aborted mid-flight")
+		}
+		items := dedupeItems(col.items)
+		return items, QueryStats{Hops: len(col.pieces) - 1, ScanTime: time.Since(scanStart)}, nil
+	case <-scanCtx.Done():
+		col.abort(attempt)
+		return nil, QueryStats{}, fmt.Errorf("core: scan attempt timed out")
+	}
+}
+
+// NaiveQueryStatsFrom evaluates a range predicate with the Section 6.2
+// naive application-level scan regardless of the cluster configuration —
+// the comparison arm of Figure 21 and of the incorrectness demonstrations.
+func (c *Cluster) NaiveQueryStatsFrom(ctx context.Context, origin *Peer, iv keyspace.Interval) ([]datastore.Item, QueryStats, error) {
+	if !iv.Valid() {
+		return nil, QueryStats{}, fmt.Errorf("core: empty query interval %v", iv)
+	}
+	return c.naiveRangeQueryFrom(ctx, origin, iv)
+}
+
+// naiveRangeQueryFrom is the Section 6.2 baseline: locate the first peer and
+// walk the ring without locks or continuation validation.
+func (c *Cluster) naiveRangeQueryFrom(ctx context.Context, origin *Peer, iv keyspace.Interval) ([]datastore.Item, QueryStats, error) {
+	logID, start := c.log.BeginQuery(iv)
+	var lastErr error
+	for attempt := 1; attempt <= c.cfg.MaxQueryAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, QueryStats{}, err
+		}
+		first, _, err := origin.Router.FindOwner(ctx, firstKeyOf(iv))
+		if err != nil {
+			lastErr = err
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		scanStart := time.Now()
+		items, hops, err := origin.Store.NaiveScan(ctx, first, iv, 4096)
+		if err != nil {
+			lastErr = err
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		items = dedupeItems(items)
+		c.log.EndQuery(logID, iv, start, keysOf(items))
+		return items, QueryStats{Hops: hops, Attempts: attempt, ScanTime: time.Since(scanStart)}, nil
+	}
+	return nil, QueryStats{}, fmt.Errorf("%w: %v", ErrQueryFailed, lastErr)
+}
+
+// firstKeyOf returns the smallest key satisfying iv.
+func firstKeyOf(iv keyspace.Interval) keyspace.Key {
+	if iv.LbOpen {
+		return iv.Lb + 1
+	}
+	return iv.Lb
+}
+
+// keysOf projects items to their keys.
+func keysOf(items []datastore.Item) []keyspace.Key {
+	out := make([]keyspace.Key, len(items))
+	for i, it := range items {
+		out[i] = it.Key
+	}
+	return out
+}
+
+// dedupeItems drops duplicate keys, keeping the first occurrence, and sorts
+// by key.
+func dedupeItems(items []datastore.Item) []datastore.Item {
+	seen := make(map[keyspace.Key]bool, len(items))
+	out := make([]datastore.Item, 0, len(items))
+	for _, it := range items {
+		if seen[it.Key] {
+			continue
+		}
+		seen[it.Key] = true
+		out = append(out, it)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}

@@ -1,0 +1,714 @@
+// Package datastore implements the Data Store component of the indexing
+// framework (Section 2.2) in its P-Ring form (Section 2.3), extended with
+// the paper's correctness primitives:
+//
+//   - items are assigned to peers by the order-preserving identity map M, so
+//     a peer p stores exactly the items whose search key value falls in
+//     p.range = (pred(p).val, p.val];
+//   - storage balance is maintained with a storage factor sf: a peer
+//     overflowing past 2·sf splits its range with a free peer, a peer
+//     underflowing below sf redistributes with or merges into its successor
+//     (Section 2.3);
+//   - scanRange (Section 4.3.2, Algorithms 3–5) walks the ring under
+//     hand-over-hand range read-locks, invoking a registered handler on
+//     every peer whose range intersects the scan, and aborts whenever it
+//     lands on a peer that no longer owns the continuation point — the
+//     query layer retries, so results are never silently wrong
+//     (Theorems 2 and 3);
+//   - the naive unlocked scan of Section 6.2 is provided as the baseline; it
+//     exhibits the missed-results anomaly of Section 4.2.2.
+//
+// Every item mutation is journaled to the shared history log so tests can
+// check executions against Definitions 3 and 4.
+package datastore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/history"
+	"repro/internal/keyspace"
+	"repro/internal/metrics"
+	"repro/internal/ring"
+	"repro/internal/simnet"
+)
+
+// Item is a (search key value, payload) pair stored in the index. The paper
+// makes no distinction between items and pointers to items (Section 2.1).
+type Item struct {
+	Key     keyspace.Key
+	Payload string
+}
+
+// Handler is a scan handler invoked at each peer the scan visits, with the
+// items of this peer falling in the visited sub-interval (sorted by key),
+// the sub-interval itself, and the scan parameter. The returned value
+// replaces the parameter for downstream peers (Algorithm 4 line 3).
+type Handler func(items []Item, piece keyspace.Interval, param any) any
+
+// Replicator is the Data Store's view of the Replication Manager.
+type Replicator interface {
+	// ItemsChanged signals that local items changed and replicas should be
+	// refreshed soon.
+	ItemsChanged()
+	// BeforeLeave pushes this peer's items and held replicas one additional
+	// hop before a merge departure (Section 5.2).
+	BeforeLeave(ctx context.Context) error
+	// Revive returns locally held replicas whose keys fall in r, used when
+	// this peer absorbs a failed predecessor's range.
+	Revive(r keyspace.Range) []Item
+	// PullRange fetches replicas in r from ring successors, used when this
+	// peer was adopted as an orphan and holds nothing locally.
+	PullRange(ctx context.Context, r keyspace.Range) []Item
+}
+
+// FreePool hands out free peers for splits and takes back merged peers
+// (the P-Ring free-peer model, Section 2.3).
+type FreePool interface {
+	// Acquire reserves a free peer — fully constructed, registered on the
+	// network and ready to receive a ring join — returning its address, or
+	// false if no free peer is available.
+	Acquire() (simnet.Addr, bool)
+	// Release returns a peer to the free pool after it merged away.
+	Release(addr simnet.Addr)
+}
+
+// Config controls Data Store behaviour.
+type Config struct {
+	// StorageFactor is sf: each peer aims to hold between sf and 2·sf items
+	// (paper default 5, Section 6.1).
+	StorageFactor int
+	// CheckPeriod is how often the balance maintenance loop wakes up in
+	// addition to explicit triggers.
+	CheckPeriod time.Duration
+	// CallTimeout bounds scan lock acquisition and protocol RPCs.
+	CallTimeout time.Duration
+	// MaintenanceTimeout bounds one split/merge/redistribute execution.
+	MaintenanceTimeout time.Duration
+	// DisableMaintenance turns off automatic balancing (tests drive it).
+	DisableMaintenance bool
+
+	// Optional recorders for the benchmark harness (Section 6 metrics); nil
+	// recorders are skipped.
+	InsertSuccRecorder *metrics.Recorder // duration of each ring insertSucc during splits (Figs. 19, 20, 23)
+	LeaveRecorder      *metrics.Recorder // duration of each ring leave during merges (Fig. 22)
+	MergeRecorder      *metrics.Recorder // duration of each full merge operation (Fig. 22)
+}
+
+func (c Config) withDefaults() Config {
+	if c.StorageFactor <= 0 {
+		c.StorageFactor = 5
+	}
+	if c.CheckPeriod <= 0 {
+		c.CheckPeriod = 50 * time.Millisecond
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 50 * time.Millisecond
+	}
+	if c.MaintenanceTimeout <= 0 {
+		c.MaintenanceTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// RPC method names.
+const (
+	methodScan       = "ds.scan"
+	methodScanAbort  = "ds.scanAbort"
+	methodInsert     = "ds.insertItem"
+	methodDelete     = "ds.deleteItem"
+	methodLocalItems = "ds.localItems"
+	methodNaiveStep  = "ds.naiveStep"
+	methodRebalance  = "ds.rebalance"
+	methodMergeIn    = "ds.mergeIn"
+)
+
+// Errors surfaced by Data Store operations.
+var (
+	ErrNotOwner   = errors.New("datastore: peer does not own the key")
+	ErrNoRange    = errors.New("datastore: peer has no assigned range")
+	ErrLockBusy   = errors.New("datastore: range lock acquisition timed out")
+	ErrNoSucc     = errors.New("datastore: no stabilized successor to forward to")
+	ErrMaintBusy  = errors.New("datastore: maintenance already in progress")
+	ErrNotInRing  = errors.New("datastore: peer is not serving a ring range")
+	ErrWrongState = errors.New("datastore: unexpected rebalance state")
+)
+
+// Store is one peer's Data Store.
+type Store struct {
+	cfg  Config
+	net  *simnet.Network
+	ring *ring.Peer
+	log  *history.Log
+	rep  Replicator
+	pool FreePool
+
+	rangeLock RangeLock // guards range ownership during scans/maintenance
+
+	mu       sync.Mutex // guards the fields below
+	hasRange bool
+	rng      keyspace.Range
+	items    map[keyspace.Key]Item
+
+	handlersMu sync.Mutex
+	handlers   map[string]Handler
+	onAbort    func(param any)
+
+	maintMu   sync.Mutex // serializes split/merge/redistribute on this peer
+	maintKick chan struct{}
+	lifeMu    sync.Mutex // guards started/stopped transitions vs wg
+	started   bool
+	stopped   bool
+	stopCh    chan struct{}
+	wg        sync.WaitGroup
+
+	scanSeq atomic.Uint64
+
+	// Counters for tests and benches.
+	Splits        atomic.Uint64
+	Merges        atomic.Uint64
+	Redistributes atomic.Uint64
+	ScanAborts    atomic.Uint64
+}
+
+// New constructs a Data Store for one peer and registers its RPC handlers on
+// the peer's mux. The replicator and free pool may be set later (SetDeps)
+// since construction order is circular in practice.
+func New(net *simnet.Network, mux *simnet.Mux, rp *ring.Peer, log *history.Log, cfg Config) *Store {
+	s := &Store{
+		cfg:       cfg.withDefaults(),
+		net:       net,
+		ring:      rp,
+		log:       log,
+		items:     make(map[keyspace.Key]Item),
+		handlers:  make(map[string]Handler),
+		maintKick: make(chan struct{}, 1),
+		stopCh:    make(chan struct{}),
+	}
+	mux.Handle(methodScan, s.handleScan)
+	mux.Handle(methodScanAbort, s.handleScanAbort)
+	mux.Handle(methodInsert, s.handleInsert)
+	mux.Handle(methodDelete, s.handleDelete)
+	mux.Handle(methodLocalItems, s.handleLocalItems)
+	mux.Handle(methodNaiveStep, s.handleNaiveStep)
+	mux.Handle(methodRebalance, s.handleRebalance)
+	mux.Handle(methodMergeIn, s.handleMergeIn)
+	return s
+}
+
+// SetDeps wires the replication manager and free pool.
+func (s *Store) SetDeps(rep Replicator, pool FreePool) {
+	s.rep = rep
+	s.pool = pool
+}
+
+// Start launches the balance maintenance loop (idempotent; a no-op after
+// Stop, so late joins cannot race a cluster shutdown).
+func (s *Store) Start() {
+	if s.cfg.DisableMaintenance {
+		return
+	}
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	if s.started || s.stopped {
+		return
+	}
+	s.started = true
+	s.wg.Add(1)
+	go s.maintainLoop()
+}
+
+// signalStop requests loop termination without waiting (safe from the
+// maintenance loop itself).
+func (s *Store) signalStop() {
+	s.lifeMu.Lock()
+	if !s.stopped {
+		s.stopped = true
+		close(s.stopCh)
+	}
+	s.lifeMu.Unlock()
+}
+
+// Stop halts background work and waits for it.
+func (s *Store) Stop() {
+	s.signalStop()
+	s.wg.Wait()
+}
+
+// Addr returns this peer's network address.
+func (s *Store) Addr() simnet.Addr { return s.ring.Self().Addr }
+
+// RegisterHandler installs a scan handler under id.
+func (s *Store) RegisterHandler(id string, h Handler) {
+	s.handlersMu.Lock()
+	defer s.handlersMu.Unlock()
+	s.handlers[id] = h
+}
+
+// OnScanAbort installs the listener invoked at the scan origin when a scan
+// aborts; param is the opaque parameter the scan was started with.
+func (s *Store) OnScanAbort(fn func(param any)) {
+	s.handlersMu.Lock()
+	defer s.handlersMu.Unlock()
+	s.onAbort = fn
+}
+
+func (s *Store) handler(id string) Handler {
+	s.handlersMu.Lock()
+	defer s.handlersMu.Unlock()
+	return s.handlers[id]
+}
+
+// Range returns the peer's current responsibility range.
+func (s *Store) Range() (keyspace.Range, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rng, s.hasRange
+}
+
+// LocalItems returns a sorted snapshot of the peer's items (getLocalItems).
+func (s *Store) LocalItems() []Item {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sortedItemsLocked()
+}
+
+// ItemCount returns the number of locally stored items.
+func (s *Store) ItemCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.items)
+}
+
+// sortedItemsLocked returns items sorted clockwise from the range start.
+func (s *Store) sortedItemsLocked() []Item {
+	out := make([]Item, 0, len(s.items))
+	for _, it := range s.items {
+		out = append(out, it)
+	}
+	lo := s.rng.Lo
+	sort.Slice(out, func(i, j int) bool {
+		return keyspace.Dist(lo, out[i].Key) < keyspace.Dist(lo, out[j].Key)
+	})
+	return out
+}
+
+// SetRangeForTesting overrides the peer's responsibility range. Only tests
+// (including other packages' tests that need a hand-crafted layout) may use
+// this; production range changes go through splits, merges, redistributions
+// and failure revival.
+func (s *Store) SetRangeForTesting(r keyspace.Range) {
+	s.mu.Lock()
+	s.hasRange = true
+	s.rng = r
+	s.mu.Unlock()
+}
+
+// InitFirstPeer assigns this peer the full key space; it must be the ring's
+// first member (initFirstPeer in the appendix Data Store API).
+func (s *Store) InitFirstPeer() {
+	self := s.ring.Self()
+	s.mu.Lock()
+	s.hasRange = true
+	s.rng = keyspace.FullRange(self.Val)
+	s.mu.Unlock()
+}
+
+// owns reports whether key is in this peer's range.
+func (s *Store) owns(key keyspace.Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hasRange && s.rng.Contains(key)
+}
+
+// kickMaintenance nudges the balance loop.
+func (s *Store) kickMaintenance() {
+	select {
+	case s.maintKick <- struct{}{}:
+	default:
+	}
+}
+
+// --- Item operations -------------------------------------------------------
+
+type insertReq struct{ Item Item }
+type deleteReq struct{ Key keyspace.Key }
+type deleteResp struct{ Found bool }
+
+// handleInsert stores an item this peer owns (the owner side of insertItem).
+func (s *Store) handleInsert(_ simnet.Addr, _ string, payload any) (any, error) {
+	req, ok := payload.(insertReq)
+	if !ok {
+		return nil, fmt.Errorf("datastore: bad insert payload %T", payload)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.CallTimeout)
+	defer cancel()
+	// The range read lock keeps the boundary stable while we decide
+	// ownership; concurrent scans are fine (shared mode).
+	if err := s.rangeLock.RLock(ctx); err != nil {
+		return nil, ErrLockBusy
+	}
+	defer s.rangeLock.RUnlock()
+	s.mu.Lock()
+	if !s.hasRange || !s.rng.Contains(req.Item.Key) {
+		s.mu.Unlock()
+		return nil, ErrNotOwner
+	}
+	s.items[req.Item.Key] = req.Item
+	self := string(s.ring.Self().Addr)
+	s.mu.Unlock()
+	if s.log != nil {
+		s.log.Added(self, req.Item.Key)
+	}
+	if s.rep != nil {
+		s.rep.ItemsChanged()
+	}
+	s.kickMaintenance()
+	return true, nil
+}
+
+// handleDelete removes an item this peer owns.
+func (s *Store) handleDelete(_ simnet.Addr, _ string, payload any) (any, error) {
+	req, ok := payload.(deleteReq)
+	if !ok {
+		return nil, fmt.Errorf("datastore: bad delete payload %T", payload)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.CallTimeout)
+	defer cancel()
+	if err := s.rangeLock.RLock(ctx); err != nil {
+		return nil, ErrLockBusy
+	}
+	defer s.rangeLock.RUnlock()
+	s.mu.Lock()
+	if !s.hasRange || !s.rng.Contains(req.Key) {
+		s.mu.Unlock()
+		return nil, ErrNotOwner
+	}
+	_, found := s.items[req.Key]
+	if found {
+		delete(s.items, req.Key)
+	}
+	self := string(s.ring.Self().Addr)
+	s.mu.Unlock()
+	if found {
+		if s.log != nil {
+			s.log.Removed(self, req.Key)
+		}
+		if s.rep != nil {
+			s.rep.ItemsChanged()
+		}
+		s.kickMaintenance()
+	}
+	return deleteResp{Found: found}, nil
+}
+
+// handleLocalItems returns this peer's items (getLocalItems over the wire).
+func (s *Store) handleLocalItems(_ simnet.Addr, _ string, _ any) (any, error) {
+	return s.LocalItems(), nil
+}
+
+// InsertAt asks the peer at addr to store item, returning ErrNotOwner if it
+// does not own the key (the caller re-routes).
+func (s *Store) InsertAt(ctx context.Context, addr simnet.Addr, item Item) error {
+	_, err := s.net.Call(ctx, s.Addr(), addr, methodInsert, insertReq{Item: item})
+	return err
+}
+
+// DeleteAt asks the peer at addr to delete key.
+func (s *Store) DeleteAt(ctx context.Context, addr simnet.Addr, key keyspace.Key) (bool, error) {
+	resp, err := s.net.Call(ctx, s.Addr(), addr, methodDelete, deleteReq{Key: key})
+	if err != nil {
+		return false, err
+	}
+	dr, ok := resp.(deleteResp)
+	if !ok {
+		return false, fmt.Errorf("datastore: bad delete response %T", resp)
+	}
+	return dr.Found, nil
+}
+
+// --- scanRange --------------------------------------------------------------
+
+// scanMsg drives one scan along the ring.
+type scanMsg struct {
+	ID        uint64
+	Origin    simnet.Addr
+	Iv        keyspace.Interval
+	Cursor    keyspace.Key // first key not yet covered
+	HandlerID string
+	Param     any
+	Hops      int
+}
+
+type abortMsg struct {
+	ID     uint64
+	Param  any
+	Reason string
+}
+
+// StartScan initiates a scanRange at the remote peer that owns the interval's
+// lower bound (located by the caller). It returns once the first peer has
+// accepted the scan; progress flows peer to peer, results flow through the
+// registered handler, and aborts arrive at the OnScanAbort listener.
+func (s *Store) StartScan(ctx context.Context, firstPeer simnet.Addr, iv keyspace.Interval, handlerID string, param any) error {
+	if !iv.Valid() {
+		return fmt.Errorf("datastore: empty scan interval %v", iv)
+	}
+	msg := scanMsg{
+		ID:        s.scanSeq.Add(1),
+		Origin:    s.Addr(),
+		Iv:        iv,
+		Cursor:    firstKey(iv),
+		HandlerID: handlerID,
+		Param:     param,
+	}
+	_, err := s.net.Call(ctx, s.Addr(), firstPeer, methodScan, msg)
+	return err
+}
+
+// handleScan is processScan (Algorithm 5): acquire the range read lock,
+// validate the continuation point, then run the handler and forwarding
+// asynchronously so the predecessor can release its own lock.
+func (s *Store) handleScan(_ simnet.Addr, _ string, payload any) (any, error) {
+	msg, ok := payload.(scanMsg)
+	if !ok {
+		return nil, fmt.Errorf("datastore: bad scan payload %T", payload)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.CallTimeout)
+	defer cancel()
+	if err := s.rangeLock.RLock(ctx); err != nil {
+		s.ScanAborts.Add(1)
+		return nil, ErrLockBusy
+	}
+	s.mu.Lock()
+	owns := s.hasRange && s.rng.Contains(msg.Cursor)
+	s.mu.Unlock()
+	if !owns {
+		s.rangeLock.RUnlock()
+		s.ScanAborts.Add(1)
+		return nil, ErrNotOwner
+	}
+	// Lock is held; continue asynchronously (the predecessor may now release
+	// its own lock) and release inside.
+	go s.runScanStep(msg)
+	return true, nil
+}
+
+// runScanStep executes the handler for this peer's piece of the scan and
+// forwards the scan to the successor if the interval extends past our range.
+// The caller has acquired the range read lock; runScanStep releases it.
+func (s *Store) runScanStep(msg scanMsg) {
+	defer s.rangeLock.RUnlock()
+
+	s.mu.Lock()
+	rng := s.rng
+	// The piece served here is the contiguous segment we own starting at the
+	// cursor: up to the interval's end, or up to rng.Hi when the cursor sits
+	// in a segment bounded by it. A wrapped range (lo > hi) owns two linear
+	// segments — (lo, MaxKey] and [0, hi] — and only the one holding the
+	// cursor may be served now; the scan revisits this peer for the other
+	// segment if the interval reaches it.
+	pieceEnd, finished := contiguousEnd(rng, msg.Cursor, lastKey(msg.Iv))
+	piece := keyspace.Interval{Lb: msg.Cursor, Ub: pieceEnd}
+	var pieceItems []Item
+	for k, it := range s.items {
+		if piece.Contains(k) {
+			pieceItems = append(pieceItems, it)
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(pieceItems, func(i, j int) bool { return pieceItems[i].Key < pieceItems[j].Key })
+
+	newParam := msg.Param
+	if h := s.handler(msg.HandlerID); h != nil {
+		newParam = h(pieceItems, piece, msg.Param)
+	}
+	if finished {
+		return
+	}
+
+	// Forward to the successor (Algorithm 4 lines 4–8) while still holding
+	// our lock: the forward call returns only after the successor holds its
+	// own lock, guaranteeing no range change slips between us.
+	next := msg
+	next.Cursor = pieceEnd + 1
+	next.Param = newParam
+	next.Hops++
+	if err := s.forwardScan(next); err != nil {
+		s.ScanAborts.Add(1)
+		s.net.Send(s.Addr(), msg.Origin, methodScanAbort, abortMsg{ID: msg.ID, Param: msg.Param, Reason: err.Error()})
+	}
+}
+
+// forwardScan delivers the scan to our first stabilized successor, retrying
+// briefly while stabilization catches up after a membership change.
+func (s *Store) forwardScan(msg scanMsg) error {
+	deadline := time.Now().Add(4 * s.cfg.CallTimeout)
+	var lastErr error = ErrNoSucc
+	for time.Now().Before(deadline) {
+		succ, ok := s.ring.FirstStabilizedSuccessor()
+		if !ok {
+			time.Sleep(s.cfg.CallTimeout / 8)
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*s.cfg.CallTimeout)
+		_, err := s.net.Call(ctx, s.Addr(), succ.Addr, methodScan, msg)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if errors.Is(err, simnet.ErrUnreachable) {
+			// Successor failed or departed; wait for the ring to heal.
+			time.Sleep(s.cfg.CallTimeout / 8)
+			continue
+		}
+		return err
+	}
+	return lastErr
+}
+
+// handleScanAbort runs at the scan origin.
+func (s *Store) handleScanAbort(_ simnet.Addr, _ string, payload any) (any, error) {
+	msg, ok := payload.(abortMsg)
+	if !ok {
+		return nil, fmt.Errorf("datastore: bad abort payload %T", payload)
+	}
+	s.handlersMu.Lock()
+	fn := s.onAbort
+	s.handlersMu.Unlock()
+	if fn != nil {
+		fn(msg.Param)
+	}
+	return true, nil
+}
+
+// --- Naive application-level scan (Section 6.2 baseline) -------------------
+
+// naiveStepReq asks a peer for its items in the interval plus its view of
+// where to go next — no locks and no continuation validation anywhere,
+// exactly the application-level scan the paper compares against. The cursor
+// only tracks walk progress for termination; it is deliberately NOT checked
+// against the peer's range, which is what lets this baseline miss items
+// (Section 4.2.2).
+type naiveStepReq struct {
+	Iv     keyspace.Interval
+	Cursor keyspace.Key
+}
+
+type naiveStepResp struct {
+	Items      []Item
+	HasRange   bool
+	Covered    bool // this peer's contiguous segment reaches the interval's end
+	NextCursor keyspace.Key
+	Succ       ring.Node
+	HasSucc    bool
+}
+
+func (s *Store) handleNaiveStep(_ simnet.Addr, _ string, payload any) (any, error) {
+	req, ok := payload.(naiveStepReq)
+	if !ok {
+		return nil, fmt.Errorf("datastore: bad naive step payload %T", payload)
+	}
+	resp := naiveStepResp{NextCursor: req.Cursor}
+	s.mu.Lock()
+	resp.HasRange = s.hasRange
+	if s.hasRange {
+		for k, it := range s.items {
+			if req.Iv.Contains(k) {
+				resp.Items = append(resp.Items, it)
+			}
+		}
+		if s.rng.Contains(req.Cursor) {
+			end, covered := contiguousEnd(s.rng, req.Cursor, lastKey(req.Iv))
+			resp.Covered = covered
+			if !covered {
+				resp.NextCursor = end + 1
+			}
+		}
+	}
+	s.mu.Unlock()
+	if succ, ok := s.ring.FirstStabilizedSuccessor(); ok {
+		resp.Succ, resp.HasSucc = succ, true
+	} else if succs := s.ring.Successors(); len(succs) > 0 {
+		resp.Succ, resp.HasSucc = succs[0], true
+	}
+	sort.Slice(resp.Items, func(i, j int) bool { return resp.Items[i].Key < resp.Items[j].Key })
+	return resp, nil
+}
+
+// NaiveScan walks the ring collecting items in iv starting from firstPeer,
+// with no locking or continuation validation: the Section 4.2 baseline that
+// can miss live items during concurrent maintenance.
+func (s *Store) NaiveScan(ctx context.Context, firstPeer simnet.Addr, iv keyspace.Interval, maxHops int) ([]Item, int, error) {
+	var out []Item
+	cur := firstPeer
+	cursor := firstKey(iv)
+	hops := 0
+	for {
+		resp, err := s.net.Call(ctx, s.Addr(), cur, methodNaiveStep, naiveStepReq{Iv: iv, Cursor: cursor})
+		if err != nil {
+			return out, hops, err
+		}
+		step, ok := resp.(naiveStepResp)
+		if !ok {
+			return out, hops, fmt.Errorf("datastore: bad naive step response %T", resp)
+		}
+		out = append(out, step.Items...)
+		if step.Covered {
+			return out, hops, nil
+		}
+		cursor = step.NextCursor
+		if !step.HasSucc {
+			return out, hops, ErrNoSucc
+		}
+		cur = step.Succ.Addr
+		hops++
+		if hops > maxHops {
+			return out, hops, fmt.Errorf("datastore: naive scan exceeded %d hops", maxHops)
+		}
+	}
+}
+
+// contiguousEnd returns the last key of the contiguous segment of rng that
+// starts at cursor, clipped to last (the end of the linear query interval),
+// and whether the query is fully covered by that segment. cursor must be
+// contained in rng.
+func contiguousEnd(rng keyspace.Range, cursor, last keyspace.Key) (keyspace.Key, bool) {
+	if rng.IsFull() {
+		return last, true
+	}
+	if rng.Lo < rng.Hi || cursor <= rng.Hi {
+		// Non-wrapped range, or the cursor sits in the low segment [0, hi]
+		// of a wrapped one: ownership is contiguous up to rng.Hi.
+		if last <= rng.Hi {
+			return last, true
+		}
+		return rng.Hi, false
+	}
+	// Wrapped range with the cursor in the high segment (lo, MaxKey]: every
+	// key from cursor through MaxKey is owned, and the query is linear, so
+	// it ends within this segment.
+	return last, true
+}
+
+// firstKey returns the smallest key satisfying iv (which must be valid).
+func firstKey(iv keyspace.Interval) keyspace.Key {
+	if iv.LbOpen {
+		return iv.Lb + 1
+	}
+	return iv.Lb
+}
+
+// lastKey returns the largest key satisfying iv.
+func lastKey(iv keyspace.Interval) keyspace.Key {
+	if iv.UbOpen {
+		return iv.Ub - 1
+	}
+	return iv.Ub
+}

@@ -1,0 +1,102 @@
+package datastore
+
+import (
+	"context"
+	"sync"
+)
+
+// RangeLock is the read/write lock protecting a peer's Data Store range, the
+// concurrency primitive behind scanRange (Section 4.3.2): scans hold the
+// read lock while their handler runs and release it only after the next peer
+// has locked its own range (hand-over-hand), while splits, merges and
+// redistributions take the write lock.
+//
+// Unlike sync.RWMutex it supports context-bounded acquisition, which the
+// scan path needs to convert a lock conflict that lasts too long into a scan
+// abort (the query layer retries) instead of a potential distributed
+// deadlock: a scan crossing a two-peer ring in one direction can otherwise
+// cycle with a merge crossing it in the other.
+type RangeLock struct {
+	mu      sync.Mutex
+	readers int
+	writer  bool
+	notify  chan struct{}
+}
+
+// notifyLocked returns the channel closed at the next state change.
+func (l *RangeLock) notifyLocked() chan struct{} {
+	if l.notify == nil {
+		l.notify = make(chan struct{})
+	}
+	return l.notify
+}
+
+// wakeLocked broadcasts a state change to all waiters.
+func (l *RangeLock) wakeLocked() {
+	if l.notify != nil {
+		close(l.notify)
+		l.notify = nil
+	}
+}
+
+// RLock acquires the lock in shared mode, failing if ctx expires first.
+func (l *RangeLock) RLock(ctx context.Context) error {
+	l.mu.Lock()
+	for l.writer {
+		ch := l.notifyLocked()
+		l.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		l.mu.Lock()
+	}
+	l.readers++
+	l.mu.Unlock()
+	return nil
+}
+
+// RUnlock releases a shared hold.
+func (l *RangeLock) RUnlock() {
+	l.mu.Lock()
+	if l.readers <= 0 {
+		l.mu.Unlock()
+		panic("datastore: RUnlock without RLock")
+	}
+	l.readers--
+	if l.readers == 0 {
+		l.wakeLocked()
+	}
+	l.mu.Unlock()
+}
+
+// Lock acquires the lock exclusively, failing if ctx expires first.
+func (l *RangeLock) Lock(ctx context.Context) error {
+	l.mu.Lock()
+	for l.writer || l.readers > 0 {
+		ch := l.notifyLocked()
+		l.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		l.mu.Lock()
+	}
+	l.writer = true
+	l.mu.Unlock()
+	return nil
+}
+
+// Unlock releases an exclusive hold.
+func (l *RangeLock) Unlock() {
+	l.mu.Lock()
+	if !l.writer {
+		l.mu.Unlock()
+		panic("datastore: Unlock without Lock")
+	}
+	l.writer = false
+	l.wakeLocked()
+	l.mu.Unlock()
+}

@@ -1,0 +1,549 @@
+package datastore
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/keyspace"
+	"repro/internal/ring"
+	"repro/internal/simnet"
+)
+
+// joinData is the payload carried by the ring's INSERT/INSERTED events
+// during a split: the carved-off range and items for the new peer. Ok
+// distinguishes a real hand-off from a failed carve (a zero Range would
+// otherwise read as the full ring).
+type joinData struct {
+	Ok    bool
+	Range keyspace.Range
+	Items []Item
+}
+
+// maintainLoop watches storage balance (overflow > 2·sf, underflow < sf) and
+// runs splits, merges and redistributions (Section 2.3).
+func (s *Store) maintainLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.CheckPeriod)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-t.C:
+		case <-s.maintKick:
+		}
+		s.CheckBalance()
+	}
+}
+
+// CheckBalance runs one balancing decision; exported so tests and the bench
+// harness can drive maintenance deterministically.
+func (s *Store) CheckBalance() {
+	if s.ring.State() != ring.StateJoined {
+		return
+	}
+	s.mu.Lock()
+	if !s.hasRange {
+		s.mu.Unlock()
+		return
+	}
+	n := len(s.items)
+	full := s.rng.IsFull()
+	s.mu.Unlock()
+
+	sf := s.cfg.StorageFactor
+	switch {
+	case n > 2*sf:
+		if err := s.split(); err != nil {
+			// No free peer or ring busy; try again on the next wakeup.
+			return
+		}
+	case n < sf && !full:
+		_ = s.underflow()
+	}
+}
+
+// split carves the upper half of this peer's range off to a free peer: the
+// splitting peer lowers its own ring value to the split point and inserts
+// the free peer — carrying the old value and the upper half of the items —
+// as its immediate successor via the PEPPER insertSucc protocol
+// (Sections 2.3 and 4.3.1).
+func (s *Store) split() error {
+	if !s.maintMu.TryLock() {
+		return ErrMaintBusy
+	}
+	defer s.maintMu.Unlock()
+	if s.pool == nil {
+		return fmt.Errorf("datastore: no free pool configured")
+	}
+
+	s.mu.Lock()
+	if !s.hasRange || len(s.items) < 2 {
+		s.mu.Unlock()
+		return nil
+	}
+	sorted := s.sortedItemsLocked()
+	oldHi := s.rng.Hi
+	s.mu.Unlock()
+
+	// Split point: the key of the median item; this peer keeps the lower
+	// half (lo, m], the new peer takes (m, oldHi]. If the median item sits
+	// exactly on the boundary (keys are unique, so at most one does), step
+	// one item down.
+	mid := (len(sorted) - 1) / 2
+	m := sorted[mid].Key
+	if m == oldHi {
+		if mid == 0 {
+			return nil
+		}
+		m = sorted[mid-1].Key
+	}
+
+	addr, ok := s.pool.Acquire()
+	if !ok {
+		return fmt.Errorf("datastore: no free peer available")
+	}
+	newNode := ring.Node{Addr: addr, Val: oldHi}
+
+	// Lower our own ring value to the split point, then run the insert; the
+	// actual data hand-off happens in PrepareJoinData once the PEPPER ack
+	// arrives, so we keep serving the full range until then.
+	s.ring.SetVal(m)
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.MaintenanceTimeout)
+	defer cancel()
+	start := time.Now()
+	if err := s.ring.InsertSucc(ctx, newNode); err != nil {
+		s.ring.SetVal(oldHi)
+		s.pool.Release(newNode.Addr)
+		return fmt.Errorf("datastore: split insert failed: %w", err)
+	}
+	if s.cfg.InsertSuccRecorder != nil {
+		s.cfg.InsertSuccRecorder.Observe(time.Since(start))
+	}
+	s.Splits.Add(1)
+	return nil
+}
+
+// PrepareJoinData is the ring INSERT event (Algorithm 10): carve the upper
+// half of the range and items for the joining peer, under the range write
+// lock so no scan is in flight across the moving boundary.
+func (s *Store) PrepareJoinData(joining ring.Node) any {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.MaintenanceTimeout)
+	defer cancel()
+	if err := s.rangeLock.Lock(ctx); err != nil {
+		// Hand over an empty payload; the joining peer will abort scans and
+		// the balance loop will rebalance later. This should effectively not
+		// happen: scans release locks quickly.
+		return joinData{}
+	}
+	defer s.rangeLock.Unlock()
+
+	self := s.ring.Self() // value already lowered to the split point m
+	s.mu.Lock()
+	if !s.hasRange {
+		s.mu.Unlock()
+		return joinData{}
+	}
+	low, high, ok := s.rng.SplitAt(self.Val)
+	if !ok {
+		s.mu.Unlock()
+		return joinData{}
+	}
+	var moved []Item
+	for k, it := range s.items {
+		if high.Contains(k) {
+			moved = append(moved, it)
+			delete(s.items, k)
+		}
+	}
+	s.rng = low
+	selfAddr := string(self.Addr)
+	s.mu.Unlock()
+
+	if s.log != nil {
+		for _, it := range moved {
+			s.log.Moved(selfAddr, string(joining.Addr), it.Key)
+		}
+	}
+	if s.rep != nil {
+		s.rep.ItemsChanged()
+	}
+	return joinData{Ok: true, Range: high, Items: moved}
+}
+
+// OnJoined is the ring INSERTED event at the joining peer: install the
+// received range and items and begin serving. A nil payload means this peer
+// was adopted as an orphan after its inserter failed; it reconstructs its
+// state from the predecessor value and pulls replicas from its successors.
+func (s *Store) OnJoined(self ring.Node, pred ring.Node, data any) {
+	if jd, ok := data.(joinData); ok && jd.Ok {
+		s.mu.Lock()
+		s.hasRange = true
+		s.rng = jd.Range
+		for _, it := range jd.Items {
+			s.items[it.Key] = it
+		}
+		s.mu.Unlock()
+		if s.rep != nil && len(jd.Items) > 0 {
+			s.rep.ItemsChanged()
+		}
+		s.Start()
+		return
+	}
+	if data == nil && pred.Addr != "" && pred.Addr != self.Addr {
+		// Orphan adoption: we own (pred.val, self.val] but hold nothing.
+		// Revive the range from our successors' replica stores.
+		r := keyspace.NewRange(pred.Val, self.Val)
+		s.mu.Lock()
+		s.hasRange = true
+		s.rng = r
+		s.mu.Unlock()
+		if s.rep != nil {
+			go func() {
+				ctx, cancel := context.WithTimeout(context.Background(), s.cfg.MaintenanceTimeout)
+				defer cancel()
+				items := s.rep.PullRange(ctx, r)
+				s.adoptRevived(r, items)
+			}()
+		}
+		s.Start()
+		return
+	}
+	// First peer of the ring.
+	if pred.Addr == self.Addr {
+		s.InitFirstPeer()
+		s.Start()
+	}
+}
+
+// adoptRevived inserts revived items that fall into the given range and are
+// still owned by this peer.
+func (s *Store) adoptRevived(r keyspace.Range, items []Item) {
+	if len(items) == 0 {
+		return
+	}
+	var added []keyspace.Key
+	s.mu.Lock()
+	for _, it := range items {
+		if !s.hasRange || !s.rng.Contains(it.Key) || !r.Contains(it.Key) {
+			continue
+		}
+		if _, dup := s.items[it.Key]; dup {
+			continue
+		}
+		s.items[it.Key] = it
+		added = append(added, it.Key)
+	}
+	self := string(s.ring.Self().Addr)
+	s.mu.Unlock()
+	if s.log != nil {
+		for _, k := range added {
+			s.log.Added(self, k)
+		}
+	}
+	if s.rep != nil && len(added) > 0 {
+		s.rep.ItemsChanged()
+	}
+	s.kickMaintenance()
+}
+
+// OnPredChanged is raised by the ring when stabilization accepts a new
+// predecessor. When the previous predecessor failed, this peer absorbs the
+// failed peer's range — growing downward to the new predecessor's value —
+// and revives the lost items from its local replica store (the failure
+// recovery of Section 2.3's Replication Manager, Figure 9's correct flow).
+func (s *Store) OnPredChanged(newPred, prev ring.Node, predFailed bool) {
+	if !predFailed {
+		return
+	}
+	s.mu.Lock()
+	// Only a genuine downward growth triggers revival: the new predecessor's
+	// value must lie strictly behind our current lower bound. Equal values
+	// (a split handover racing a spurious failure verdict) and values inside
+	// our range (stale contacts) change nothing — and the (lo, lo) range in
+	// particular would read as the full ring.
+	if !s.hasRange || newPred.Val == s.rng.Lo || !keyspace.Between(s.rng.Lo, newPred.Val, s.rng.Hi) {
+		s.mu.Unlock()
+		return
+	}
+	revive := keyspace.NewRange(newPred.Val, s.rng.Lo)
+	s.rng = s.rng.ExtendDown(newPred.Val)
+	s.mu.Unlock()
+
+	if s.rep != nil {
+		items := s.rep.Revive(revive)
+		s.adoptRevived(revive, items)
+	}
+}
+
+// --- Underflow: redistribute or merge ---------------------------------------
+
+type rebalanceReq struct {
+	From      ring.Node // the underflowing peer (our predecessor)
+	FromCount int
+}
+
+type rebalanceResp struct {
+	Redistribute bool
+	Items        []Item       // for redistribute: the successor's lowest items
+	NewBoundary  keyspace.Key // the underflowing peer's new upper bound / value
+	Merge        bool         // the underflowing peer should merge into us
+}
+
+type mergeInReq struct {
+	From  ring.Node
+	Range keyspace.Range
+	Items []Item
+}
+
+// underflow handles len(items) < sf: ask the successor to redistribute; if
+// the combined load would still underflow one of us, merge into it instead
+// (Section 2.3).
+func (s *Store) underflow() error {
+	if !s.maintMu.TryLock() {
+		return ErrMaintBusy
+	}
+	defer s.maintMu.Unlock()
+
+	succ, ok := s.ring.FirstStabilizedSuccessor()
+	if !ok || succ.Addr == s.Addr() {
+		return ErrNoSucc
+	}
+	self := s.ring.Self()
+	s.mu.Lock()
+	count := len(s.items)
+	s.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.MaintenanceTimeout)
+	defer cancel()
+	resp, err := s.net.Call(ctx, self.Addr, succ.Addr, methodRebalance, rebalanceReq{From: self, FromCount: count})
+	if err != nil {
+		return err
+	}
+	rb, ok := resp.(rebalanceResp)
+	if !ok {
+		return fmt.Errorf("datastore: bad rebalance response %T", resp)
+	}
+	switch {
+	case rb.Redistribute:
+		return s.applyRedistribute(ctx, rb)
+	case rb.Merge:
+		return s.mergeIntoSuccessor(ctx, succ)
+	default:
+		return nil // successor declined (busy); retry later
+	}
+}
+
+// handleRebalance runs at the successor of an underflowing peer and decides
+// between redistribution (we can spare items) and merge (combined load fits
+// in one peer). For a redistribution it carves its lowest items under the
+// range write lock and shrinks its range upward before replying, so there is
+// never a moment where both peers claim the boundary region.
+func (s *Store) handleRebalance(from simnet.Addr, _ string, payload any) (any, error) {
+	req, ok := payload.(rebalanceReq)
+	if !ok {
+		return nil, fmt.Errorf("datastore: bad rebalance payload %T", payload)
+	}
+	if !s.maintMu.TryLock() {
+		return rebalanceResp{}, nil // busy: caller retries later
+	}
+	defer s.maintMu.Unlock()
+	if s.ring.State() != ring.StateJoined {
+		return rebalanceResp{}, nil
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.CallTimeout*4)
+	defer cancel()
+
+	s.mu.Lock()
+	mine := len(s.items)
+	prLo := s.rng.Lo
+	s.mu.Unlock()
+	total := mine + req.FromCount
+	sf := s.cfg.StorageFactor
+
+	// Sanity: the requester must be our direct predecessor (its value is our
+	// range's lower bound). A stale requester gets declined.
+	if req.From.Val != prLo {
+		return rebalanceResp{}, nil
+	}
+
+	if total <= 2*sf {
+		// Combined load fits in one peer: the predecessor merges into us.
+		return rebalanceResp{Merge: true}, nil
+	}
+
+	// Redistribute: give the predecessor our lowest items so both end up
+	// with at least sf.
+	give := total/2 - req.FromCount
+	if give <= 0 {
+		return rebalanceResp{}, nil
+	}
+	if err := s.rangeLock.Lock(ctx); err != nil {
+		return rebalanceResp{}, nil
+	}
+	defer s.rangeLock.Unlock()
+
+	s.mu.Lock()
+	if !s.hasRange || s.rng.Lo != req.From.Val {
+		s.mu.Unlock()
+		return rebalanceResp{}, nil
+	}
+	sorted := s.sortedItemsLocked()
+	if give >= len(sorted) {
+		give = len(sorted) - 1
+	}
+	if give <= 0 {
+		s.mu.Unlock()
+		return rebalanceResp{}, nil
+	}
+	moved := sorted[:give]
+	boundary := moved[len(moved)-1].Key
+	for _, it := range moved {
+		delete(s.items, it.Key)
+	}
+	s.rng = keyspace.NewRange(boundary, s.rng.Hi)
+	selfAddr := string(s.ring.Self().Addr)
+	s.mu.Unlock()
+
+	if s.log != nil {
+		for _, it := range moved {
+			s.log.Moved(selfAddr, string(from), it.Key)
+		}
+	}
+	if s.rep != nil {
+		s.rep.ItemsChanged()
+	}
+	s.Redistributes.Add(1)
+	out := make([]Item, len(moved))
+	copy(out, moved)
+	return rebalanceResp{Redistribute: true, Items: out, NewBoundary: boundary}, nil
+}
+
+// applyRedistribute extends this peer's range and value up to the new
+// boundary and adopts the received items.
+func (s *Store) applyRedistribute(ctx context.Context, rb rebalanceResp) error {
+	if err := s.rangeLock.Lock(ctx); err != nil {
+		return ErrLockBusy
+	}
+	defer s.rangeLock.Unlock()
+	s.mu.Lock()
+	if !s.hasRange {
+		s.mu.Unlock()
+		return ErrNoRange
+	}
+	s.rng = keyspace.NewRange(s.rng.Lo, rb.NewBoundary)
+	for _, it := range rb.Items {
+		s.items[it.Key] = it
+	}
+	s.mu.Unlock()
+	s.ring.SetVal(rb.NewBoundary)
+	if s.rep != nil {
+		s.rep.ItemsChanged()
+	}
+	return nil
+}
+
+// mergeIntoSuccessor executes the merge side of an underflow: replicate one
+// additional hop (Section 5.2), leave the ring gracefully (Section 5.1),
+// transfer the Data Store state to the successor, and depart to the free
+// pool. The ordering follows Figure 17/18's corrected flow.
+func (s *Store) mergeIntoSuccessor(ctx context.Context, succ ring.Node) error {
+	mergeStart := time.Now()
+	// 1. Replicate to one additional hop so the departure does not lower
+	//    the replica count of anything we hold.
+	if s.rep != nil {
+		if err := s.rep.BeforeLeave(ctx); err != nil {
+			return fmt.Errorf("datastore: pre-leave replication failed: %w", err)
+		}
+	}
+	// 2. PEPPER leave: wait until every predecessor pointing at us has
+	//    lengthened its successor list.
+	leaveStart := time.Now()
+	if err := s.ring.Leave(ctx); err != nil {
+		return fmt.Errorf("datastore: leave failed: %w", err)
+	}
+	if s.cfg.LeaveRecorder != nil {
+		s.cfg.LeaveRecorder.Observe(time.Since(leaveStart))
+	}
+	// 3. Hand the Data Store state to the successor under our write lock
+	//    (scans in flight drain first; later scans abort here and retry).
+	if err := s.rangeLock.Lock(ctx); err != nil {
+		return ErrLockBusy
+	}
+	s.mu.Lock()
+	rng := s.rng
+	items := make([]Item, 0, len(s.items))
+	for _, it := range s.items {
+		items = append(items, it)
+	}
+	s.items = make(map[keyspace.Key]Item)
+	s.hasRange = false
+	self := s.ring.Self()
+	s.mu.Unlock()
+	s.rangeLock.Unlock()
+
+	// The receiver journals the item moves as it applies them: if we die
+	// mid-call, the journal then matches wherever the items physically are.
+	_, err := s.net.Call(ctx, self.Addr, succ.Addr, methodMergeIn, mergeInReq{From: self, Range: rng, Items: items})
+	if err != nil {
+		// The successor is gone; put the state back and let the ring heal.
+		s.mu.Lock()
+		s.hasRange = true
+		s.rng = rng
+		for _, it := range items {
+			s.items[it.Key] = it
+		}
+		s.mu.Unlock()
+		return fmt.Errorf("datastore: merge transfer failed: %w", err)
+	}
+	// 4. Depart; the peer returns to the free pool. Shut down our own loops
+	//    asynchronously — this code may be running on the maintenance loop
+	//    itself, so it must not wait for it.
+	if s.cfg.MergeRecorder != nil {
+		s.cfg.MergeRecorder.Observe(time.Since(mergeStart))
+	}
+	s.Merges.Add(1)
+	s.ring.Depart()
+	s.signalStop()
+	if s.pool != nil {
+		s.pool.Release(self.Addr)
+	}
+	return nil
+}
+
+// handleMergeIn absorbs a merging predecessor's range and items.
+func (s *Store) handleMergeIn(_ simnet.Addr, _ string, payload any) (any, error) {
+	req, ok := payload.(mergeInReq)
+	if !ok {
+		return nil, fmt.Errorf("datastore: bad mergeIn payload %T", payload)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.CallTimeout*4)
+	defer cancel()
+	if err := s.rangeLock.Lock(ctx); err != nil {
+		return nil, ErrLockBusy
+	}
+	defer s.rangeLock.Unlock()
+	s.mu.Lock()
+	if !s.hasRange || s.rng.Lo != req.Range.Hi {
+		s.mu.Unlock()
+		return nil, ErrWrongState
+	}
+	s.rng = s.rng.ExtendDown(req.Range.Lo)
+	for _, it := range req.Items {
+		s.items[it.Key] = it
+	}
+	self := string(s.ring.Self().Addr)
+	s.mu.Unlock()
+	if s.log != nil {
+		for _, it := range req.Items {
+			s.log.Moved(string(req.From.Addr), self, it.Key)
+		}
+	}
+	if s.rep != nil {
+		s.rep.ItemsChanged()
+	}
+	s.kickMaintenance()
+	return true, nil
+}

@@ -1,0 +1,407 @@
+// Package history records an operation history and checks it against the
+// paper's correctness definitions.
+//
+// The paper reasons about a history H = (O, ≤) of operations with a
+// happened-before partial order (Definition 1). In a single test process we
+// obtain a usable refinement of that order from a global sequence counter:
+// every journaled event carries a sequence number drawn while the mutating
+// peer holds its local critical section, so if op1 finished before op2
+// started then seq(op1) < seq(op2). Operations with overlapping [start,end]
+// sequence intervals are the concurrent ones.
+//
+// The journal tracks item placement (Definition 3: an item i is live in H iff
+// some peer's Data Store contains it) and query executions, and offers
+// checkers for:
+//
+//   - Correct Query Result (Definition 4): a result must contain every item
+//     that satisfied the predicate and was live throughout the query, and
+//     only items that satisfied the predicate and were live at some point
+//     during the query.
+//   - scanRange correctness (Definition 6): the per-peer sub-ranges visited
+//     by one scan must be non-overlapping and union exactly to [lb, ub].
+//
+// The successor-pointer consistency check (Definition 5) lives in the ring
+// package, next to the types it inspects.
+package history
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/keyspace"
+)
+
+// Seq is a point in the global sequence order.
+type Seq uint64
+
+// EventKind enumerates journaled Data Store mutations.
+type EventKind uint8
+
+// Event kinds. Moved is a single atomic event for an item transfer between
+// peers (split/merge/redistribute/revival), so liveness never shows a false
+// gap or false overlap mid-transfer.
+const (
+	ItemAdded EventKind = iota
+	ItemRemoved
+	ItemMoved
+	PeerFailed
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case ItemAdded:
+		return "add"
+	case ItemRemoved:
+		return "remove"
+	case ItemMoved:
+		return "move"
+	case PeerFailed:
+		return "fail"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one journaled operation.
+type Event struct {
+	Seq  Seq
+	Kind EventKind
+	Key  keyspace.Key
+	Peer string // peer performing / holding the item (destination for ItemMoved)
+	From string // source peer for ItemMoved; empty otherwise
+}
+
+// QueryRecord captures one range query execution for later checking.
+type QueryRecord struct {
+	ID       int
+	Interval keyspace.Interval
+	Start    Seq
+	End      Seq
+	Result   []keyspace.Key
+}
+
+// Log is a concurrency-safe journal of Data Store operations.
+type Log struct {
+	mu      sync.Mutex
+	nextSeq Seq
+	events  []Event
+	queries []QueryRecord
+	nextQID int
+}
+
+// NewLog returns an empty journal.
+func NewLog() *Log { return &Log{} }
+
+// next must be called with l.mu held.
+func (l *Log) next() Seq {
+	l.nextSeq++
+	return l.nextSeq
+}
+
+// Now returns a fresh sequence point strictly after all journaled events.
+func (l *Log) Now() Seq {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next()
+}
+
+// Added journals that peer's Data Store now contains key.
+func (l *Log) Added(peer string, key keyspace.Key) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, Event{Seq: l.next(), Kind: ItemAdded, Key: key, Peer: peer})
+}
+
+// Removed journals that peer's Data Store no longer contains key.
+func (l *Log) Removed(peer string, key keyspace.Key) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, Event{Seq: l.next(), Kind: ItemRemoved, Key: key, Peer: peer})
+}
+
+// Moved journals an atomic transfer of key from one peer's Data Store to
+// another's. The item stays live across the move.
+func (l *Log) Moved(from, to string, key keyspace.Key) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, Event{Seq: l.next(), Kind: ItemMoved, Key: key, Peer: to, From: from})
+}
+
+// Failed journals a fail-stop of peer: every item it held stops being live.
+func (l *Log) Failed(peer string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, Event{Seq: l.next(), Kind: PeerFailed, Peer: peer})
+}
+
+// BeginQuery opens a query record and returns its id and start point.
+func (l *Log) BeginQuery(iv keyspace.Interval) (id int, start Seq) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.nextQID++
+	return l.nextQID, l.next()
+}
+
+// EndQuery closes a query record with its result.
+func (l *Log) EndQuery(id int, iv keyspace.Interval, start Seq, result []keyspace.Key) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec := QueryRecord{ID: id, Interval: iv, Start: start, End: l.next()}
+	rec.Result = append(rec.Result, result...)
+	l.queries = append(l.queries, rec)
+}
+
+// Events returns a copy of all journaled events in sequence order.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Queries returns a copy of all completed query records.
+func (l *Log) Queries() []QueryRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]QueryRecord, len(l.queries))
+	copy(out, l.queries)
+	return out
+}
+
+// Interval is a closed sequence interval during which a condition held.
+type Interval struct{ From, To Seq }
+
+// maxSeq marks a condition that still holds at the end of the journal.
+const maxSeq = Seq(^uint64(0))
+
+// Liveness reconstructs, for each key, the sequence intervals during which
+// the key was live (held by at least one peer, Definition 3).
+type Liveness struct {
+	intervals map[keyspace.Key][]Interval
+}
+
+// BuildLiveness replays the journal into per-key liveness timelines.
+func BuildLiveness(events []Event) *Liveness {
+	type holding map[string]int // peer -> copies held (should be 0/1)
+	holders := make(map[keyspace.Key]holding)
+	lv := &Liveness{intervals: make(map[keyspace.Key][]Interval)}
+	count := make(map[keyspace.Key]int)
+
+	open := make(map[keyspace.Key]Seq) // key -> seq at which current live interval opened
+
+	adjust := func(key keyspace.Key, seq Seq, delta int) {
+		before := count[key]
+		count[key] = before + delta
+		switch {
+		case before == 0 && count[key] > 0:
+			open[key] = seq
+		case before > 0 && count[key] <= 0:
+			lv.intervals[key] = append(lv.intervals[key], Interval{From: open[key], To: seq})
+			delete(open, key)
+		}
+	}
+
+	for _, ev := range events {
+		switch ev.Kind {
+		case ItemAdded:
+			h := holders[ev.Key]
+			if h == nil {
+				h = make(holding)
+				holders[ev.Key] = h
+			}
+			if h[ev.Peer] == 0 {
+				h[ev.Peer] = 1
+				adjust(ev.Key, ev.Seq, 1)
+			}
+		case ItemRemoved:
+			if h := holders[ev.Key]; h != nil && h[ev.Peer] > 0 {
+				h[ev.Peer] = 0
+				adjust(ev.Key, ev.Seq, -1)
+			}
+		case ItemMoved:
+			h := holders[ev.Key]
+			if h == nil {
+				h = make(holding)
+				holders[ev.Key] = h
+			}
+			// Atomic: destination gains before source loses, net count never
+			// dips to zero during a move.
+			if h[ev.Peer] == 0 {
+				h[ev.Peer] = 1
+				adjust(ev.Key, ev.Seq, 1)
+			}
+			if h[ev.From] > 0 {
+				h[ev.From] = 0
+				adjust(ev.Key, ev.Seq, -1)
+			}
+		case PeerFailed:
+			for key, h := range holders {
+				if h[ev.Peer] > 0 {
+					h[ev.Peer] = 0
+					adjust(key, ev.Seq, -1)
+				}
+			}
+		}
+	}
+	for key, from := range open {
+		lv.intervals[key] = append(lv.intervals[key], Interval{From: from, To: maxSeq})
+	}
+	return lv
+}
+
+// Keys returns every key that was ever live, in ascending order.
+func (lv *Liveness) Keys() []keyspace.Key {
+	out := make([]keyspace.Key, 0, len(lv.intervals))
+	for k := range lv.intervals {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LiveAtSomePoint reports whether key was live at any sequence point in
+// [from, to].
+func (lv *Liveness) LiveAtSomePoint(key keyspace.Key, from, to Seq) bool {
+	for _, iv := range lv.intervals[key] {
+		if iv.From <= to && from <= iv.To {
+			return true
+		}
+	}
+	return false
+}
+
+// LiveThroughout reports whether key was live at every sequence point in
+// [from, to].
+func (lv *Liveness) LiveThroughout(key keyspace.Key, from, to Seq) bool {
+	for _, iv := range lv.intervals[key] {
+		if iv.From <= from && to <= iv.To {
+			return true
+		}
+	}
+	return false
+}
+
+// Violation describes one failure of a correctness check.
+type Violation struct {
+	QueryID int
+	Key     keyspace.Key
+	Reason  string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("query %d key %d: %s", v.QueryID, v.Key, v.Reason)
+}
+
+// CheckQueryResult checks one query record against Definition 4 using the
+// supplied liveness reconstruction. It returns all violations found.
+func CheckQueryResult(lv *Liveness, q QueryRecord) []Violation {
+	var out []Violation
+	inResult := make(map[keyspace.Key]bool, len(q.Result))
+	for _, k := range q.Result {
+		if inResult[k] {
+			out = append(out, Violation{QueryID: q.ID, Key: k, Reason: "duplicate item in result"})
+		}
+		inResult[k] = true
+		if !q.Interval.Contains(k) {
+			out = append(out, Violation{QueryID: q.ID, Key: k, Reason: "result item does not satisfy the predicate"})
+			continue
+		}
+		if !lv.LiveAtSomePoint(k, q.Start, q.End) {
+			out = append(out, Violation{QueryID: q.ID, Key: k, Reason: "result item was never live during the query"})
+		}
+	}
+	for _, k := range lv.Keys() {
+		if !q.Interval.Contains(k) || inResult[k] {
+			continue
+		}
+		if lv.LiveThroughout(k, q.Start, q.End) {
+			out = append(out, Violation{QueryID: q.ID, Key: k, Reason: "item live throughout the query is missing from the result"})
+		}
+	}
+	return out
+}
+
+// CheckAllQueries replays the journal once and checks every completed query.
+func (l *Log) CheckAllQueries() []Violation {
+	lv := BuildLiveness(l.Events())
+	var out []Violation
+	for _, q := range l.Queries() {
+		out = append(out, CheckQueryResult(lv, q)...)
+	}
+	return out
+}
+
+// ScanPiece is one handler invocation of a scanRange: the peer visited and
+// the sub-interval it served.
+type ScanPiece struct {
+	Peer     string
+	Interval keyspace.Interval
+}
+
+// CheckScanCover checks Definition 6 conditions (3) and (4) for one completed
+// scan: the visited pieces must be pairwise non-overlapping and their union
+// must be exactly the scanned interval. (Conditions (1) and (2) are enforced
+// structurally by the scan implementation: the init operation precedes the
+// completion, and each piece is computed under the visited peer's range lock
+// as a subset of its range.)
+func CheckScanCover(scanned keyspace.Interval, pieces []ScanPiece) error {
+	if len(pieces) == 0 {
+		return fmt.Errorf("scan of %v visited no peers", scanned)
+	}
+	sorted := make([]ScanPiece, len(pieces))
+	copy(sorted, pieces)
+	sort.Slice(sorted, func(i, j int) bool {
+		return firstKey(sorted[i].Interval) < firstKey(sorted[j].Interval)
+	})
+	cursor := firstKey(scanned)
+	for i, p := range sorted {
+		if !p.Interval.Valid() {
+			return fmt.Errorf("scan of %v: piece %d at %s is empty (%v)", scanned, i, p.Peer, p.Interval)
+		}
+		f := firstKey(p.Interval)
+		if f < cursor {
+			return fmt.Errorf("scan of %v: piece %v at %s overlaps prior coverage (cursor %d)", scanned, p.Interval, p.Peer, cursor)
+		}
+		if f > cursor {
+			return fmt.Errorf("scan of %v: gap before piece %v at %s (cursor %d)", scanned, p.Interval, p.Peer, cursor)
+		}
+		last := lastKey(p.Interval)
+		if last == keyspace.MaxKey {
+			cursor = keyspace.MaxKey
+			if i != len(sorted)-1 {
+				return fmt.Errorf("scan of %v: piece at %s reaches MaxKey but pieces remain", scanned, p.Peer)
+			}
+			break
+		}
+		cursor = last + 1
+	}
+	wantEnd := lastKey(scanned)
+	if cursor == keyspace.MaxKey {
+		if wantEnd != keyspace.MaxKey {
+			return fmt.Errorf("scan of %v: coverage overshoots to MaxKey", scanned)
+		}
+		return nil
+	}
+	if cursor != wantEnd+1 {
+		return fmt.Errorf("scan of %v: coverage ends at %d, want through %d", scanned, cursor-1, wantEnd)
+	}
+	return nil
+}
+
+// firstKey returns the smallest key satisfying iv (which must be Valid).
+func firstKey(iv keyspace.Interval) keyspace.Key {
+	if iv.LbOpen {
+		return iv.Lb + 1
+	}
+	return iv.Lb
+}
+
+// lastKey returns the largest key satisfying iv (which must be Valid).
+func lastKey(iv keyspace.Interval) keyspace.Key {
+	if iv.UbOpen {
+		return iv.Ub - 1
+	}
+	return iv.Ub
+}

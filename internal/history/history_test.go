@@ -1,0 +1,392 @@
+package history
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/keyspace"
+)
+
+func k(v uint64) keyspace.Key { return keyspace.Key(v) }
+
+func TestLivenessAddRemove(t *testing.T) {
+	l := NewLog()
+	l.Added("p1", k(10))
+	mid := l.Now()
+	l.Removed("p1", k(10))
+	after := l.Now()
+
+	lv := BuildLiveness(l.Events())
+	if !lv.LiveAtSomePoint(k(10), 0, mid) {
+		t.Error("item should be live before removal")
+	}
+	if lv.LiveAtSomePoint(k(10), after, after) {
+		t.Error("item should not be live after removal")
+	}
+	if lv.LiveThroughout(k(10), 0, after) {
+		t.Error("item is not live throughout an interval spanning its removal")
+	}
+}
+
+func TestLivenessMoveIsAtomic(t *testing.T) {
+	l := NewLog()
+	l.Added("p1", k(10))
+	start := l.Now()
+	l.Moved("p1", "p2", k(10))
+	end := l.Now()
+
+	lv := BuildLiveness(l.Events())
+	if !lv.LiveThroughout(k(10), start, end) {
+		t.Error("a moved item must stay live across the move")
+	}
+}
+
+func TestLivenessDoubleAddSinglePresence(t *testing.T) {
+	l := NewLog()
+	l.Added("p1", k(10))
+	l.Added("p1", k(10)) // idempotent re-add at the same peer
+	l.Removed("p1", k(10))
+	after := l.Now()
+	lv := BuildLiveness(l.Events())
+	if lv.LiveAtSomePoint(k(10), after, after) {
+		t.Error("one remove must end liveness even after duplicate adds at a peer")
+	}
+}
+
+func TestLivenessTwoHolders(t *testing.T) {
+	// An item held (incorrectly, but journal must cope) by two peers stays
+	// live until both drop it.
+	l := NewLog()
+	l.Added("p1", k(10))
+	l.Added("p2", k(10))
+	l.Removed("p1", k(10))
+	mid := l.Now()
+	l.Removed("p2", k(10))
+	after := l.Now()
+	lv := BuildLiveness(l.Events())
+	if !lv.LiveAtSomePoint(k(10), mid, mid) {
+		t.Error("item held by p2 should still be live")
+	}
+	if lv.LiveAtSomePoint(k(10), after, after) {
+		t.Error("item should be dead after both removals")
+	}
+}
+
+func TestLivenessPeerFailure(t *testing.T) {
+	l := NewLog()
+	l.Added("p1", k(1))
+	l.Added("p1", k(2))
+	l.Added("p2", k(3))
+	l.Failed("p1")
+	after := l.Now()
+	lv := BuildLiveness(l.Events())
+	if lv.LiveAtSomePoint(k(1), after, after) || lv.LiveAtSomePoint(k(2), after, after) {
+		t.Error("items on the failed peer must stop being live")
+	}
+	if !lv.LiveAtSomePoint(k(3), after, after) {
+		t.Error("items on other peers must remain live")
+	}
+}
+
+func TestLivenessRevivalAfterFailure(t *testing.T) {
+	l := NewLog()
+	l.Added("p1", k(1))
+	l.Failed("p1")
+	gap := l.Now()
+	l.Added("p2", k(1)) // replication revives the item
+	end := l.Now()
+	lv := BuildLiveness(l.Events())
+	if lv.LiveAtSomePoint(k(1), gap, gap) {
+		t.Error("item is dead in the failure gap")
+	}
+	if !lv.LiveAtSomePoint(k(1), end, end) {
+		t.Error("revived item must be live again")
+	}
+	if lv.LiveThroughout(k(1), 0, end) {
+		t.Error("item with a failure gap is not live throughout")
+	}
+}
+
+func TestCheckQueryResultHappyPath(t *testing.T) {
+	l := NewLog()
+	l.Added("p1", k(5))
+	l.Added("p2", k(15))
+	l.Added("p2", k(25))
+	iv := keyspace.ClosedInterval(0, 20)
+	id, start := l.BeginQuery(iv)
+	l.EndQuery(id, iv, start, []keyspace.Key{k(5), k(15)})
+
+	if v := l.CheckAllQueries(); len(v) != 0 {
+		t.Errorf("unexpected violations: %v", v)
+	}
+}
+
+func TestCheckQueryResultMissingItem(t *testing.T) {
+	l := NewLog()
+	l.Added("p1", k(5))
+	l.Added("p2", k(15))
+	iv := keyspace.ClosedInterval(0, 20)
+	id, start := l.BeginQuery(iv)
+	l.EndQuery(id, iv, start, []keyspace.Key{k(5)}) // missed 15
+
+	v := l.CheckAllQueries()
+	if len(v) != 1 {
+		t.Fatalf("want 1 violation, got %v", v)
+	}
+	if v[0].Key != k(15) {
+		t.Errorf("violation key = %d, want 15", v[0].Key)
+	}
+}
+
+func TestCheckQueryResultPhantomItem(t *testing.T) {
+	l := NewLog()
+	l.Added("p1", k(5))
+	iv := keyspace.ClosedInterval(0, 20)
+	id, start := l.BeginQuery(iv)
+	l.EndQuery(id, iv, start, []keyspace.Key{k(5), k(7)}) // 7 never existed
+
+	v := l.CheckAllQueries()
+	if len(v) != 1 {
+		t.Fatalf("want 1 violation, got %v", v)
+	}
+	if v[0].Key != k(7) {
+		t.Errorf("violation key = %d, want 7", v[0].Key)
+	}
+}
+
+func TestCheckQueryResultPredicateViolation(t *testing.T) {
+	l := NewLog()
+	l.Added("p1", k(50))
+	iv := keyspace.ClosedInterval(0, 20)
+	id, start := l.BeginQuery(iv)
+	l.EndQuery(id, iv, start, []keyspace.Key{k(50)})
+	v := l.CheckAllQueries()
+	if len(v) != 1 {
+		t.Fatalf("want 1 violation, got %v", v)
+	}
+}
+
+func TestCheckQueryResultConcurrentDeleteTolerated(t *testing.T) {
+	// An item deleted midway through the query may legitimately be absent
+	// from the result (it was not live throughout) or present (it was live
+	// at some point). Both outcomes must pass.
+	for _, include := range []bool{true, false} {
+		l := NewLog()
+		l.Added("p1", k(5))
+		iv := keyspace.ClosedInterval(0, 20)
+		id, start := l.BeginQuery(iv)
+		l.Removed("p1", k(5))
+		var res []keyspace.Key
+		if include {
+			res = []keyspace.Key{k(5)}
+		}
+		l.EndQuery(id, iv, start, res)
+		if v := l.CheckAllQueries(); len(v) != 0 {
+			t.Errorf("include=%v: unexpected violations %v", include, v)
+		}
+	}
+}
+
+func TestCheckQueryResultInsertDuringQueryTolerated(t *testing.T) {
+	// An item inserted mid-query may be present or absent.
+	for _, include := range []bool{true, false} {
+		l := NewLog()
+		iv := keyspace.ClosedInterval(0, 20)
+		id, start := l.BeginQuery(iv)
+		l.Added("p1", k(9))
+		var res []keyspace.Key
+		if include {
+			res = []keyspace.Key{k(9)}
+		}
+		l.EndQuery(id, iv, start, res)
+		if v := l.CheckAllQueries(); len(v) != 0 {
+			t.Errorf("include=%v: unexpected violations %v", include, v)
+		}
+	}
+}
+
+func TestCheckQueryDuplicateResult(t *testing.T) {
+	l := NewLog()
+	l.Added("p1", k(5))
+	iv := keyspace.ClosedInterval(0, 20)
+	id, start := l.BeginQuery(iv)
+	l.EndQuery(id, iv, start, []keyspace.Key{k(5), k(5)})
+	v := l.CheckAllQueries()
+	if len(v) != 1 {
+		t.Fatalf("want duplicate violation, got %v", v)
+	}
+}
+
+func TestCheckScanCoverExact(t *testing.T) {
+	iv := keyspace.ClosedInterval(10, 30)
+	pieces := []ScanPiece{
+		{Peer: "a", Interval: keyspace.ClosedInterval(10, 15)},
+		{Peer: "b", Interval: keyspace.Interval{Lb: 15, Ub: 22, LbOpen: true}},
+		{Peer: "c", Interval: keyspace.Interval{Lb: 22, Ub: 30, LbOpen: true}},
+	}
+	if err := CheckScanCover(iv, pieces); err != nil {
+		t.Errorf("exact cover rejected: %v", err)
+	}
+}
+
+func TestCheckScanCoverUnordered(t *testing.T) {
+	iv := keyspace.ClosedInterval(10, 30)
+	pieces := []ScanPiece{
+		{Peer: "c", Interval: keyspace.Interval{Lb: 22, Ub: 30, LbOpen: true}},
+		{Peer: "a", Interval: keyspace.ClosedInterval(10, 15)},
+		{Peer: "b", Interval: keyspace.Interval{Lb: 15, Ub: 22, LbOpen: true}},
+	}
+	if err := CheckScanCover(iv, pieces); err != nil {
+		t.Errorf("cover order should not matter: %v", err)
+	}
+}
+
+func TestCheckScanCoverGap(t *testing.T) {
+	iv := keyspace.ClosedInterval(10, 30)
+	pieces := []ScanPiece{
+		{Peer: "a", Interval: keyspace.ClosedInterval(10, 15)},
+		{Peer: "c", Interval: keyspace.ClosedInterval(20, 30)},
+	}
+	if err := CheckScanCover(iv, pieces); err == nil {
+		t.Error("gap must be detected")
+	}
+}
+
+func TestCheckScanCoverOverlap(t *testing.T) {
+	iv := keyspace.ClosedInterval(10, 30)
+	pieces := []ScanPiece{
+		{Peer: "a", Interval: keyspace.ClosedInterval(10, 20)},
+		{Peer: "b", Interval: keyspace.ClosedInterval(18, 30)},
+	}
+	if err := CheckScanCover(iv, pieces); err == nil {
+		t.Error("overlap must be detected")
+	}
+}
+
+func TestCheckScanCoverShort(t *testing.T) {
+	iv := keyspace.ClosedInterval(10, 30)
+	pieces := []ScanPiece{{Peer: "a", Interval: keyspace.ClosedInterval(10, 25)}}
+	if err := CheckScanCover(iv, pieces); err == nil {
+		t.Error("short cover must be detected")
+	}
+}
+
+func TestCheckScanCoverOvershoot(t *testing.T) {
+	iv := keyspace.ClosedInterval(10, 30)
+	pieces := []ScanPiece{{Peer: "a", Interval: keyspace.ClosedInterval(10, 35)}}
+	if err := CheckScanCover(iv, pieces); err == nil {
+		t.Error("overshooting cover must be detected")
+	}
+}
+
+func TestCheckScanCoverEmpty(t *testing.T) {
+	if err := CheckScanCover(keyspace.ClosedInterval(1, 2), nil); err == nil {
+		t.Error("empty cover must be detected")
+	}
+}
+
+func TestCheckScanCoverAtMaxKey(t *testing.T) {
+	iv := keyspace.ClosedInterval(keyspace.MaxKey-5, keyspace.MaxKey)
+	pieces := []ScanPiece{{Peer: "a", Interval: iv}}
+	if err := CheckScanCover(iv, pieces); err != nil {
+		t.Errorf("cover reaching MaxKey rejected: %v", err)
+	}
+}
+
+func TestConcurrentJournalSafety(t *testing.T) {
+	l := NewLog()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := k(uint64(g*1000 + i))
+				peer := fmt.Sprintf("p%d", g)
+				l.Added(peer, key)
+				if i%3 == 0 {
+					l.Removed(peer, key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	evs := l.Events()
+	if len(evs) == 0 {
+		t.Fatal("no events recorded")
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatal("sequence numbers must be strictly increasing in journal order")
+		}
+	}
+	BuildLiveness(evs) // must not panic
+}
+
+// Property test: for random add/remove/move schedules, liveness matches a
+// straightforward reference simulation probed at random points.
+func TestLivenessMatchesReferenceSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		l := NewLog()
+		type probe struct {
+			seq  Seq
+			live map[keyspace.Key]bool
+		}
+		holders := map[keyspace.Key]map[string]bool{}
+		liveNow := func(key keyspace.Key) bool {
+			for _, held := range holders[key] {
+				if held {
+					return true
+				}
+			}
+			return false
+		}
+		var probes []probe
+		peers := []string{"a", "b", "c"}
+		for step := 0; step < 300; step++ {
+			key := k(uint64(rng.Intn(10)))
+			p := peers[rng.Intn(len(peers))]
+			switch rng.Intn(5) {
+			case 0, 1:
+				l.Added(p, key)
+				if holders[key] == nil {
+					holders[key] = map[string]bool{}
+				}
+				holders[key][p] = true
+			case 2:
+				l.Removed(p, key)
+				if holders[key] != nil {
+					holders[key][p] = false
+				}
+			case 3:
+				q := peers[rng.Intn(len(peers))]
+				if q != p {
+					l.Moved(p, q, key)
+					if holders[key] == nil {
+						holders[key] = map[string]bool{}
+					}
+					holders[key][q] = true
+					holders[key][p] = false
+				}
+			case 4:
+				snapshot := map[keyspace.Key]bool{}
+				for kk := range holders {
+					snapshot[kk] = liveNow(kk)
+				}
+				probes = append(probes, probe{seq: l.Now(), live: snapshot})
+			}
+		}
+		lv := BuildLiveness(l.Events())
+		for _, pr := range probes {
+			for key, want := range pr.live {
+				got := lv.LiveAtSomePoint(key, pr.seq, pr.seq)
+				if got != want {
+					t.Fatalf("trial %d: key %d at seq %d: live=%v, reference=%v", trial, key, pr.seq, got, want)
+				}
+			}
+		}
+	}
+}

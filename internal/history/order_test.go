@@ -1,0 +1,144 @@
+package history
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func op(id string, start, end Seq) Op { return Op{ID: id, Start: start, End: end} }
+
+func TestHappenedBefore(t *testing.T) {
+	a := op("a", 1, 2)
+	b := op("b", 3, 4)
+	c := op("c", 2, 5) // overlaps both
+
+	if !HappenedBefore(a, b) {
+		t.Error("a < b expected")
+	}
+	if HappenedBefore(b, a) {
+		t.Error("b < a unexpected")
+	}
+	if HappenedBefore(a, c) || HappenedBefore(c, a) {
+		t.Error("a and c overlap: neither precedes")
+	}
+	if !Concurrent(a, c) || !Concurrent(c, b) {
+		t.Error("overlapping operations must be concurrent")
+	}
+	if Concurrent(a, b) {
+		t.Error("disjoint ordered operations are not concurrent")
+	}
+}
+
+func TestOrderedIsPartialOrderShape(t *testing.T) {
+	// Property: happened-before is transitive and antisymmetric over random
+	// interval triples.
+	f := func(s1, d1, s2, d2, s3, d3 uint8) bool {
+		a := op("a", Seq(s1), Seq(s1)+Seq(d1))
+		b := op("b", Seq(s2), Seq(s2)+Seq(d2))
+		c := op("c", Seq(s3), Seq(s3)+Seq(d3))
+		// antisymmetry
+		if HappenedBefore(a, b) && HappenedBefore(b, a) {
+			return false
+		}
+		// transitivity
+		if HappenedBefore(a, b) && HappenedBefore(b, c) && !HappenedBefore(a, c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	a := op("a", 1, 2)
+	b := op("b", 3, 4)
+	c := op("c", 2, 5)
+	d := op("d", 6, 7)
+	h := History{Ops: []Op{a, b, c, d}}
+
+	hb := h.Truncate(b)
+	// H_b contains b itself and everything that happened before b: a.
+	if len(hb.Ops) != 2 || hb.Ops[0] != a || hb.Ops[1] != b {
+		t.Errorf("Truncate(b) = %v", hb.Ops)
+	}
+	hd := h.Truncate(d)
+	if len(hd.Ops) != 4 {
+		t.Errorf("Truncate(d) should contain everything, got %v", hd.Ops)
+	}
+}
+
+func TestProject(t *testing.T) {
+	a := op("add:p1:5", 1, 1)
+	b := op("remove:p1:5", 2, 2)
+	c := op("add:p2:9", 3, 3)
+	h := History{Ops: []Op{a, b, c}}
+	p := h.Project(func(o Op) bool { return o.ID[0] == 'a' })
+	if len(p.Ops) != 2 || p.Ops[0] != a || p.Ops[1] != c {
+		t.Errorf("projection = %v", p.Ops)
+	}
+}
+
+func TestOpsOfJournal(t *testing.T) {
+	l := NewLog()
+	l.Added("p1", 5)
+	l.Moved("p1", "p2", 5)
+	l.Failed("p2")
+	ops := OpsOf(l.Events())
+	if len(ops) != 3 {
+		t.Fatalf("ops = %v", ops)
+	}
+	if ops[0].ID != "add:p1:5" {
+		t.Errorf("op0 id = %s", ops[0].ID)
+	}
+	if ops[1].ID != "move:p1->p2:5" {
+		t.Errorf("op1 id = %s", ops[1].ID)
+	}
+	if ops[2].ID != "fail:p2" {
+		t.Errorf("op2 id = %s", ops[2].ID)
+	}
+	// Journal events are totally ordered.
+	for i := 1; i < len(ops); i++ {
+		if !HappenedBefore(ops[i-1], ops[i]) {
+			t.Errorf("journal ops %d and %d not ordered", i-1, i)
+		}
+	}
+}
+
+func TestTruncateOfJournalMatchesLiveness(t *testing.T) {
+	// For any journaled event o, liveness computed on the truncated history
+	// equals liveness computed on the event prefix — Definition 3 applied to
+	// H_o.
+	l := NewLog()
+	l.Added("p1", 10)
+	l.Added("p2", 20)
+	l.Removed("p1", 10)
+	evs := l.Events()
+	ops := OpsOf(evs)
+	h := History{Ops: ops}
+
+	for i, o := range ops {
+		trunc := h.Truncate(o)
+		if len(trunc.Ops) != i+1 {
+			t.Fatalf("journal truncation at %d = %d ops", i, len(trunc.Ops))
+		}
+		lv := BuildLiveness(evs[:i+1])
+		at := evs[i].Seq
+		switch i {
+		case 0:
+			if !lv.LiveAtSomePoint(10, at, at) {
+				t.Error("10 live after its add")
+			}
+		case 2:
+			// Liveness intervals are closed at the ending event's own seq;
+			// strictly after it the item is dead.
+			if lv.LiveAtSomePoint(10, at+1, at+1) {
+				t.Error("10 dead after its remove")
+			}
+			if !lv.LiveAtSomePoint(20, at, at) {
+				t.Error("20 still live")
+			}
+		}
+	}
+}

@@ -1,0 +1,192 @@
+// Package metrics provides the measurement instruments used by the benchmark
+// harness: thread-safe duration recorders with the summary statistics the
+// paper's figures report (average elapsed time per operation), plus
+// percentiles for robustness analysis, and a small series printer that
+// renders a figure as aligned text columns.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Recorder accumulates duration samples for one operation type.
+type Recorder struct {
+	mu      sync.Mutex
+	name    string
+	samples []time.Duration
+}
+
+// NewRecorder returns an empty recorder labelled name.
+func NewRecorder(name string) *Recorder {
+	return &Recorder{name: name}
+}
+
+// Name returns the recorder's label.
+func (r *Recorder) Name() string { return r.name }
+
+// Observe records one sample.
+func (r *Recorder) Observe(d time.Duration) {
+	r.mu.Lock()
+	r.samples = append(r.samples, d)
+	r.mu.Unlock()
+}
+
+// Time runs fn and records its elapsed duration.
+func (r *Recorder) Time(fn func()) {
+	start := time.Now()
+	fn()
+	r.Observe(time.Since(start))
+}
+
+// Count returns the number of samples recorded.
+func (r *Recorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
+
+// Summary holds the statistics of a sample set.
+type Summary struct {
+	Name  string
+	Count int
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	Max   time.Duration
+}
+
+// Summarize computes the recorder's summary statistics. An empty recorder
+// yields a zero-valued summary.
+func (r *Recorder) Summarize() Summary {
+	r.mu.Lock()
+	samples := make([]time.Duration, len(r.samples))
+	copy(samples, r.samples)
+	r.mu.Unlock()
+
+	s := Summary{Name: r.name, Count: len(samples)}
+	if len(samples) == 0 {
+		return s
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var total time.Duration
+	for _, d := range samples {
+		total += d
+	}
+	s.Mean = total / time.Duration(len(samples))
+	s.P50 = percentile(samples, 0.50)
+	s.P95 = percentile(samples, 0.95)
+	s.Max = samples[len(samples)-1]
+	return s
+}
+
+// percentile returns the q-quantile of sorted samples (nearest-rank).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Reset discards all samples.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.samples = r.samples[:0]
+	r.mu.Unlock()
+}
+
+// Counter is a thread-safe event counter.
+type Counter struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds delta to the counter.
+func (c *Counter) Add(delta uint64) {
+	c.mu.Lock()
+	c.n += delta
+	c.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Series is one line of a figure: a label and a y value per x point.
+type Series struct {
+	Label  string
+	Points map[string]float64 // x label -> y value
+}
+
+// Figure renders a paper figure as a text table: one row per x value, one
+// column per series, in the given x order.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	XOrder []string
+	Series []Series
+}
+
+// AddPoint records y for series label at x, creating the series if needed.
+func (f *Figure) AddPoint(series, x string, y float64) {
+	for i := range f.Series {
+		if f.Series[i].Label == series {
+			f.Series[i].Points[x] = y
+			return
+		}
+	}
+	f.Series = append(f.Series, Series{Label: series, Points: map[string]float64{x: y}})
+}
+
+// Render formats the figure as aligned text columns.
+func (f *Figure) Render() string {
+	xw := len(f.XLabel)
+	for _, x := range f.XOrder {
+		if len(x) > xw {
+			xw = len(x)
+		}
+	}
+	colw := 12
+	for _, s := range f.Series {
+		if len(s.Label)+2 > colw {
+			colw = len(s.Label) + 2
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", f.Title)
+	fmt.Fprintf(&b, "# y: %s\n", f.YLabel)
+	fmt.Fprintf(&b, "%-*s", xw+2, f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "%*s", colw, s.Label)
+	}
+	b.WriteByte('\n')
+	for _, x := range f.XOrder {
+		fmt.Fprintf(&b, "%-*s", xw+2, x)
+		for _, s := range f.Series {
+			if y, ok := s.Points[x]; ok {
+				fmt.Fprintf(&b, "%*.4f", colw, y)
+			} else {
+				fmt.Fprintf(&b, "%*s", colw, "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecorderSummary(t *testing.T) {
+	r := NewRecorder("op")
+	for i := 1; i <= 100; i++ {
+		r.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := r.Summarize()
+	if s.Count != 100 {
+		t.Errorf("Count = %d", s.Count)
+	}
+	if s.Mean != 50500*time.Microsecond {
+		t.Errorf("Mean = %v, want 50.5ms", s.Mean)
+	}
+	if s.P50 != 50*time.Millisecond {
+		t.Errorf("P50 = %v, want 50ms", s.P50)
+	}
+	if s.P95 != 95*time.Millisecond {
+		t.Errorf("P95 = %v, want 95ms", s.P95)
+	}
+	if s.Max != 100*time.Millisecond {
+		t.Errorf("Max = %v, want 100ms", s.Max)
+	}
+}
+
+func TestRecorderEmpty(t *testing.T) {
+	s := NewRecorder("empty").Summarize()
+	if s.Count != 0 || s.Mean != 0 || s.Max != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestRecorderSingleSample(t *testing.T) {
+	r := NewRecorder("one")
+	r.Observe(7 * time.Millisecond)
+	s := r.Summarize()
+	if s.Mean != 7*time.Millisecond || s.P50 != 7*time.Millisecond || s.P95 != 7*time.Millisecond {
+		t.Errorf("single-sample summary = %+v", s)
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	r := NewRecorder("op")
+	r.Observe(time.Second)
+	r.Reset()
+	if r.Count() != 0 {
+		t.Error("Reset did not clear samples")
+	}
+}
+
+func TestRecorderTime(t *testing.T) {
+	r := NewRecorder("op")
+	r.Time(func() { time.Sleep(2 * time.Millisecond) })
+	if s := r.Summarize(); s.Mean < 2*time.Millisecond {
+		t.Errorf("timed duration %v too short", s.Mean)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder("op")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Observe(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Count() != 800 {
+		t.Errorf("Count = %d, want 800", r.Count())
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 4000 {
+		t.Errorf("Value = %d, want 4000", c.Value())
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := Figure{
+		Title:  "Fig test",
+		XLabel: "x",
+		YLabel: "time (s)",
+		XOrder: []string{"2", "4", "8"},
+	}
+	f.AddPoint("pepper", "2", 0.1)
+	f.AddPoint("pepper", "4", 0.2)
+	f.AddPoint("naive", "2", 0.05)
+	out := f.Render()
+	if !strings.Contains(out, "Fig test") || !strings.Contains(out, "pepper") {
+		t.Errorf("render missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "0.1000") {
+		t.Errorf("render missing values:\n%s", out)
+	}
+	// x=8 has no points: dash for both series.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	last := lines[len(lines)-1]
+	if !strings.HasPrefix(last, "8") || !strings.Contains(last, "-") {
+		t.Errorf("missing-point rendering wrong: %q", last)
+	}
+}
+
+func TestFigureAddPointUpdatesExisting(t *testing.T) {
+	var f Figure
+	f.AddPoint("s", "1", 1.0)
+	f.AddPoint("s", "1", 2.0)
+	if len(f.Series) != 1 {
+		t.Fatalf("series duplicated: %d", len(f.Series))
+	}
+	if f.Series[0].Points["1"] != 2.0 {
+		t.Errorf("point not updated: %v", f.Series[0].Points)
+	}
+}

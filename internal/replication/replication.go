@@ -1,0 +1,330 @@
+// Package replication implements the Replication Manager of the indexing
+// framework in its CFS form (Section 2.3): every peer pushes its Data Store
+// items to its k ring successors, so that when a peer fails its successor
+// can revive the lost items from the replicas it holds. The paper's
+// availability contribution (Section 5.2) is the replicate-to-additional-hop
+// rule: before a peer departs in a merge, it pushes both its own items and
+// the replicas it holds one extra hop, so its departure never lowers any
+// item's replica count (the Figure 17 loss scenario versus the Figure 18
+// fix). The naive baseline skips that step.
+//
+// Replica freshness is maintained by periodic range-scoped reconciliation:
+// each push carries the origin's full item set for its range, and the
+// receiver drops any replica in that range that the origin no longer holds.
+package replication
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/datastore"
+	"repro/internal/keyspace"
+	"repro/internal/ring"
+	"repro/internal/simnet"
+)
+
+// RPC method names.
+const (
+	methodPush = "rep.push"
+	methodPull = "rep.pull"
+)
+
+// Config controls replication behaviour.
+type Config struct {
+	// Factor is k, the number of successors holding a copy of each item
+	// (paper default 6, Section 6.1).
+	Factor int
+	// RefreshPeriod is the replica refresh interval.
+	RefreshPeriod time.Duration
+	// CallTimeout bounds individual pushes.
+	CallTimeout time.Duration
+	// Naive disables replicate-to-additional-hop on departure (the baseline
+	// of Section 6.2 that loses items in the Figure 17 scenario).
+	Naive bool
+	// DisableAutoRefresh turns the periodic loop off for deterministic tests.
+	DisableAutoRefresh bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Factor <= 0 {
+		c.Factor = 6
+	}
+	if c.RefreshPeriod <= 0 {
+		c.RefreshPeriod = 40 * time.Millisecond
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 50 * time.Millisecond
+	}
+	return c
+}
+
+// Manager is one peer's Replication Manager. It implements
+// datastore.Replicator.
+type Manager struct {
+	cfg  Config
+	net  *simnet.Network
+	ring *ring.Peer
+	ds   *datastore.Store
+
+	mu       sync.Mutex
+	replicas map[keyspace.Key]datastore.Item
+
+	kick    chan struct{}
+	lifeMu  sync.Mutex // guards started/stopped transitions vs wg
+	started bool
+	stopped bool
+	stopCh  chan struct{}
+	wg      sync.WaitGroup
+}
+
+// New constructs a Manager and registers its RPC handlers on the peer's mux.
+func New(net *simnet.Network, mux *simnet.Mux, rp *ring.Peer, ds *datastore.Store, cfg Config) *Manager {
+	m := &Manager{
+		cfg:      cfg.withDefaults(),
+		net:      net,
+		ring:     rp,
+		ds:       ds,
+		replicas: make(map[keyspace.Key]datastore.Item),
+		kick:     make(chan struct{}, 1),
+		stopCh:   make(chan struct{}),
+	}
+	mux.Handle(methodPush, m.handlePush)
+	mux.Handle(methodPull, m.handlePull)
+	return m
+}
+
+// Start launches the periodic refresh loop (idempotent; no-op after Stop).
+func (m *Manager) Start() {
+	if m.cfg.DisableAutoRefresh {
+		return
+	}
+	m.lifeMu.Lock()
+	defer m.lifeMu.Unlock()
+	if m.started || m.stopped {
+		return
+	}
+	m.started = true
+	m.wg.Add(1)
+	go m.refreshLoop()
+}
+
+// Stop halts background work.
+func (m *Manager) Stop() {
+	m.lifeMu.Lock()
+	if !m.stopped {
+		m.stopped = true
+		close(m.stopCh)
+	}
+	m.lifeMu.Unlock()
+	m.wg.Wait()
+}
+
+func (m *Manager) refreshLoop() {
+	defer m.wg.Done()
+	t := time.NewTicker(m.cfg.RefreshPeriod)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stopCh:
+			return
+		case <-t.C:
+		case <-m.kick:
+		}
+		m.RefreshOnce()
+	}
+}
+
+// ItemsChanged implements datastore.Replicator: schedule a refresh soon.
+func (m *Manager) ItemsChanged() {
+	select {
+	case m.kick <- struct{}{}:
+	default:
+	}
+}
+
+// ReplicaCount returns how many replicas this peer currently holds.
+func (m *Manager) ReplicaCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.replicas)
+}
+
+// HeldReplicas returns a snapshot of the replicas this peer holds.
+func (m *Manager) HeldReplicas() []datastore.Item {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]datastore.Item, 0, len(m.replicas))
+	for _, it := range m.replicas {
+		out = append(out, it)
+	}
+	return out
+}
+
+// pushMsg replicates the origin's full item set for its range; the receiver
+// reconciles its replica store within that range.
+type pushMsg struct {
+	From  ring.Node
+	Range keyspace.Range
+	Items []datastore.Item
+}
+
+// handlePush installs replicas, dropping stale ones within the pushed range.
+func (m *Manager) handlePush(_ simnet.Addr, _ string, payload any) (any, error) {
+	msg, ok := payload.(pushMsg)
+	if !ok {
+		return nil, fmt.Errorf("replication: bad push payload %T", payload)
+	}
+	keep := make(map[keyspace.Key]bool, len(msg.Items))
+	for _, it := range msg.Items {
+		keep[it.Key] = true
+	}
+	m.mu.Lock()
+	for k := range m.replicas {
+		if msg.Range.Contains(k) && !keep[k] {
+			delete(m.replicas, k)
+		}
+	}
+	for _, it := range msg.Items {
+		m.replicas[it.Key] = it
+	}
+	m.mu.Unlock()
+	return true, nil
+}
+
+// pullReq asks a peer for every replica (and own item) it holds in a range;
+// used by orphaned peers reconstructing a range they now own.
+type pullReq struct{ Range keyspace.Range }
+
+func (m *Manager) handlePull(_ simnet.Addr, _ string, payload any) (any, error) {
+	req, ok := payload.(pullReq)
+	if !ok {
+		return nil, fmt.Errorf("replication: bad pull payload %T", payload)
+	}
+	var out []datastore.Item
+	m.mu.Lock()
+	for k, it := range m.replicas {
+		if req.Range.Contains(k) {
+			out = append(out, it)
+		}
+	}
+	m.mu.Unlock()
+	for _, it := range m.ds.LocalItems() {
+		if req.Range.Contains(it.Key) {
+			out = append(out, it)
+		}
+	}
+	return out, nil
+}
+
+// RefreshOnce pushes this peer's items to its first k JOINED successors.
+func (m *Manager) RefreshOnce() {
+	rng, ok := m.ds.Range()
+	if !ok {
+		return
+	}
+	items := m.ds.LocalItems()
+	self := m.ring.Self()
+	succs := m.ring.Successors()
+	if len(succs) > m.cfg.Factor {
+		succs = succs[:m.cfg.Factor]
+	}
+	msg := pushMsg{From: self, Range: rng, Items: items}
+	for _, succ := range succs {
+		ctx, cancel := context.WithTimeout(context.Background(), m.cfg.CallTimeout)
+		_, _ = m.net.Call(ctx, self.Addr, succ.Addr, methodPush, msg)
+		cancel()
+	}
+}
+
+// BeforeLeave implements the replicate-to-additional-hop rule (Section 5.2):
+// before departing, push our own items to one extra successor (the k+1st)
+// and push every replica group we hold one hop further (to our first
+// successor), so no item's replica count drops when we vanish. The naive
+// baseline does nothing and loses items in the Figure 17 scenario.
+func (m *Manager) BeforeLeave(ctx context.Context) error {
+	if m.cfg.Naive {
+		return nil
+	}
+	rng, ok := m.ds.Range()
+	if !ok {
+		return nil
+	}
+	self := m.ring.Self()
+	succs := m.ring.Successors()
+	if len(succs) == 0 {
+		return nil
+	}
+
+	// Own items one extra hop: k+1 successors instead of k.
+	own := pushMsg{From: self, Range: rng, Items: m.ds.LocalItems()}
+	limit := m.cfg.Factor + 1
+	if limit > len(succs) {
+		limit = len(succs)
+	}
+	for _, succ := range succs[:limit] {
+		if _, err := m.net.Call(ctx, self.Addr, succ.Addr, methodPush, own); err != nil {
+			return err
+		}
+	}
+
+	// Held replicas one extra hop: hand them to our first successor, which
+	// sits one hop beyond us in every replica group we belong to. Pushed as
+	// a raw merge (no range reconciliation) so they never displace fresher
+	// state: use a degenerate range that deletes nothing.
+	held := m.HeldReplicas()
+	if len(held) > 0 {
+		msg := pushMsg{From: self, Range: keyspace.NewRange(self.Val, self.Val+1), Items: nil}
+		// A nil-range push would reconcile; instead push items one by one
+		// with a point range around each key so stale deletion never spans
+		// other origins' data.
+		for _, it := range held {
+			msg.Items = []datastore.Item{it}
+			msg.Range = keyspace.NewRange(it.Key-1, it.Key)
+			if _, err := m.net.Call(ctx, self.Addr, succs[0].Addr, methodPush, msg); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Revive implements datastore.Replicator: return held replicas in r, used
+// when this peer absorbs a failed predecessor's range.
+func (m *Manager) Revive(r keyspace.Range) []datastore.Item {
+	var out []datastore.Item
+	m.mu.Lock()
+	for k, it := range m.replicas {
+		if r.Contains(k) {
+			out = append(out, it)
+		}
+	}
+	m.mu.Unlock()
+	return out
+}
+
+// PullRange implements datastore.Replicator: fetch replicas in r from our
+// successors (used by orphaned peers that hold nothing locally).
+func (m *Manager) PullRange(ctx context.Context, r keyspace.Range) []datastore.Item {
+	seen := make(map[keyspace.Key]datastore.Item)
+	self := m.ring.Self()
+	for _, succ := range m.ring.Successors() {
+		resp, err := m.net.Call(ctx, self.Addr, succ.Addr, methodPull, pullReq{Range: r})
+		if err != nil {
+			continue
+		}
+		items, ok := resp.([]datastore.Item)
+		if !ok {
+			continue
+		}
+		for _, it := range items {
+			seen[it.Key] = it
+		}
+	}
+	out := make([]datastore.Item, 0, len(seen))
+	for _, it := range seen {
+		out = append(out, it)
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package ring
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CheckConsistency verifies Definition 5 (Consistent Successor Pointers)
+// against a snapshot of peers: for every live JOINED peer p, the trimmed
+// copy of p's successor list — keeping only pointers to live JOINED peers —
+// must satisfy succ(p) = trimList[0] and succ(trimList[i]) = trimList[i+1];
+// i.e. no live JOINED peer may be "skipped" between consecutive entries.
+//
+// The induced ring's successor function follows from peer values: with the
+// order-preserving identity map, the successor of a live JOINED peer is the
+// next live JOINED peer clockwise by value (values are unique).
+//
+// It returns nil when the snapshot is consistent. The naive insertSucc is
+// expected to fail this check transiently (the Section 4.2.1 scenario);
+// PEPPER must never fail it.
+func CheckConsistency(peers []*Peer) error {
+	type snap struct {
+		node Node
+		list []Entry
+	}
+	// Definition 5 is a property of one instant of the history, so the
+	// snapshot must be atomic: lock every peer (in address order — no other
+	// code path holds two peer locks, so this cannot deadlock), copy, then
+	// release. A torn snapshot would flag transitions that never coexisted.
+	sorted := make([]*Peer, len(peers))
+	copy(sorted, peers)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].addr < sorted[j].addr })
+	for _, p := range sorted {
+		p.mu.Lock()
+	}
+	var live []snap
+	liveSet := make(map[string]Node)
+	for _, p := range sorted {
+		if p.departed || p.state == StateFree || p.state == StateJoining {
+			continue
+		}
+		// INSERTING and LEAVING peers are JOINED members of the induced ring.
+		s := snap{node: p.self, list: make([]Entry, len(p.succ))}
+		copy(s.list, p.succ)
+		live = append(live, s)
+		liveSet[string(s.node.Addr)] = s.node
+	}
+	for _, p := range sorted {
+		p.mu.Unlock()
+	}
+	if len(live) <= 1 {
+		return nil
+	}
+
+	// Induced successor function: next live peer clockwise by value.
+	ordered := make([]Node, 0, len(live))
+	for _, s := range live {
+		ordered = append(ordered, s.node)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Val < ordered[j].Val })
+	succOf := make(map[string]Node, len(ordered))
+	for i, n := range ordered {
+		succOf[string(n.Addr)] = ordered[(i+1)%len(ordered)]
+	}
+
+	for _, s := range live {
+		// trimList: only pointers to live peers in the (globally) JOINED
+		// state (Section 4.3.1.1). The entry's own state label may lag the
+		// target's actual state — the definition trims by the peer's state,
+		// so membership in the live set is what matters. Peers still in the
+		// JOINING state are not in the live set and are exempt.
+		var trim []Node
+		for _, e := range s.list {
+			if n, ok := liveSet[string(e.Node.Addr)]; ok {
+				trim = append(trim, n)
+			}
+		}
+		if len(trim) == 0 {
+			return fmt.Errorf("ring: %s has no live successors", s.node)
+		}
+		if want := succOf[string(s.node.Addr)]; trim[0].Addr != want.Addr {
+			return fmt.Errorf("ring: %s trimList[0] = %s, want succ = %s", s.node, trim[0], want)
+		}
+		for i := 0; i+1 < len(trim); i++ {
+			if want := succOf[string(trim[i].Addr)]; trim[i+1].Addr != want.Addr {
+				return fmt.Errorf("ring: %s trimList[%d→%d] = %s→%s skips %s",
+					s.node, i, i+1, trim[i], trim[i+1], want)
+			}
+		}
+	}
+	return nil
+}
+
+// RingOrder returns the live JOINED peers of the snapshot sorted clockwise
+// by value — the induced ring — for tests and tools.
+func RingOrder(peers []*Peer) []Node {
+	var out []Node
+	for _, p := range peers {
+		p.mu.Lock()
+		if !p.departed && (p.state == StateJoined || p.state == StateInserting || p.state == StateLeaving) {
+			out = append(out, p.self)
+		}
+		p.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Val < out[j].Val })
+	return out
+}

@@ -1,0 +1,398 @@
+// Package router implements the Content Router of the indexing framework.
+//
+// P-Ring's Content Router builds "a hierarchy of rings that can index skewed
+// data distributions" (Section 2.3); the paper explicitly leaves its details
+// out of scope, because query evaluation only needs step (a) of Section 4.2:
+// find the peer responsible for the lower bound of the query range. This
+// router provides that with an order-preserving hierarchy of doubling
+// pointers: level 0 is the ring successor, and level l+1 is (approximately)
+// the peer 2^(l+1) positions ahead, refreshed lazily by asking the level-l
+// pointer for its own level-l pointer. Lookups descend greedily — jump to
+// the farthest pointer that does not overshoot the key, never passing it —
+// giving O(log n) hops on a stable ring.
+//
+// Pointer values can be stale (splits lower values, peers come and go), so
+// ownership is always decided by the target's Data Store range, and a failed
+// or non-progressing hop falls back to the plain ring successor; in the
+// worst case the lookup degrades to the linear scan the paper's framework
+// always supports. LinearFindOwner exposes that baseline directly.
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/datastore"
+	"repro/internal/keyspace"
+	"repro/internal/ring"
+	"repro/internal/simnet"
+)
+
+// RPC method names.
+const (
+	methodNextHop = "rt.nextHop"
+	methodLevelAt = "rt.levelAt"
+	methodSucc    = "rt.succ"
+)
+
+// Config controls router behaviour.
+type Config struct {
+	// MaxLevels bounds the pointer hierarchy (2^MaxLevels positions).
+	MaxLevels int
+	// RefreshPeriod is the pointer maintenance interval.
+	RefreshPeriod time.Duration
+	// CallTimeout bounds individual routing RPCs.
+	CallTimeout time.Duration
+	// MaxHops bounds one lookup before it reports failure.
+	MaxHops int
+	// DisableAutoRefresh turns the maintenance loop off for tests.
+	DisableAutoRefresh bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxLevels <= 0 {
+		c.MaxLevels = 10
+	}
+	if c.RefreshPeriod <= 0 {
+		c.RefreshPeriod = 60 * time.Millisecond
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 50 * time.Millisecond
+	}
+	if c.MaxHops <= 0 {
+		c.MaxHops = 64
+	}
+	return c
+}
+
+// Errors reported by lookups.
+var (
+	ErrNoProgress  = errors.New("router: lookup made no progress")
+	ErrTooManyHops = errors.New("router: exceeded hop budget")
+)
+
+// Router is one peer's Content Router.
+type Router struct {
+	cfg  Config
+	net  *simnet.Network
+	ring *ring.Peer
+	ds   *datastore.Store
+
+	mu     sync.Mutex
+	levels []ring.Node // levels[l] ≈ peer 2^l positions ahead; zero = unset
+
+	lifeMu  sync.Mutex // guards started/stopped transitions vs wg
+	started bool
+	stopped bool
+	stopCh  chan struct{}
+	wg      sync.WaitGroup
+}
+
+// New constructs a Router and registers its handlers on the peer's mux.
+func New(net *simnet.Network, mux *simnet.Mux, rp *ring.Peer, ds *datastore.Store, cfg Config) *Router {
+	r := &Router{
+		cfg:    cfg.withDefaults(),
+		net:    net,
+		ring:   rp,
+		ds:     ds,
+		stopCh: make(chan struct{}),
+	}
+	r.levels = make([]ring.Node, r.cfg.MaxLevels)
+	mux.Handle(methodNextHop, r.handleNextHop)
+	mux.Handle(methodLevelAt, r.handleLevelAt)
+	mux.Handle(methodSucc, r.handleSucc)
+	return r
+}
+
+// handleSucc returns this peer's current ring successor.
+func (r *Router) handleSucc(_ simnet.Addr, _ string, _ any) (any, error) {
+	if succ, ok := r.ring.FirstStabilizedSuccessor(); ok {
+		return succ, nil
+	}
+	if succs := r.ring.Successors(); len(succs) > 0 {
+		return succs[0], nil
+	}
+	return ring.Node{}, nil
+}
+
+// Start launches the pointer maintenance loop (idempotent; no-op after Stop).
+func (r *Router) Start() {
+	if r.cfg.DisableAutoRefresh {
+		return
+	}
+	r.lifeMu.Lock()
+	defer r.lifeMu.Unlock()
+	if r.started || r.stopped {
+		return
+	}
+	r.started = true
+	r.wg.Add(1)
+	go r.refreshLoop()
+}
+
+// Stop halts background work.
+func (r *Router) Stop() {
+	r.lifeMu.Lock()
+	if !r.stopped {
+		r.stopped = true
+		close(r.stopCh)
+	}
+	r.lifeMu.Unlock()
+	r.wg.Wait()
+}
+
+func (r *Router) refreshLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.RefreshPeriod)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stopCh:
+			return
+		case <-t.C:
+			r.RefreshOnce()
+		}
+	}
+}
+
+// RefreshOnce rebuilds the pointer hierarchy bottom-up: level 0 from the
+// ring successor, and level l+1 by asking the level-l pointer for its own
+// level-l pointer (the doubling construction).
+func (r *Router) RefreshOnce() {
+	self := r.ring.Self()
+	succ, ok := r.ring.FirstStabilizedSuccessor()
+	if !ok {
+		if succs := r.ring.Successors(); len(succs) > 0 {
+			succ, ok = succs[0], true
+		}
+	}
+	r.mu.Lock()
+	if ok {
+		r.levels[0] = succ
+	}
+	r.mu.Unlock()
+	if !ok {
+		return
+	}
+	for l := 0; l+1 < r.cfg.MaxLevels; l++ {
+		r.mu.Lock()
+		cur := r.levels[l]
+		r.mu.Unlock()
+		if cur.IsZero() || cur.Addr == self.Addr {
+			// The hierarchy has wrapped the whole ring; clear higher levels.
+			r.mu.Lock()
+			for h := l + 1; h < r.cfg.MaxLevels; h++ {
+				r.levels[h] = ring.Node{}
+			}
+			r.mu.Unlock()
+			return
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), r.cfg.CallTimeout)
+		resp, err := r.net.Call(ctx, self.Addr, cur.Addr, methodLevelAt, l)
+		cancel()
+		if err != nil {
+			return
+		}
+		next, ok := resp.(ring.Node)
+		if !ok || next.IsZero() {
+			r.mu.Lock()
+			r.levels[l+1] = ring.Node{}
+			r.mu.Unlock()
+			continue
+		}
+		// Guard against wrapping past ourselves: a pointer that lands on or
+		// beyond us is useless.
+		if next.Addr == self.Addr {
+			r.mu.Lock()
+			for h := l + 1; h < r.cfg.MaxLevels; h++ {
+				r.levels[h] = ring.Node{}
+			}
+			r.mu.Unlock()
+			return
+		}
+		r.mu.Lock()
+		r.levels[l+1] = next
+		r.mu.Unlock()
+	}
+}
+
+// handleLevelAt returns this peer's pointer at the requested level.
+func (r *Router) handleLevelAt(_ simnet.Addr, _ string, payload any) (any, error) {
+	l, ok := payload.(int)
+	if !ok {
+		return nil, fmt.Errorf("router: bad level payload %T", payload)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if l < 0 || l >= len(r.levels) {
+		return ring.Node{}, nil
+	}
+	return r.levels[l], nil
+}
+
+// nextHopResp is the answer to "where should a lookup for key go next?".
+type nextHopResp struct {
+	Owner bool      // this peer owns the key
+	Next  ring.Node // otherwise: the farthest known peer not passing the key
+	Valid bool
+}
+
+// handleNextHop implements one greedy routing step at this peer.
+func (r *Router) handleNextHop(_ simnet.Addr, _ string, payload any) (any, error) {
+	key, ok := payload.(keyspace.Key)
+	if !ok {
+		return nil, fmt.Errorf("router: bad key payload %T", payload)
+	}
+	if rng, has := r.ds.Range(); has && rng.Contains(key) {
+		return nextHopResp{Owner: true}, nil
+	}
+	self := r.ring.Self()
+	best := ring.Node{}
+	consider := func(n ring.Node) {
+		if n.IsZero() || n.Addr == self.Addr {
+			return
+		}
+		// Candidate must lie strictly between us and the key (clockwise,
+		// never passing the key) and be farther than the current best.
+		if !keyspace.Between(n.Val, self.Val, key) {
+			return
+		}
+		if best.IsZero() || keyspace.Dist(self.Val, n.Val) > keyspace.Dist(self.Val, best.Val) {
+			best = n
+		}
+	}
+	r.mu.Lock()
+	for _, n := range r.levels {
+		consider(n)
+	}
+	r.mu.Unlock()
+	for _, n := range r.ring.Successors() {
+		consider(n)
+	}
+	if best.IsZero() {
+		// Fall back to the plain successor: it either owns the key (its
+		// range starts just past our value) or the lookup continues there.
+		if succ, ok := r.ring.FirstStabilizedSuccessor(); ok {
+			return nextHopResp{Next: succ, Valid: true}, nil
+		}
+		if succs := r.ring.Successors(); len(succs) > 0 {
+			return nextHopResp{Next: succs[0], Valid: true}, nil
+		}
+		return nextHopResp{}, nil
+	}
+	return nextHopResp{Next: best, Valid: true}, nil
+}
+
+// FindOwner locates the peer whose Data Store range contains key, driving
+// the greedy descent from this peer. Ownership is decided by the target's
+// own range, so stale pointer values cost extra hops, never wrong answers.
+// It returns the owner's address and the number of hops taken.
+func (r *Router) FindOwner(ctx context.Context, key keyspace.Key) (simnet.Addr, int, error) {
+	self := r.ring.Self()
+	if rng, has := r.ds.Range(); has && rng.Contains(key) {
+		return self.Addr, 0, nil
+	}
+	cur := self.Addr
+	hops := 0
+	for hops < r.cfg.MaxHops {
+		callCtx, cancel := context.WithTimeout(ctx, r.cfg.CallTimeout)
+		resp, err := r.net.Call(callCtx, self.Addr, cur, methodNextHop, key)
+		cancel()
+		if err != nil {
+			if cur == self.Addr {
+				return "", hops, err
+			}
+			// Restart from ourselves; the ring will have healed around the
+			// failed hop by the time we get back there.
+			cur = self.Addr
+			hops++
+			continue
+		}
+		nh, ok := resp.(nextHopResp)
+		if !ok {
+			return "", hops, fmt.Errorf("router: bad nextHop response %T", resp)
+		}
+		if nh.Owner {
+			return cur, hops, nil
+		}
+		if !nh.Valid {
+			// A peer with no usable successor: transient during a split
+			// hand-off (the splitter has already ceded the upper half but
+			// the new peer is not serving yet). Back off briefly and restart
+			// from ourselves; the hop budget bounds the wait.
+			if cur == self.Addr {
+				return "", hops, ErrNoProgress
+			}
+			time.Sleep(r.cfg.CallTimeout / 4)
+			cur = self.Addr
+			hops++
+			continue
+		}
+		cur = nh.Next.Addr
+		hops++
+		if err := ctx.Err(); err != nil {
+			return "", hops, err
+		}
+	}
+	return "", hops, ErrTooManyHops
+}
+
+// LinearFindOwner walks plain ring successors from this peer until it finds
+// the owner — the baseline the framework always supports, and the fallback
+// behaviour the hierarchy degrades to under heavy staleness.
+func (r *Router) LinearFindOwner(ctx context.Context, key keyspace.Key) (simnet.Addr, int, error) {
+	self := r.ring.Self()
+	cur := self.Addr
+	hops := 0
+	for hops < r.cfg.MaxHops {
+		callCtx, cancel := context.WithTimeout(ctx, r.cfg.CallTimeout)
+		resp, err := r.net.Call(callCtx, self.Addr, cur, methodNextHop, key)
+		cancel()
+		if err != nil {
+			return "", hops, err
+		}
+		nh, ok := resp.(nextHopResp)
+		if !ok {
+			return "", hops, fmt.Errorf("router: bad nextHop response %T", resp)
+		}
+		if nh.Owner {
+			return cur, hops, nil
+		}
+		// Ignore the greedy suggestion; step to the successor. We reuse the
+		// nextHop handler only for the ownership test.
+		succ, err := r.succOf(ctx, cur)
+		if err != nil {
+			return "", hops, err
+		}
+		cur = succ
+		hops++
+	}
+	return "", hops, ErrTooManyHops
+}
+
+// succOf asks the peer at addr for its first usable successor.
+func (r *Router) succOf(ctx context.Context, addr simnet.Addr) (simnet.Addr, error) {
+	if addr == r.ring.Self().Addr {
+		if succ, ok := r.ring.FirstStabilizedSuccessor(); ok {
+			return succ.Addr, nil
+		}
+		if succs := r.ring.Successors(); len(succs) > 0 {
+			return succs[0].Addr, nil
+		}
+		return "", ErrNoProgress
+	}
+	callCtx, cancel := context.WithTimeout(ctx, r.cfg.CallTimeout)
+	defer cancel()
+	resp, err := r.net.Call(callCtx, r.ring.Self().Addr, addr, methodSucc, nil)
+	if err != nil {
+		return "", err
+	}
+	n, ok := resp.(ring.Node)
+	if !ok || n.IsZero() {
+		return "", ErrNoProgress
+	}
+	return n.Addr, nil
+}

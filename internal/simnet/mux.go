@@ -1,0 +1,44 @@
+package simnet
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Mux dispatches incoming requests for one peer to per-method handlers, so
+// the ring, data store and replication manager layers of a peer can share a
+// single network endpoint, mirroring how the indexing framework stacks
+// components on one process (Figure 1 of the paper).
+type Mux struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	fallback Handler
+}
+
+// NewMux returns an empty dispatcher.
+func NewMux() *Mux {
+	return &Mux{handlers: make(map[string]Handler)}
+}
+
+// Handle registers h for the exact method name. Handlers may be replaced; a
+// nil h removes the registration.
+func (m *Mux) Handle(method string, h Handler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h == nil {
+		delete(m.handlers, method)
+		return
+	}
+	m.handlers[method] = h
+}
+
+// Dispatch is the simnet Handler for the peer owning this mux.
+func (m *Mux) Dispatch(from Addr, method string, payload any) (any, error) {
+	m.mu.RLock()
+	h := m.handlers[method]
+	m.mu.RUnlock()
+	if h == nil {
+		return nil, fmt.Errorf("simnet: no handler for method %q", method)
+	}
+	return h(from, method, payload)
+}

@@ -1,0 +1,277 @@
+// Package simnet provides the network substrate: an in-process message
+// network connecting simulated peers.
+//
+// The paper's evaluation ran 30 concurrent peer processes on a LAN cluster
+// (Section 6.1) and assumes "some underlying network protocol that can be
+// used to send messages reliably from one peer to another with known bounded
+// delay" with fail-stop peer failures (Section 2.1). simnet reproduces that
+// contract in one process:
+//
+//   - every peer registers an endpoint with a request handler;
+//   - Call performs a synchronous request/response with a configurable,
+//     uniformly sampled propagation delay in each direction;
+//   - Send performs an asynchronous one-way message;
+//   - Kill fail-stops a peer: its handler stops being invoked, and calls to
+//     it time out after the configured dead-call delay, exactly how a live
+//     peer observes a failed one ("no response" in Algorithm 14).
+//
+// All delays scale with Config values, so experiments can run the paper's
+// second-scale parameters at millisecond scale (see EXPERIMENTS.md).
+package simnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Addr identifies a peer on the network (the paper's "physical id").
+type Addr string
+
+// Handler processes one incoming request at a peer and returns a response.
+// Handlers run concurrently; implementations must be safe for concurrent use.
+type Handler func(from Addr, method string, payload any) (any, error)
+
+// Errors returned by network operations.
+var (
+	ErrUnreachable = errors.New("simnet: peer unreachable")
+	ErrSenderDead  = errors.New("simnet: sending peer is not alive")
+	ErrDuplicate   = errors.New("simnet: address already registered")
+)
+
+// Config controls network timing.
+type Config struct {
+	// MinLatency and MaxLatency bound the uniformly sampled one-way
+	// propagation delay. Zero values mean instantaneous delivery.
+	MinLatency, MaxLatency time.Duration
+	// DeadCallDelay is how long a Call to a failed or unknown peer blocks
+	// before reporting ErrUnreachable, modelling an RPC timeout.
+	DeadCallDelay time.Duration
+	// Seed initializes the latency sampler; zero means a fixed default.
+	Seed int64
+}
+
+// DefaultConfig returns timing suited to millisecond-scale experiments.
+func DefaultConfig() Config {
+	return Config{
+		MinLatency:    200 * time.Microsecond,
+		MaxLatency:    800 * time.Microsecond,
+		DeadCallDelay: 5 * time.Millisecond,
+		Seed:          1,
+	}
+}
+
+// Stats aggregates network traffic counters.
+type Stats struct {
+	Calls    uint64 // synchronous request/responses attempted
+	Sends    uint64 // one-way messages attempted
+	Failures uint64 // calls/sends that could not be delivered
+	ByMethod map[string]uint64
+}
+
+// Network is an in-process message network. The zero value is not usable;
+// construct with New.
+type Network struct {
+	cfg Config
+
+	mu    sync.RWMutex
+	peers map[Addr]*endpoint
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	calls    atomic.Uint64
+	sends    atomic.Uint64
+	failures atomic.Uint64
+
+	methodMu sync.Mutex
+	byMethod map[string]uint64
+}
+
+type endpoint struct {
+	handler Handler
+	alive   atomic.Bool
+}
+
+// New constructs an empty network.
+func New(cfg Config) *Network {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Network{
+		cfg:      cfg,
+		peers:    make(map[Addr]*endpoint),
+		rng:      rand.New(rand.NewSource(seed)),
+		byMethod: make(map[string]uint64),
+	}
+}
+
+// Register attaches a peer to the network. Re-registering an address that was
+// previously killed revives it with the new handler (a free peer re-entering
+// service); re-registering a live address is an error.
+func (n *Network) Register(addr Addr, h Handler) error {
+	if h == nil {
+		return fmt.Errorf("simnet: nil handler for %s", addr)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep, ok := n.peers[addr]; ok && ep.alive.Load() {
+		return fmt.Errorf("%w: %s", ErrDuplicate, addr)
+	}
+	ep := &endpoint{handler: h}
+	ep.alive.Store(true)
+	n.peers[addr] = ep
+	return nil
+}
+
+// Kill fail-stops a peer. Subsequent calls to it block for DeadCallDelay and
+// fail; it never observes further traffic. Killing an unknown or already
+// dead peer is a no-op.
+func (n *Network) Kill(addr Addr) {
+	n.mu.RLock()
+	ep := n.peers[addr]
+	n.mu.RUnlock()
+	if ep != nil {
+		ep.alive.Store(false)
+	}
+}
+
+// Alive reports whether the peer is registered and not failed.
+func (n *Network) Alive(addr Addr) bool {
+	n.mu.RLock()
+	ep := n.peers[addr]
+	n.mu.RUnlock()
+	return ep != nil && ep.alive.Load()
+}
+
+// Stats returns a snapshot of traffic counters.
+func (n *Network) Stats() Stats {
+	n.methodMu.Lock()
+	by := make(map[string]uint64, len(n.byMethod))
+	for k, v := range n.byMethod {
+		by[k] = v
+	}
+	n.methodMu.Unlock()
+	return Stats{
+		Calls:    n.calls.Load(),
+		Sends:    n.sends.Load(),
+		Failures: n.failures.Load(),
+		ByMethod: by,
+	}
+}
+
+func (n *Network) countMethod(method string) {
+	n.methodMu.Lock()
+	n.byMethod[method]++
+	n.methodMu.Unlock()
+}
+
+func (n *Network) latency() time.Duration {
+	if n.cfg.MaxLatency <= 0 {
+		return 0
+	}
+	span := n.cfg.MaxLatency - n.cfg.MinLatency
+	if span <= 0 {
+		return n.cfg.MinLatency
+	}
+	n.rngMu.Lock()
+	d := n.cfg.MinLatency + time.Duration(n.rng.Int63n(int64(span)))
+	n.rngMu.Unlock()
+	return d
+}
+
+// sleep waits for d or until ctx is done, returning ctx.Err in the latter case.
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// lookup returns the endpoint if it is alive.
+func (n *Network) lookup(addr Addr) (*endpoint, bool) {
+	n.mu.RLock()
+	ep := n.peers[addr]
+	n.mu.RUnlock()
+	if ep == nil || !ep.alive.Load() {
+		return nil, false
+	}
+	return ep, true
+}
+
+// Call performs a synchronous request/response from one peer to another.
+// The sending peer must be alive (a failed peer sends nothing). A call to a
+// dead destination blocks for DeadCallDelay (modelling a timeout) and then
+// reports ErrUnreachable. If the destination dies while processing, the
+// response is lost and Call reports ErrUnreachable.
+func (n *Network) Call(ctx context.Context, from, to Addr, method string, payload any) (any, error) {
+	n.calls.Add(1)
+	n.countMethod(method)
+	if from != "" && !n.Alive(from) {
+		n.failures.Add(1)
+		return nil, fmt.Errorf("%w: %s", ErrSenderDead, from)
+	}
+	if err := sleep(ctx, n.latency()); err != nil {
+		n.failures.Add(1)
+		return nil, err
+	}
+	ep, ok := n.lookup(to)
+	if !ok {
+		n.failures.Add(1)
+		if err := sleep(ctx, n.cfg.DeadCallDelay); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: %s", ErrUnreachable, to)
+	}
+	resp, err := ep.handler(from, method, payload)
+	if !ep.alive.Load() {
+		// Destination died during processing; the response never made it out.
+		n.failures.Add(1)
+		if serr := sleep(ctx, n.cfg.DeadCallDelay); serr != nil {
+			return nil, serr
+		}
+		return nil, fmt.Errorf("%w: %s (died mid-call)", ErrUnreachable, to)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if lerr := sleep(ctx, n.latency()); lerr != nil {
+		return nil, lerr
+	}
+	return resp, nil
+}
+
+// Send delivers a one-way message asynchronously: it returns immediately and
+// the handler runs after the sampled propagation delay. Delivery failures are
+// silent, as on a real network.
+func (n *Network) Send(from, to Addr, method string, payload any) {
+	n.sends.Add(1)
+	n.countMethod(method)
+	if from != "" && !n.Alive(from) {
+		n.failures.Add(1)
+		return
+	}
+	go func() {
+		if d := n.latency(); d > 0 {
+			time.Sleep(d)
+		}
+		ep, ok := n.lookup(to)
+		if !ok {
+			n.failures.Add(1)
+			return
+		}
+		_, _ = ep.handler(from, method, payload)
+	}()
+}

@@ -1,0 +1,183 @@
+// Package workload generates the load patterns of the paper's evaluation
+// (Section 6.1): peers added at a fixed rate, items inserted at a fixed
+// rate, peers killed at a configurable failure rate (failure mode,
+// Section 6.3.4), plus key and query-span generators — uniform, sequential
+// and Zipf-skewed keys (range indices exist precisely because hashing cannot
+// serve skewed range workloads, Section 2.3).
+package workload
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/keyspace"
+)
+
+// KeyGen produces search key values.
+type KeyGen interface {
+	Next() keyspace.Key
+}
+
+// UniformKeys draws keys uniformly from [Lo, Hi].
+type UniformKeys struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+	lo  uint64
+	hi  uint64
+}
+
+// NewUniformKeys returns a uniform generator over [lo, hi].
+func NewUniformKeys(seed int64, lo, hi uint64) *UniformKeys {
+	return &UniformKeys{rng: rand.New(rand.NewSource(seed)), lo: lo, hi: hi}
+}
+
+// Next implements KeyGen.
+func (u *UniformKeys) Next() keyspace.Key {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return keyspace.Key(u.lo + u.rng.Uint64()%(u.hi-u.lo+1))
+}
+
+// SequentialKeys produces lo, lo+step, lo+2·step, … — the append-heavy
+// pattern (e.g. timestamps) that makes order-preserving indices skew.
+type SequentialKeys struct {
+	mu   sync.Mutex
+	next uint64
+	step uint64
+}
+
+// NewSequentialKeys returns a sequential generator.
+func NewSequentialKeys(start, step uint64) *SequentialKeys {
+	return &SequentialKeys{next: start, step: step}
+}
+
+// Next implements KeyGen.
+func (s *SequentialKeys) Next() keyspace.Key {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := s.next
+	s.next += s.step
+	return keyspace.Key(k)
+}
+
+// ZipfKeys draws keys with Zipf-skewed popularity over buckets of the key
+// space, modelling the skewed insertions that force splits and merges.
+type ZipfKeys struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	zipf    *rand.Zipf
+	lo      uint64
+	bucket  uint64
+	buckets uint64
+}
+
+// NewZipfKeys returns a Zipf generator: keys fall into `buckets` equal-width
+// buckets over [lo, hi], with bucket popularity following Zipf(s).
+func NewZipfKeys(seed int64, lo, hi uint64, buckets uint64, s float64) *ZipfKeys {
+	if s <= 1 {
+		s = 1.1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &ZipfKeys{
+		rng:     rng,
+		zipf:    rand.NewZipf(rng, s, 1, buckets-1),
+		lo:      lo,
+		bucket:  (hi - lo + 1) / buckets,
+		buckets: buckets,
+	}
+}
+
+// Next implements KeyGen.
+func (z *ZipfKeys) Next() keyspace.Key {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	b := z.zipf.Uint64()
+	off := z.rng.Uint64() % z.bucket
+	return keyspace.Key(z.lo + b*z.bucket + off)
+}
+
+// SpanGen produces query intervals of a controlled width.
+type SpanGen struct {
+	mu   sync.Mutex
+	rng  *rand.Rand
+	lo   uint64
+	hi   uint64
+	span uint64
+}
+
+// NewSpanGen returns a generator of closed intervals of the given span whose
+// lower bounds are uniform over [lo, hi-span].
+func NewSpanGen(seed int64, lo, hi, span uint64) *SpanGen {
+	return &SpanGen{rng: rand.New(rand.NewSource(seed)), lo: lo, hi: hi, span: span}
+}
+
+// Next returns the next query interval.
+func (g *SpanGen) Next() keyspace.Interval {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	width := g.hi - g.lo - g.span
+	lb := g.lo
+	if width > 0 {
+		lb += g.rng.Uint64() % width
+	}
+	return keyspace.ClosedInterval(keyspace.Key(lb), keyspace.Key(lb+g.span))
+}
+
+// Pacer emits ticks at the paper's workload rates under time scaling: a rate
+// expressed in events per paper-second becomes events per scaled interval.
+type Pacer struct {
+	interval time.Duration
+}
+
+// NewPacer returns a pacer firing `perPaperSecond` times per paper second,
+// where one paper second lasts `scale` of real time.
+func NewPacer(perPaperSecond float64, scale time.Duration) *Pacer {
+	if perPaperSecond <= 0 {
+		return &Pacer{interval: time.Duration(math.MaxInt64)}
+	}
+	return &Pacer{interval: time.Duration(float64(scale) / perPaperSecond)}
+}
+
+// Interval returns the real-time interval between events.
+func (p *Pacer) Interval() time.Duration { return p.interval }
+
+// Run invokes fn on every tick until ctx is done or fn returns false.
+func (p *Pacer) Run(ctx context.Context, fn func() bool) {
+	if p.interval == time.Duration(math.MaxInt64) {
+		<-ctx.Done()
+		return
+	}
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if !fn() {
+				return
+			}
+		}
+	}
+}
+
+// FailureInjector kills one target per tick at the configured rate.
+type FailureInjector struct {
+	rng *rand.Rand
+	mu  sync.Mutex
+}
+
+// NewFailureInjector returns an injector with its own randomness.
+func NewFailureInjector(seed int64) *FailureInjector {
+	return &FailureInjector{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Pick selects an index in [0, n).
+func (f *FailureInjector) Pick(n int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rng.Intn(n)
+}

@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/keyspace"
+)
+
+func TestUniformKeysInRange(t *testing.T) {
+	g := NewUniformKeys(1, 100, 200)
+	for i := 0; i < 1000; i++ {
+		k := g.Next()
+		if k < 100 || k > 200 {
+			t.Fatalf("key %d out of [100,200]", k)
+		}
+	}
+}
+
+func TestSequentialKeys(t *testing.T) {
+	g := NewSequentialKeys(10, 5)
+	for i := 0; i < 10; i++ {
+		want := keyspace.Key(10 + i*5)
+		if got := g.Next(); got != want {
+			t.Fatalf("step %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestZipfKeysSkewed(t *testing.T) {
+	g := NewZipfKeys(1, 0, 1_000_000, 100, 1.5)
+	counts := make(map[uint64]int)
+	for i := 0; i < 5000; i++ {
+		k := uint64(g.Next())
+		if k >= 1_000_001 {
+			t.Fatalf("key %d out of range", k)
+		}
+		counts[k/10_000]++
+	}
+	// The hottest bucket must dominate a uniform share by a wide margin.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 5000/100*5 {
+		t.Errorf("hottest bucket has %d of 5000 samples; distribution not skewed", max)
+	}
+}
+
+func TestSpanGen(t *testing.T) {
+	g := NewSpanGen(1, 0, 10_000, 500)
+	for i := 0; i < 200; i++ {
+		iv := g.Next()
+		if !iv.Valid() {
+			t.Fatalf("invalid interval %v", iv)
+		}
+		if uint64(iv.Ub-iv.Lb) != 500 {
+			t.Fatalf("span = %d, want 500", iv.Ub-iv.Lb)
+		}
+		if uint64(iv.Ub) > 10_500 {
+			t.Fatalf("interval %v exceeds domain", iv)
+		}
+	}
+}
+
+func TestPacerRate(t *testing.T) {
+	// 2 events per paper second at 10ms scale = one event every 5ms.
+	p := NewPacer(2, 10*time.Millisecond)
+	if p.Interval() != 5*time.Millisecond {
+		t.Fatalf("interval = %v, want 5ms", p.Interval())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	n := 0
+	p.Run(ctx, func() bool {
+		n++
+		return n < 100
+	})
+	if n < 5 || n > 20 {
+		t.Errorf("ticks in 60ms = %d, want ~12", n)
+	}
+}
+
+func TestPacerZeroRateBlocks(t *testing.T) {
+	p := NewPacer(0, time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	fired := false
+	p.Run(ctx, func() bool { fired = true; return true })
+	if fired {
+		t.Error("zero-rate pacer must never fire")
+	}
+}
+
+func TestFailureInjectorBounds(t *testing.T) {
+	f := NewFailureInjector(1)
+	for i := 0; i < 100; i++ {
+		if idx := f.Pick(7); idx < 0 || idx >= 7 {
+			t.Fatalf("Pick out of bounds: %d", idx)
+		}
+	}
+}
