@@ -1,11 +1,23 @@
-// Command pepperd runs an interactive in-process P2P range index cluster —
-// the paper's system end to end — and executes a scripted demonstration:
-// bootstrap, load, range queries, churn, a failure, and the correctness
-// audit of the whole run against Definition 4.
+// Command pepperd runs the paper's system end to end, in one of two modes.
 //
-// Usage:
+// In-process demo (default): an in-process cluster over the simulated
+// network executes a scripted demonstration — bootstrap, load, range
+// queries, churn, a failure, and the correctness audit of the whole run
+// against Definition 4:
 //
 //	pepperd [-peers n] [-items n] [-naive] [-seed n] [-v]
+//
+// Multi-process mode (-listen): this process hosts ONE peer over real TCP,
+// so a cluster spans OS processes (and machines). The first process
+// bootstraps the ring; every further process announces itself to it as a
+// free peer and is drawn into the ring by a Data Store split once the
+// bootstrap overflows:
+//
+//	pepperd -listen 127.0.0.1:7001 -items 40           # bootstrap + load
+//	pepperd -listen 127.0.0.1:7002 -join 127.0.0.1:7001 # free peer
+//
+// -listen must be the dialable address other peers reach this process at
+// (it is the peer's identity on the ring).
 package main
 
 import (
@@ -30,7 +42,18 @@ func main() {
 	naive := flag.Bool("naive", false, "use the naive baselines (no correctness/availability guarantees)")
 	seed := flag.Int64("seed", 1, "random seed")
 	verbose := flag.Bool("v", false, "print per-peer state")
+	listen := flag.String("listen", "", "serve one peer over TCP at this dialable host:port (multi-process mode)")
+	join := flag.String("join", "", "announce to this bootstrap peer as a free peer (requires -listen)")
 	flag.Parse()
+
+	if *listen != "" {
+		serveMain(*listen, *join, *items, *seed)
+		return
+	}
+	if *join != "" {
+		fmt.Fprintln(os.Stderr, "pepperd: -join requires -listen")
+		os.Exit(1)
+	}
 
 	cfg := core.Config{
 		Net: simnet.Config{

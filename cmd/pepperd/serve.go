@@ -1,0 +1,133 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datastore"
+	"repro/internal/keyspace"
+	"repro/internal/replication"
+	"repro/internal/ring"
+	"repro/internal/router"
+	"repro/internal/transport"
+	"repro/internal/transport/tcp"
+)
+
+// tcpPeerConfig tunes the component stack for real-network latencies (the
+// paper's second-scale parameters compressed to LAN scale).
+func tcpPeerConfig(seed int64) core.Config {
+	return core.Config{
+		Ring: ring.Config{
+			SuccListLen: 4,
+			StabPeriod:  250 * time.Millisecond,
+			PingPeriod:  250 * time.Millisecond,
+			CallTimeout: 2 * time.Second,
+			AckTimeout:  20 * time.Second,
+		},
+		Store: datastore.Config{
+			StorageFactor:      5,
+			CheckPeriod:        300 * time.Millisecond,
+			CallTimeout:        2 * time.Second,
+			MaintenanceTimeout: 20 * time.Second,
+		},
+		Replication: replication.Config{
+			Factor:        3,
+			RefreshPeriod: 500 * time.Millisecond,
+			CallTimeout:   2 * time.Second,
+		},
+		Router: router.Config{
+			RefreshPeriod: 500 * time.Millisecond,
+			CallTimeout:   2 * time.Second,
+			MaxHops:       64,
+		},
+		QueryAttemptTimeout: 10 * time.Second,
+		MaxQueryAttempts:    20,
+		Seed:                seed,
+	}
+}
+
+// serveMain runs one peer as its own OS process over TCP: the -listen mode.
+func serveMain(listen, join string, items int, seed int64) {
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "pepperd: %v\n", err)
+		os.Exit(1)
+	}
+
+	tr := tcp.New(tcp.Config{DialTimeout: 2 * time.Second, CallTimeout: 10 * time.Second})
+	defer tr.Close()
+	node, err := core.NewStandalone(tr, transport.Addr(listen), tcpPeerConfig(seed))
+	if err != nil {
+		fail(err)
+	}
+	defer node.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	if join == "" {
+		if err := node.Bootstrap(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("pepperd: bootstrapped ring at %s (owns the full key space)\n", listen)
+		if items > 0 {
+			go loadItems(ctx, node, items, fail)
+		}
+	} else {
+		if err := node.JoinAsFree(ctx, transport.Addr(join)); err != nil {
+			fail(err)
+		}
+		fmt.Printf("pepperd: %s announced as free peer to %s; waiting to be drawn into the ring\n", listen, join)
+	}
+
+	ticker := time.NewTicker(2 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-sigCh:
+			fmt.Println("pepperd: shutting down")
+			return
+		case <-ticker.C:
+			printStatus(node)
+		}
+	}
+}
+
+// loadItems feeds the index from this process, forcing splits that pull
+// announced free peers into the ring.
+func loadItems(ctx context.Context, node *core.Standalone, items int, fail func(error)) {
+	for i := 1; i <= items; i++ {
+		it := datastore.Item{Key: keyspace.Key(i * 1000), Payload: fmt.Sprintf("object-%d", i)}
+		if err := node.Peer.InsertItem(ctx, it); err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			fail(fmt.Errorf("insert %d: %w", i, err))
+		}
+	}
+	fmt.Printf("pepperd: loaded %d items\n", items)
+	iv := keyspace.ClosedInterval(0, keyspace.Key((items+1)*1000))
+	res, stats, err := node.Peer.RangeQueryStats(ctx, iv)
+	if err != nil {
+		fmt.Printf("pepperd: full-range query failed: %v\n", err)
+		return
+	}
+	fmt.Printf("pepperd: full-range query -> %d items in %v over %d hops\n", len(res), stats.ScanTime, stats.Hops)
+}
+
+func printStatus(node *core.Standalone) {
+	p := node.Peer
+	state := p.Ring.State()
+	if rng, ok := p.Store.Range(); ok {
+		fmt.Printf("pepperd: state=%s val=%d range=%s items=%d replicas=%d free-pool=%d\n",
+			state, p.Ring.Self().Val, rng, p.Store.ItemCount(), p.Rep.ReplicaCount(), node.Pool.Len())
+	} else {
+		fmt.Printf("pepperd: state=%s (no range assigned yet) free-pool=%d\n", state, node.Pool.Len())
+	}
+}

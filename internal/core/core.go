@@ -3,17 +3,22 @@
 // correctness and availability protocols embedded in the Fault Tolerant Ring
 // and Data Store (Sections 4 and 5).
 //
-// A Cluster runs every peer in-process — each peer is a stack of ring, Data
-// Store, Replication Manager and Content Router components sharing one
-// network endpoint, with its own goroutines for stabilization, failure
-// detection, storage balancing and replica refresh — over the simulated
-// network substrate. The Cluster owns the free-peer pool of the P-Ring Data
-// Store: splits draw peers from it, merges return them to it.
+// A peer is a stack of ring, Data Store, Replication Manager and Content
+// Router components sharing one transport endpoint, with its own goroutines
+// for stabilization, failure detection, storage balancing and replica
+// refresh. The stack is assembled against the transport.Transport interface,
+// so the same protocol code runs over the simulated in-process network (a
+// Cluster, for deterministic tests and experiments) and over real TCP (a
+// Standalone peer in its own OS process; see cmd/pepperd -listen).
+//
+// A Cluster runs every peer in-process over simnet and owns the free-peer
+// pool of the P-Ring Data Store: splits draw peers from it, merges return
+// them to it.
 //
 // The P2P Index API of the paper (insertItem, deleteItem, findItems as a
-// range query) is exposed on the Cluster; queries run the scanRange protocol
-// with abort/retry and are journaled for correctness checking against
-// Definition 4.
+// range query) is exposed on both Peer and Cluster; queries run the
+// scanRange protocol with abort/retry and are journaled for correctness
+// checking against Definition 4.
 package core
 
 import (
@@ -21,6 +26,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/datastore"
@@ -30,6 +36,7 @@ import (
 	"repro/internal/ring"
 	"repro/internal/router"
 	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // Config aggregates the component configurations.
@@ -86,15 +93,20 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Peer is one fully assembled peer stack.
+// Peer is one fully assembled peer stack, bound to a transport endpoint.
 type Peer struct {
-	Addr   simnet.Addr
-	Mux    *simnet.Mux
+	Addr   transport.Addr
+	Mux    *transport.Mux
 	Ring   *ring.Peer
 	Store  *datastore.Store
 	Rep    *replication.Manager
 	Router *router.Router
 
+	tr  transport.Transport
+	log *history.Log
+	cfg Config
+
+	querySeq   atomic.Uint64
 	collMu     sync.Mutex
 	collectors map[uint64]*collector
 }
@@ -106,43 +118,6 @@ var (
 	ErrNoFreePeer  = errors.New("core: free-peer pool is empty")
 )
 
-// Cluster is the whole P2P system: all peers plus the free pool.
-type Cluster struct {
-	cfg Config
-	net *simnet.Network
-	log *history.Log
-
-	mu      sync.Mutex
-	peers   map[simnet.Addr]*Peer
-	free    []simnet.Addr
-	nextID  int
-	queryID uint64
-	// Counters carried over from departed (merged-away) peers, whose stacks
-	// leave the peer map.
-	departedStats Stats
-
-	rngMu sync.Mutex
-	rng   *rand.Rand
-}
-
-// NewCluster creates an empty cluster.
-func NewCluster(cfg Config) *Cluster {
-	cfg = cfg.withDefaults()
-	return &Cluster{
-		cfg:   cfg,
-		net:   simnet.New(cfg.Net),
-		log:   history.NewLog(),
-		peers: make(map[simnet.Addr]*Peer),
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
-	}
-}
-
-// Net exposes the network for failure injection and stats.
-func (c *Cluster) Net() *simnet.Network { return c.net }
-
-// Log exposes the correctness journal.
-func (c *Cluster) Log() *history.Log { return c.log }
-
 // handlerRangeQuery is the scan handler id used by range queries.
 const handlerRangeQuery = "core.rangeQuery"
 
@@ -152,7 +127,7 @@ const methodQueryResult = "idx.queryResult"
 // queryParam travels with a scan; it tells every visited peer where to send
 // its piece of the result.
 type queryParam struct {
-	Origin  simnet.Addr
+	Origin  transport.Addr
 	QueryID uint64
 	Attempt int
 }
@@ -164,15 +139,28 @@ type queryResultMsg struct {
 	Items   []datastore.Item
 }
 
-// newPeer constructs and registers a full peer stack in the FREE state.
-func (c *Cluster) newPeer() (*Peer, error) {
-	c.mu.Lock()
-	c.nextID++
-	addr := simnet.Addr(fmt.Sprintf("peer-%d", c.nextID))
-	c.mu.Unlock()
+func init() {
+	transport.RegisterMessage(queryParam{})
+	transport.RegisterMessage(queryResultMsg{})
+	transport.RegisterMessage(announceMsg{})
+}
 
-	mux := simnet.NewMux()
-	p := &Peer{Addr: addr, Mux: mux, collectors: make(map[uint64]*collector)}
+// assemblePeer constructs a full peer stack in the FREE state and wires the
+// cross-layer callbacks. It is the single assembly path shared by in-process
+// Clusters and standalone OS processes. The caller must finish installing
+// any extra handlers on p.Mux and then activate the endpoint with
+// p.Activate — registering only after every handler is in place closes the
+// window where a remote request could arrive at a half-assembled peer.
+func assemblePeer(tr transport.Transport, addr transport.Addr, cfg Config, log *history.Log, pool datastore.FreePool) (*Peer, error) {
+	mux := transport.NewMux()
+	p := &Peer{
+		Addr:       addr,
+		Mux:        mux,
+		tr:         tr,
+		log:        log,
+		cfg:        cfg,
+		collectors: make(map[uint64]*collector),
+	}
 
 	// The ring callbacks close over the peer struct; the components are
 	// created right after and the callbacks only fire once the peer joins.
@@ -188,11 +176,11 @@ func (c *Cluster) newPeer() (*Peer, error) {
 		},
 		OnNewSuccessor: func(ring.Node) { p.Rep.ItemsChanged() },
 	}
-	p.Ring = ring.NewPeer(c.net, mux, c.cfg.Ring, ring.Node{Addr: addr}, cb)
-	p.Store = datastore.New(c.net, mux, p.Ring, c.log, c.cfg.Store)
-	p.Rep = replication.New(c.net, mux, p.Ring, p.Store, c.cfg.Replication)
-	p.Router = router.New(c.net, mux, p.Ring, p.Store, c.cfg.Router)
-	p.Store.SetDeps(p.Rep, (*freePool)(c))
+	p.Ring = ring.NewPeer(tr, mux, cfg.Ring, ring.Node{Addr: addr}, cb)
+	p.Store = datastore.New(tr, mux, p.Ring, log, cfg.Store)
+	p.Rep = replication.New(tr, mux, p.Ring, p.Store, cfg.Replication)
+	p.Router = router.New(tr, mux, p.Ring, p.Store, cfg.Router)
+	p.Store.SetDeps(p.Rep, pool)
 
 	// Range query handler: send this peer's piece of the scan to the origin.
 	p.Store.RegisterHandler(handlerRangeQuery, func(items []datastore.Item, piece keyspace.Interval, param any) any {
@@ -200,13 +188,13 @@ func (c *Cluster) newPeer() (*Peer, error) {
 		if !ok {
 			return param
 		}
-		c.net.Send(addr, qp.Origin, methodQueryResult, queryResultMsg{
+		tr.Send(addr, qp.Origin, methodQueryResult, queryResultMsg{
 			QueryID: qp.QueryID, Attempt: qp.Attempt, Piece: piece, Items: items,
 		})
 		return param
 	})
 	// Result collection and abort notification at the origin.
-	mux.Handle(methodQueryResult, func(_ simnet.Addr, _ string, payload any) (any, error) {
+	mux.Handle(methodQueryResult, func(_ transport.Addr, _ string, payload any) (any, error) {
 		msg, ok := payload.(queryResultMsg)
 		if !ok {
 			return nil, fmt.Errorf("core: bad query result %T", payload)
@@ -220,7 +208,72 @@ func (c *Cluster) newPeer() (*Peer, error) {
 		}
 	})
 
-	if err := c.net.Register(addr, mux.Dispatch); err != nil {
+	return p, nil
+}
+
+// Activate registers the peer's endpoint on the transport, making it
+// reachable. Call it once, after all mux handlers are installed.
+func (p *Peer) Activate() error {
+	return p.tr.Register(p.Addr, p.Mux.Dispatch)
+}
+
+// Stop halts the peer stack's background work.
+func (p *Peer) Stop() {
+	p.Ring.Stop()
+	p.Store.Stop()
+	p.Rep.Stop()
+	p.Router.Stop()
+}
+
+// Cluster is the whole P2P system run in-process: all peers plus the free
+// pool, over the simulated network.
+type Cluster struct {
+	cfg Config
+	net *simnet.Network
+	log *history.Log
+
+	mu     sync.Mutex
+	peers  map[transport.Addr]*Peer
+	free   []transport.Addr
+	nextID int
+	// Counters carried over from departed (merged-away) peers, whose stacks
+	// leave the peer map.
+	departedStats Stats
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// NewCluster creates an empty cluster.
+func NewCluster(cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	return &Cluster{
+		cfg:   cfg,
+		net:   simnet.New(cfg.Net),
+		log:   history.NewLog(),
+		peers: make(map[transport.Addr]*Peer),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Net exposes the network for failure injection and stats.
+func (c *Cluster) Net() *simnet.Network { return c.net }
+
+// Log exposes the correctness journal.
+func (c *Cluster) Log() *history.Log { return c.log }
+
+// newPeer constructs and registers a full peer stack in the FREE state.
+func (c *Cluster) newPeer() (*Peer, error) {
+	c.mu.Lock()
+	c.nextID++
+	addr := transport.Addr(fmt.Sprintf("peer-%d", c.nextID))
+	c.mu.Unlock()
+
+	p, err := assemblePeer(c.net, addr, c.cfg, c.log, (*freePool)(c))
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Activate(); err != nil {
 		return nil, err
 	}
 	c.mu.Lock()
@@ -273,7 +326,7 @@ func (c *Cluster) AddFreePeers(n int) error {
 type freePool Cluster
 
 // Acquire pops a free peer.
-func (fp *freePool) Acquire() (simnet.Addr, bool) {
+func (fp *freePool) Acquire() (transport.Addr, bool) {
 	c := (*Cluster)(fp)
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -288,7 +341,7 @@ func (fp *freePool) Acquire() (simnet.Addr, bool) {
 // Release recycles a merged-away peer: the departed stack is defunct (the
 // paper's model forbids re-entering with the same identifier), so a fresh
 // peer replaces it in the pool.
-func (fp *freePool) Release(addr simnet.Addr) {
+func (fp *freePool) Release(addr transport.Addr) {
 	c := (*Cluster)(fp)
 	c.mu.Lock()
 	old := c.peers[addr]
@@ -301,12 +354,7 @@ func (fp *freePool) Release(addr simnet.Addr) {
 	}
 	c.mu.Unlock()
 	if old != nil {
-		go func() {
-			old.Ring.Stop()
-			old.Store.Stop()
-			old.Rep.Stop()
-			old.Router.Stop()
-		}()
+		go old.Stop()
 	}
 	_, _ = c.AddFreePeer()
 }
@@ -365,29 +413,21 @@ func (c *Cluster) CheckRing() error { return ring.CheckConsistency(c.RingPeers()
 // unconditionally: a peer killed mid-merge has already dropped its range
 // while the journal may still attribute in-flight items to it, and those
 // must read as dead (Failed is a no-op for peers holding nothing).
-func (c *Cluster) KillPeer(addr simnet.Addr) {
+func (c *Cluster) KillPeer(addr transport.Addr) {
 	c.mu.Lock()
 	p := c.peers[addr]
 	c.mu.Unlock()
 	c.net.Kill(addr)
 	c.log.Failed(string(addr))
 	if p != nil {
-		go func() {
-			p.Ring.Stop()
-			p.Store.Stop()
-			p.Rep.Stop()
-			p.Router.Stop()
-		}()
+		go p.Stop()
 	}
 }
 
 // Shutdown stops every peer's background work.
 func (c *Cluster) Shutdown() {
 	for _, p := range c.Peers() {
-		p.Ring.Stop()
-		p.Store.Stop()
-		p.Rep.Stop()
-		p.Router.Stop()
+		p.Stop()
 	}
 }
 

@@ -109,6 +109,23 @@ func TestClusterStats(t *testing.T) {
 
 // Soak: sustained mixed workload with periodic audits — queries, churn and
 // failures interleaved for several seconds of wall time.
+//
+// This test used to flake with a Definition 4 "item live throughout the
+// query is missing from the result" violation. The root cause was not a
+// protocol bug but two journal-ordering races in the test harness:
+//
+//  1. Data Store mutations were journaled after releasing the store mutex,
+//     while scan piece snapshots are taken under it. A delete could be
+//     physically applied, observed (correctly) as absent by a scan that
+//     then completed, and only afterwards journaled — sequencing the
+//     removal after the query's end, so the checker believed the item was
+//     live throughout the query. Fixed by journaling inside the store's
+//     critical section (datastore.go/maintain.go).
+//  2. A handler mid-flight on a peer being killed could journal its Added
+//     after the killer journaled PeerFailed, leaving a phantom item held by
+//     a dead peer "live" forever. Fixed in history.BuildLiveness: a failed
+//     peer is failed permanently (fail-stop, identifiers never reused), so
+//     later events attributing items to it are void.
 func TestSoakMixedWorkload(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test skipped in -short mode")

@@ -11,50 +11,75 @@ import (
 	"repro/internal/datastore"
 	"repro/internal/history"
 	"repro/internal/keyspace"
-	"repro/internal/simnet"
 )
+
+// The P2P Index API (insertItem, deleteItem, findItems as a range query) is
+// implemented on Peer — every operation routes from that peer, exactly what
+// a standalone process does — and re-exposed on Cluster, which picks a
+// random live entry peer per attempt, modelling clients spread across the
+// system.
 
 // InsertItem stores an item in the index (the P2P Index insertItem API).
 // It routes from a random live entry peer to the owner of the item's search
 // key value and retries through ownership movements until ctx expires.
 func (c *Cluster) InsertItem(ctx context.Context, item datastore.Item) error {
-	return c.retryRouted(ctx, item.Key, func(entry *Peer, owner simnet.Addr) error {
-		return entry.Store.InsertAt(ctx, owner, item)
+	return c.retryRouted(ctx, func(entry *Peer) error {
+		return entry.insertAttempt(ctx, item)
 	})
 }
 
 // DeleteItem removes an item from the index, reporting whether it existed.
 func (c *Cluster) DeleteItem(ctx context.Context, key keyspace.Key) (bool, error) {
 	var found bool
-	err := c.retryRouted(ctx, key, func(entry *Peer, owner simnet.Addr) error {
+	err := c.retryRouted(ctx, func(entry *Peer) error {
 		var err error
-		found, err = entry.Store.DeleteAt(ctx, owner, key)
+		found, err = entry.deleteAttempt(ctx, key)
 		return err
 	})
 	return found, err
 }
 
-// retryRouted locates the owner of key and applies op, retrying with a fresh
-// lookup while ownership is moving (splits, merges, failures).
-func (c *Cluster) retryRouted(ctx context.Context, key keyspace.Key, op func(entry *Peer, owner simnet.Addr) error) error {
+// retryRouted applies one routed attempt from a fresh random entry peer,
+// retrying while ownership is moving (splits, merges, failures).
+func (c *Cluster) retryRouted(ctx context.Context, op func(entry *Peer) error) error {
+	return retryRouted(ctx, c.cfg.MaxQueryAttempts, func() error {
+		entry, err := c.randomLive()
+		if err != nil {
+			return err
+		}
+		return op(entry)
+	})
+}
+
+// InsertItem stores an item in the index, routing from this peer and
+// retrying through ownership movements.
+func (p *Peer) InsertItem(ctx context.Context, item datastore.Item) error {
+	return p.retryRouted(ctx, func() error { return p.insertAttempt(ctx, item) })
+}
+
+// DeleteItem removes an item from the index, reporting whether it existed.
+func (p *Peer) DeleteItem(ctx context.Context, key keyspace.Key) (bool, error) {
+	var found bool
+	err := p.retryRouted(ctx, func() error {
+		var err error
+		found, err = p.deleteAttempt(ctx, key)
+		return err
+	})
+	return found, err
+}
+
+func (p *Peer) retryRouted(ctx context.Context, op func() error) error {
+	return retryRouted(ctx, p.cfg.MaxQueryAttempts, op)
+}
+
+// retryRouted retries op through ownership movements with a short backoff.
+func retryRouted(ctx context.Context, attempts int, op func() error) error {
 	var lastErr error
-	for attempt := 0; attempt < c.cfg.MaxQueryAttempts; attempt++ {
+	for attempt := 0; attempt < attempts; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		entry, err := c.randomLive()
-		if err != nil {
-			lastErr = err
-			time.Sleep(5 * time.Millisecond)
-			continue
-		}
-		owner, _, err := entry.Router.FindOwner(ctx, key)
-		if err != nil {
-			lastErr = err
-			time.Sleep(5 * time.Millisecond)
-			continue
-		}
-		if err := op(entry, owner); err != nil {
+		if err := op(); err != nil {
 			lastErr = err
 			time.Sleep(5 * time.Millisecond)
 			continue
@@ -62,6 +87,24 @@ func (c *Cluster) retryRouted(ctx context.Context, key keyspace.Key, op func(ent
 		return nil
 	}
 	return fmt.Errorf("core: routed operation failed after retries: %w", lastErr)
+}
+
+// insertAttempt performs one locate-and-insert from this peer.
+func (p *Peer) insertAttempt(ctx context.Context, item datastore.Item) error {
+	owner, _, err := p.Router.FindOwner(ctx, item.Key)
+	if err != nil {
+		return err
+	}
+	return p.Store.InsertAt(ctx, owner, item)
+}
+
+// deleteAttempt performs one locate-and-delete from this peer.
+func (p *Peer) deleteAttempt(ctx context.Context, key keyspace.Key) (bool, error) {
+	owner, _, err := p.Router.FindOwner(ctx, key)
+	if err != nil {
+		return false, err
+	}
+	return p.Store.DeleteAt(ctx, owner, key)
 }
 
 // collector assembles the pieces of one range query attempt.
@@ -147,37 +190,39 @@ type QueryStats struct {
 
 // RangeQueryFrom evaluates a range predicate issued at the given peer,
 // returning the matching items and the number of ring hops the final
-// (successful) scan took. With NaiveQueries configured it uses the unlocked
-// application-level scan of Section 6.2 instead of scanRange.
+// (successful) scan took.
 func (c *Cluster) RangeQueryFrom(ctx context.Context, origin *Peer, iv keyspace.Interval) ([]datastore.Item, int, error) {
-	items, stats, err := c.RangeQueryStatsFrom(ctx, origin, iv)
+	items, stats, err := origin.RangeQueryStats(ctx, iv)
 	return items, stats.Hops, err
 }
 
 // RangeQueryStatsFrom is RangeQueryFrom with execution statistics.
 func (c *Cluster) RangeQueryStatsFrom(ctx context.Context, origin *Peer, iv keyspace.Interval) ([]datastore.Item, QueryStats, error) {
+	return origin.RangeQueryStats(ctx, iv)
+}
+
+// RangeQueryStats evaluates a range predicate issued at this peer. With
+// NaiveQueries configured it uses the unlocked application-level scan of
+// Section 6.2 instead of scanRange.
+func (p *Peer) RangeQueryStats(ctx context.Context, iv keyspace.Interval) ([]datastore.Item, QueryStats, error) {
 	if !iv.Valid() {
 		return nil, QueryStats{}, fmt.Errorf("core: empty query interval %v", iv)
 	}
-	if c.cfg.NaiveQueries {
-		return c.naiveRangeQueryFrom(ctx, origin, iv)
+	if p.cfg.NaiveQueries {
+		return p.naiveRangeQuery(ctx, iv)
 	}
 
-	c.mu.Lock()
-	c.queryID++
-	qid := c.queryID
-	c.mu.Unlock()
-
-	logID, start := c.log.BeginQuery(iv)
+	qid := p.querySeq.Add(1)
+	logID, start := p.log.BeginQuery(iv)
 	var lastErr error = ErrQueryFailed
-	for attempt := 1; attempt <= c.cfg.MaxQueryAttempts; attempt++ {
+	for attempt := 1; attempt <= p.cfg.MaxQueryAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, QueryStats{}, err
 		}
-		items, stats, err := c.runScanAttempt(ctx, origin, iv, qid, attempt)
+		items, stats, err := p.runScanAttempt(ctx, iv, qid, attempt)
 		if err == nil {
 			stats.Attempts = attempt
-			c.log.EndQuery(logID, iv, start, keysOf(items))
+			p.log.EndQuery(logID, iv, start, keysOf(items))
 			return items, stats, nil
 		}
 		lastErr = err
@@ -186,33 +231,33 @@ func (c *Cluster) RangeQueryStatsFrom(ctx context.Context, origin *Peer, iv keys
 }
 
 // runScanAttempt performs one scanRange attempt of a range query.
-func (c *Cluster) runScanAttempt(ctx context.Context, origin *Peer, iv keyspace.Interval, qid uint64, attempt int) ([]datastore.Item, QueryStats, error) {
-	first, _, err := origin.Router.FindOwner(ctx, firstKeyOf(iv))
+func (p *Peer) runScanAttempt(ctx context.Context, iv keyspace.Interval, qid uint64, attempt int) ([]datastore.Item, QueryStats, error) {
+	first, _, err := p.Router.FindOwner(ctx, firstKeyOf(iv))
 	if err != nil {
 		time.Sleep(2 * time.Millisecond)
 		return nil, QueryStats{}, fmt.Errorf("core: owner lookup failed: %w", err)
 	}
 
 	col := newCollector(iv, attempt)
-	origin.collMu.Lock()
-	origin.collectors[qid] = col
-	origin.collMu.Unlock()
+	p.collMu.Lock()
+	p.collectors[qid] = col
+	p.collMu.Unlock()
 	defer func() {
-		origin.collMu.Lock()
-		if origin.collectors[qid] == col {
-			delete(origin.collectors, qid)
+		p.collMu.Lock()
+		if p.collectors[qid] == col {
+			delete(p.collectors, qid)
 		}
-		origin.collMu.Unlock()
+		p.collMu.Unlock()
 	}()
 
 	// The scan-time metric starts after the owner lookup, matching the
 	// paper's Figure 21 methodology ("once the first peer with items in the
 	// search range was found").
 	scanStart := time.Now()
-	scanCtx, cancel := context.WithTimeout(ctx, c.cfg.QueryAttemptTimeout)
+	scanCtx, cancel := context.WithTimeout(ctx, p.cfg.QueryAttemptTimeout)
 	defer cancel()
-	err = origin.Store.StartScan(scanCtx, first, iv, handlerRangeQuery, queryParam{
-		Origin: origin.Addr, QueryID: qid, Attempt: attempt,
+	err = p.Store.StartScan(scanCtx, first, iv, handlerRangeQuery, queryParam{
+		Origin: p.Addr, QueryID: qid, Attempt: attempt,
 	})
 	if err != nil {
 		time.Sleep(2 * time.Millisecond)
@@ -241,33 +286,33 @@ func (c *Cluster) NaiveQueryStatsFrom(ctx context.Context, origin *Peer, iv keys
 	if !iv.Valid() {
 		return nil, QueryStats{}, fmt.Errorf("core: empty query interval %v", iv)
 	}
-	return c.naiveRangeQueryFrom(ctx, origin, iv)
+	return origin.naiveRangeQuery(ctx, iv)
 }
 
-// naiveRangeQueryFrom is the Section 6.2 baseline: locate the first peer and
+// naiveRangeQuery is the Section 6.2 baseline: locate the first peer and
 // walk the ring without locks or continuation validation.
-func (c *Cluster) naiveRangeQueryFrom(ctx context.Context, origin *Peer, iv keyspace.Interval) ([]datastore.Item, QueryStats, error) {
-	logID, start := c.log.BeginQuery(iv)
+func (p *Peer) naiveRangeQuery(ctx context.Context, iv keyspace.Interval) ([]datastore.Item, QueryStats, error) {
+	logID, start := p.log.BeginQuery(iv)
 	var lastErr error
-	for attempt := 1; attempt <= c.cfg.MaxQueryAttempts; attempt++ {
+	for attempt := 1; attempt <= p.cfg.MaxQueryAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, QueryStats{}, err
 		}
-		first, _, err := origin.Router.FindOwner(ctx, firstKeyOf(iv))
+		first, _, err := p.Router.FindOwner(ctx, firstKeyOf(iv))
 		if err != nil {
 			lastErr = err
 			time.Sleep(2 * time.Millisecond)
 			continue
 		}
 		scanStart := time.Now()
-		items, hops, err := origin.Store.NaiveScan(ctx, first, iv, 4096)
+		items, hops, err := p.Store.NaiveScan(ctx, first, iv, 4096)
 		if err != nil {
 			lastErr = err
 			time.Sleep(2 * time.Millisecond)
 			continue
 		}
 		items = dedupeItems(items)
-		c.log.EndQuery(logID, iv, start, keysOf(items))
+		p.log.EndQuery(logID, iv, start, keysOf(items))
 		return items, QueryStats{Hops: hops, Attempts: attempt, ScanTime: time.Since(scanStart)}, nil
 	}
 	return nil, QueryStats{}, fmt.Errorf("%w: %v", ErrQueryFailed, lastErr)

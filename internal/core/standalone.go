@@ -1,0 +1,142 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/history"
+	"repro/internal/transport"
+)
+
+// Standalone support: one OS process hosting a single peer stack over a real
+// transport (cmd/pepperd -listen), the first step toward multi-machine
+// clusters. The bootstrap process owns an AddrPool — the free-peer pool of
+// the P-Ring Data Store, populated by remote processes announcing
+// themselves — and splits draw remote peers from it: every protocol message
+// of the resulting membership change crosses the real wire.
+
+// methodAnnounceFree registers a remote process's peer in the bootstrap
+// node's free pool.
+const methodAnnounceFree = "core.announceFree"
+
+// announceMsg announces a free peer's dialable address.
+type announceMsg struct {
+	Addr transport.Addr
+}
+
+// AddrPool is a datastore.FreePool over announced remote peer addresses.
+type AddrPool struct {
+	mu    sync.Mutex
+	addrs []transport.Addr
+}
+
+// Add parks a free peer's address in the pool.
+func (ap *AddrPool) Add(addr transport.Addr) {
+	ap.mu.Lock()
+	defer ap.mu.Unlock()
+	for _, a := range ap.addrs {
+		if a == addr {
+			return
+		}
+	}
+	ap.addrs = append(ap.addrs, addr)
+}
+
+// Acquire pops a free peer for a split.
+func (ap *AddrPool) Acquire() (transport.Addr, bool) {
+	ap.mu.Lock()
+	defer ap.mu.Unlock()
+	if len(ap.addrs) == 0 {
+		return "", false
+	}
+	addr := ap.addrs[0]
+	ap.addrs = ap.addrs[1:]
+	return addr, true
+}
+
+// Release drops a merged-away peer. The remote stack is defunct (the paper's
+// model forbids re-entering with the same identifier); the operator restarts
+// the process to rejoin, which announces a fresh peer.
+func (ap *AddrPool) Release(transport.Addr) {}
+
+// Len returns the number of pooled free peers.
+func (ap *AddrPool) Len() int {
+	ap.mu.Lock()
+	defer ap.mu.Unlock()
+	return len(ap.addrs)
+}
+
+// Standalone is a single peer stack bound to a real transport endpoint,
+// running in its own OS process.
+type Standalone struct {
+	Peer *Peer
+	Log  *history.Log
+	Pool *AddrPool
+
+	tr transport.Transport
+}
+
+// NewStandalone assembles a peer stack on tr at addr, which must be the
+// dialable address other processes reach this one at (the transport is
+// registered with exactly this address as the peer's identity). The journal
+// records this process's operations only; cross-process auditing would need
+// journal shipping, which is out of scope here.
+func NewStandalone(tr transport.Transport, addr transport.Addr, cfg Config) (*Standalone, error) {
+	cfg = cfg.withDefaults()
+	s := &Standalone{Log: history.NewLog(), Pool: &AddrPool{}, tr: tr}
+	p, err := assemblePeer(tr, addr, cfg, s.Log, s.Pool)
+	if err != nil {
+		return nil, err
+	}
+	s.Peer = p
+	// Accept free-peer announcements from joining processes. Installed
+	// before Activate so no announce can arrive at a mux that lacks the
+	// handler.
+	p.Mux.Handle(methodAnnounceFree, func(_ transport.Addr, _ string, payload any) (any, error) {
+		msg, ok := payload.(announceMsg)
+		if !ok {
+			return nil, fmt.Errorf("core: bad announce payload %T", payload)
+		}
+		s.Pool.Add(msg.Addr)
+		return true, nil
+	})
+	if err := p.Activate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Bootstrap makes this process the ring's first member, owning the whole
+// key space.
+func (s *Standalone) Bootstrap() error {
+	if err := s.Peer.Ring.InitRing(); err != nil {
+		return err
+	}
+	s.Peer.Store.InitFirstPeer()
+	s.Peer.Store.Start()
+	s.Peer.Rep.Start()
+	s.Peer.Router.Start()
+	return nil
+}
+
+// JoinAsFree announces this process's peer to the bootstrap node as a free
+// peer. The peer stays FREE until a split on the bootstrap side draws it
+// from the pool and inserts it into the ring, at which point the ring's
+// joined event starts the local component loops.
+func (s *Standalone) JoinAsFree(ctx context.Context, bootstrap transport.Addr) error {
+	resp, err := s.tr.Call(ctx, s.Peer.Addr, bootstrap, methodAnnounceFree, announceMsg{Addr: s.Peer.Addr})
+	if err != nil {
+		return fmt.Errorf("core: announce to %s failed: %w", bootstrap, err)
+	}
+	if ok, _ := resp.(bool); !ok {
+		return fmt.Errorf("core: announce to %s rejected: %v", bootstrap, resp)
+	}
+	return nil
+}
+
+// Close stops the peer stack's background work. The transport is the
+// caller's to close.
+func (s *Standalone) Close() {
+	s.Peer.Stop()
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/datastore"
+	"repro/internal/keyspace"
+	"repro/internal/replication"
+	"repro/internal/ring"
+	"repro/internal/router"
+	"repro/internal/transport"
+	"repro/internal/transport/tcp"
+)
+
+// tcpConfig tunes the stack for loopback TCP latencies.
+func tcpConfig() Config {
+	cfg := Config{
+		Ring: ring.Config{
+			SuccListLen: 4,
+			StabPeriod:  20 * time.Millisecond,
+			PingPeriod:  20 * time.Millisecond,
+			CallTimeout: 500 * time.Millisecond,
+			AckTimeout:  5 * time.Second,
+		},
+		Store: datastore.Config{
+			StorageFactor:      5,
+			CheckPeriod:        25 * time.Millisecond,
+			CallTimeout:        500 * time.Millisecond,
+			MaintenanceTimeout: 5 * time.Second,
+		},
+		Replication: replication.Config{
+			Factor:        3,
+			RefreshPeriod: 25 * time.Millisecond,
+			CallTimeout:   500 * time.Millisecond,
+		},
+		Router: router.Config{
+			RefreshPeriod: 30 * time.Millisecond,
+			CallTimeout:   500 * time.Millisecond,
+			MaxHops:       64,
+		},
+		QueryAttemptTimeout: 3 * time.Second,
+		MaxQueryAttempts:    30,
+		Seed:                5,
+	}
+	return cfg
+}
+
+// startStandalone binds a fresh loopback endpoint and assembles a peer
+// stack on it, the way one pepperd -listen process does. Each node gets its
+// own Transport instance, so all inter-peer traffic crosses real sockets.
+func startStandalone(t *testing.T, cfg Config) *Standalone {
+	t.Helper()
+	tr := tcp.New(tcp.Config{DialTimeout: time.Second, CallTimeout: 2 * time.Second})
+	t.Cleanup(func() { tr.Close() })
+	// Bind an ephemeral port first so the stack can be assembled with its
+	// final dialable identity.
+	probe := tcp.New(tcp.Config{})
+	bound, err := probe.Listen("127.0.0.1:0", func(transport.Addr, string, any) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe.Close()
+	s, err := NewStandalone(tr, bound, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// Two OS-process-shaped peer stacks — separate transports, real loopback
+// sockets — form a ring: the second process announces itself as a free peer,
+// an overflow split on the first draws it in, and range queries span both.
+// This is the multi-process deployment path of cmd/pepperd -listen/-join,
+// exercised end to end.
+func TestStandaloneClusterOverTCP(t *testing.T) {
+	cfg := tcpConfig()
+	boot := startStandalone(t, cfg)
+	if err := boot.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	joiner := startStandalone(t, cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := joiner.JoinAsFree(ctx, boot.Peer.Addr); err != nil {
+		t.Fatal(err)
+	}
+	if boot.Pool.Len() != 1 {
+		t.Fatalf("bootstrap pool has %d peers, want 1", boot.Pool.Len())
+	}
+
+	// Overflow the bootstrap peer (sf=5, so >10 items force a split); the
+	// split must draw the remote process into the ring over TCP.
+	for i := 1; i <= 14; i++ {
+		if err := boot.Peer.InsertItem(ctx, datastore.Item{Key: keyspace.Key(i * 100), Payload: "x"}); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, ok := joiner.Peer.Store.Range(); ok && joiner.Peer.Ring.State() == ring.StateJoined {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if _, ok := joiner.Peer.Store.Range(); !ok {
+		t.Fatal("remote peer never joined the ring (split did not reach it over TCP)")
+	}
+	if joiner.Peer.Store.ItemCount() == 0 {
+		t.Fatal("remote peer joined but received no items")
+	}
+
+	// Range queries issued at either process must see the full item set.
+	for name, origin := range map[string]*Peer{"bootstrap": boot.Peer, "joiner": joiner.Peer} {
+		items, _, err := origin.RangeQueryStats(ctx, keyspace.ClosedInterval(0, 15*100))
+		if err != nil {
+			t.Fatalf("query from %s: %v", name, err)
+		}
+		if len(items) != 14 {
+			t.Fatalf("query from %s returned %d items, want 14", name, len(items))
+		}
+	}
+
+	// Inserts routed from the joiner land on whichever process owns the key.
+	if err := joiner.Peer.InsertItem(ctx, datastore.Item{Key: 50, Payload: "late"}); err != nil {
+		t.Fatal(err)
+	}
+	items, _, err := boot.Peer.RangeQueryStats(ctx, keyspace.Point(50))
+	if err != nil || len(items) != 1 {
+		t.Fatalf("point query for cross-process insert = %v, %v", items, err)
+	}
+}

@@ -35,7 +35,7 @@ import (
 	"repro/internal/keyspace"
 	"repro/internal/metrics"
 	"repro/internal/ring"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // Item is a (search key value, payload) pair stored in the index. The paper
@@ -73,9 +73,9 @@ type FreePool interface {
 	// Acquire reserves a free peer — fully constructed, registered on the
 	// network and ready to receive a ring join — returning its address, or
 	// false if no free peer is available.
-	Acquire() (simnet.Addr, bool)
+	Acquire() (transport.Addr, bool)
 	// Release returns a peer to the free pool after it merged away.
-	Release(addr simnet.Addr)
+	Release(addr transport.Addr)
 }
 
 // Config controls Data Store behaviour.
@@ -142,7 +142,7 @@ var (
 // Store is one peer's Data Store.
 type Store struct {
 	cfg  Config
-	net  *simnet.Network
+	net  transport.Transport
 	ring *ring.Peer
 	log  *history.Log
 	rep  Replicator
@@ -179,7 +179,7 @@ type Store struct {
 // New constructs a Data Store for one peer and registers its RPC handlers on
 // the peer's mux. The replicator and free pool may be set later (SetDeps)
 // since construction order is circular in practice.
-func New(net *simnet.Network, mux *simnet.Mux, rp *ring.Peer, log *history.Log, cfg Config) *Store {
+func New(net transport.Transport, mux *transport.Mux, rp *ring.Peer, log *history.Log, cfg Config) *Store {
 	s := &Store{
 		cfg:       cfg.withDefaults(),
 		net:       net,
@@ -241,7 +241,7 @@ func (s *Store) Stop() {
 }
 
 // Addr returns this peer's network address.
-func (s *Store) Addr() simnet.Addr { return s.ring.Self().Addr }
+func (s *Store) Addr() transport.Addr { return s.ring.Self().Addr }
 
 // RegisterHandler installs a scan handler under id.
 func (s *Store) RegisterHandler(id string, h Handler) {
@@ -341,7 +341,7 @@ type deleteReq struct{ Key keyspace.Key }
 type deleteResp struct{ Found bool }
 
 // handleInsert stores an item this peer owns (the owner side of insertItem).
-func (s *Store) handleInsert(_ simnet.Addr, _ string, payload any) (any, error) {
+func (s *Store) handleInsert(_ transport.Addr, _ string, payload any) (any, error) {
 	req, ok := payload.(insertReq)
 	if !ok {
 		return nil, fmt.Errorf("datastore: bad insert payload %T", payload)
@@ -360,11 +360,16 @@ func (s *Store) handleInsert(_ simnet.Addr, _ string, payload any) (any, error) 
 		return nil, ErrNotOwner
 	}
 	s.items[req.Item.Key] = req.Item
-	self := string(s.ring.Self().Addr)
-	s.mu.Unlock()
+	// Journal before releasing s.mu: scan piece snapshots are taken under
+	// s.mu, so journaling inside the critical section keeps the journal's
+	// sequence order consistent with the order scans observe state. A
+	// mutation journaled after the unlock could be sequenced after a query
+	// that already saw its effect, and the Definition 4 checker would then
+	// flag a phantom violation (the TestSoakMixedWorkload flake).
 	if s.log != nil {
-		s.log.Added(self, req.Item.Key)
+		s.log.Added(string(s.ring.Self().Addr), req.Item.Key)
 	}
+	s.mu.Unlock()
 	if s.rep != nil {
 		s.rep.ItemsChanged()
 	}
@@ -373,7 +378,7 @@ func (s *Store) handleInsert(_ simnet.Addr, _ string, payload any) (any, error) 
 }
 
 // handleDelete removes an item this peer owns.
-func (s *Store) handleDelete(_ simnet.Addr, _ string, payload any) (any, error) {
+func (s *Store) handleDelete(_ transport.Addr, _ string, payload any) (any, error) {
 	req, ok := payload.(deleteReq)
 	if !ok {
 		return nil, fmt.Errorf("datastore: bad delete payload %T", payload)
@@ -392,13 +397,13 @@ func (s *Store) handleDelete(_ simnet.Addr, _ string, payload any) (any, error) 
 	_, found := s.items[req.Key]
 	if found {
 		delete(s.items, req.Key)
+		// Journal under s.mu; see handleInsert for why.
+		if s.log != nil {
+			s.log.Removed(string(s.ring.Self().Addr), req.Key)
+		}
 	}
-	self := string(s.ring.Self().Addr)
 	s.mu.Unlock()
 	if found {
-		if s.log != nil {
-			s.log.Removed(self, req.Key)
-		}
 		if s.rep != nil {
 			s.rep.ItemsChanged()
 		}
@@ -408,19 +413,19 @@ func (s *Store) handleDelete(_ simnet.Addr, _ string, payload any) (any, error) 
 }
 
 // handleLocalItems returns this peer's items (getLocalItems over the wire).
-func (s *Store) handleLocalItems(_ simnet.Addr, _ string, _ any) (any, error) {
+func (s *Store) handleLocalItems(_ transport.Addr, _ string, _ any) (any, error) {
 	return s.LocalItems(), nil
 }
 
 // InsertAt asks the peer at addr to store item, returning ErrNotOwner if it
 // does not own the key (the caller re-routes).
-func (s *Store) InsertAt(ctx context.Context, addr simnet.Addr, item Item) error {
+func (s *Store) InsertAt(ctx context.Context, addr transport.Addr, item Item) error {
 	_, err := s.net.Call(ctx, s.Addr(), addr, methodInsert, insertReq{Item: item})
 	return err
 }
 
 // DeleteAt asks the peer at addr to delete key.
-func (s *Store) DeleteAt(ctx context.Context, addr simnet.Addr, key keyspace.Key) (bool, error) {
+func (s *Store) DeleteAt(ctx context.Context, addr transport.Addr, key keyspace.Key) (bool, error) {
 	resp, err := s.net.Call(ctx, s.Addr(), addr, methodDelete, deleteReq{Key: key})
 	if err != nil {
 		return false, err
@@ -437,7 +442,7 @@ func (s *Store) DeleteAt(ctx context.Context, addr simnet.Addr, key keyspace.Key
 // scanMsg drives one scan along the ring.
 type scanMsg struct {
 	ID        uint64
-	Origin    simnet.Addr
+	Origin    transport.Addr
 	Iv        keyspace.Interval
 	Cursor    keyspace.Key // first key not yet covered
 	HandlerID string
@@ -455,7 +460,7 @@ type abortMsg struct {
 // lower bound (located by the caller). It returns once the first peer has
 // accepted the scan; progress flows peer to peer, results flow through the
 // registered handler, and aborts arrive at the OnScanAbort listener.
-func (s *Store) StartScan(ctx context.Context, firstPeer simnet.Addr, iv keyspace.Interval, handlerID string, param any) error {
+func (s *Store) StartScan(ctx context.Context, firstPeer transport.Addr, iv keyspace.Interval, handlerID string, param any) error {
 	if !iv.Valid() {
 		return fmt.Errorf("datastore: empty scan interval %v", iv)
 	}
@@ -474,7 +479,7 @@ func (s *Store) StartScan(ctx context.Context, firstPeer simnet.Addr, iv keyspac
 // handleScan is processScan (Algorithm 5): acquire the range read lock,
 // validate the continuation point, then run the handler and forwarding
 // asynchronously so the predecessor can release its own lock.
-func (s *Store) handleScan(_ simnet.Addr, _ string, payload any) (any, error) {
+func (s *Store) handleScan(_ transport.Addr, _ string, payload any) (any, error) {
 	msg, ok := payload.(scanMsg)
 	if !ok {
 		return nil, fmt.Errorf("datastore: bad scan payload %T", payload)
@@ -563,7 +568,7 @@ func (s *Store) forwardScan(msg scanMsg) error {
 			return nil
 		}
 		lastErr = err
-		if errors.Is(err, simnet.ErrUnreachable) {
+		if errors.Is(err, transport.ErrUnreachable) {
 			// Successor failed or departed; wait for the ring to heal.
 			time.Sleep(s.cfg.CallTimeout / 8)
 			continue
@@ -574,7 +579,7 @@ func (s *Store) forwardScan(msg scanMsg) error {
 }
 
 // handleScanAbort runs at the scan origin.
-func (s *Store) handleScanAbort(_ simnet.Addr, _ string, payload any) (any, error) {
+func (s *Store) handleScanAbort(_ transport.Addr, _ string, payload any) (any, error) {
 	msg, ok := payload.(abortMsg)
 	if !ok {
 		return nil, fmt.Errorf("datastore: bad abort payload %T", payload)
@@ -610,7 +615,7 @@ type naiveStepResp struct {
 	HasSucc    bool
 }
 
-func (s *Store) handleNaiveStep(_ simnet.Addr, _ string, payload any) (any, error) {
+func (s *Store) handleNaiveStep(_ transport.Addr, _ string, payload any) (any, error) {
 	req, ok := payload.(naiveStepReq)
 	if !ok {
 		return nil, fmt.Errorf("datastore: bad naive step payload %T", payload)
@@ -645,7 +650,7 @@ func (s *Store) handleNaiveStep(_ simnet.Addr, _ string, payload any) (any, erro
 // NaiveScan walks the ring collecting items in iv starting from firstPeer,
 // with no locking or continuation validation: the Section 4.2 baseline that
 // can miss live items during concurrent maintenance.
-func (s *Store) NaiveScan(ctx context.Context, firstPeer simnet.Addr, iv keyspace.Interval, maxHops int) ([]Item, int, error) {
+func (s *Store) NaiveScan(ctx context.Context, firstPeer transport.Addr, iv keyspace.Interval, maxHops int) ([]Item, int, error) {
 	var out []Item
 	cur := firstPeer
 	cursor := firstKey(iv)

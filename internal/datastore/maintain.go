@@ -7,7 +7,7 @@ import (
 
 	"repro/internal/keyspace"
 	"repro/internal/ring"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // joinData is the payload carried by the ring's INSERT/INSERTED events
@@ -155,17 +155,14 @@ func (s *Store) PrepareJoinData(joining ring.Node) any {
 		if high.Contains(k) {
 			moved = append(moved, it)
 			delete(s.items, k)
+			if s.log != nil {
+				s.log.Moved(string(self.Addr), string(joining.Addr), it.Key)
+			}
 		}
 	}
 	s.rng = low
-	selfAddr := string(self.Addr)
 	s.mu.Unlock()
 
-	if s.log != nil {
-		for _, it := range moved {
-			s.log.Moved(selfAddr, string(joining.Addr), it.Key)
-		}
-	}
 	if s.rep != nil {
 		s.rep.ItemsChanged()
 	}
@@ -225,6 +222,7 @@ func (s *Store) adoptRevived(r keyspace.Range, items []Item) {
 	}
 	var added []keyspace.Key
 	s.mu.Lock()
+	self := string(s.ring.Self().Addr)
 	for _, it := range items {
 		if !s.hasRange || !s.rng.Contains(it.Key) || !r.Contains(it.Key) {
 			continue
@@ -234,14 +232,13 @@ func (s *Store) adoptRevived(r keyspace.Range, items []Item) {
 		}
 		s.items[it.Key] = it
 		added = append(added, it.Key)
-	}
-	self := string(s.ring.Self().Addr)
-	s.mu.Unlock()
-	if s.log != nil {
-		for _, k := range added {
-			s.log.Added(self, k)
+		// Journal under s.mu so the journal order matches the order scans
+		// observe state (see handleInsert).
+		if s.log != nil {
+			s.log.Added(self, it.Key)
 		}
 	}
+	s.mu.Unlock()
 	if s.rep != nil && len(added) > 0 {
 		s.rep.ItemsChanged()
 	}
@@ -340,7 +337,7 @@ func (s *Store) underflow() error {
 // in one peer). For a redistribution it carves its lowest items under the
 // range write lock and shrinks its range upward before replying, so there is
 // never a moment where both peers claim the boundary region.
-func (s *Store) handleRebalance(from simnet.Addr, _ string, payload any) (any, error) {
+func (s *Store) handleRebalance(from transport.Addr, _ string, payload any) (any, error) {
 	req, ok := payload.(rebalanceReq)
 	if !ok {
 		return nil, fmt.Errorf("datastore: bad rebalance payload %T", payload)
@@ -400,18 +397,16 @@ func (s *Store) handleRebalance(from simnet.Addr, _ string, payload any) (any, e
 	}
 	moved := sorted[:give]
 	boundary := moved[len(moved)-1].Key
+	selfAddr := string(s.ring.Self().Addr)
 	for _, it := range moved {
 		delete(s.items, it.Key)
-	}
-	s.rng = keyspace.NewRange(boundary, s.rng.Hi)
-	selfAddr := string(s.ring.Self().Addr)
-	s.mu.Unlock()
-
-	if s.log != nil {
-		for _, it := range moved {
+		if s.log != nil {
 			s.log.Moved(selfAddr, string(from), it.Key)
 		}
 	}
+	s.rng = keyspace.NewRange(boundary, s.rng.Hi)
+	s.mu.Unlock()
+
 	if s.rep != nil {
 		s.rep.ItemsChanged()
 	}
@@ -514,7 +509,7 @@ func (s *Store) mergeIntoSuccessor(ctx context.Context, succ ring.Node) error {
 }
 
 // handleMergeIn absorbs a merging predecessor's range and items.
-func (s *Store) handleMergeIn(_ simnet.Addr, _ string, payload any) (any, error) {
+func (s *Store) handleMergeIn(_ transport.Addr, _ string, payload any) (any, error) {
 	req, ok := payload.(mergeInReq)
 	if !ok {
 		return nil, fmt.Errorf("datastore: bad mergeIn payload %T", payload)
@@ -531,16 +526,14 @@ func (s *Store) handleMergeIn(_ simnet.Addr, _ string, payload any) (any, error)
 		return nil, ErrWrongState
 	}
 	s.rng = s.rng.ExtendDown(req.Range.Lo)
+	self := string(s.ring.Self().Addr)
 	for _, it := range req.Items {
 		s.items[it.Key] = it
-	}
-	self := string(s.ring.Self().Addr)
-	s.mu.Unlock()
-	if s.log != nil {
-		for _, it := range req.Items {
+		if s.log != nil {
 			s.log.Moved(string(req.From.Addr), self, it.Key)
 		}
 	}
+	s.mu.Unlock()
 	if s.rep != nil {
 		s.rep.ItemsChanged()
 	}

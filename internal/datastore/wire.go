@@ -1,0 +1,22 @@
+package datastore
+
+import "repro/internal/transport"
+
+// Every Data Store payload and response is registered with the wire codec,
+// so the messages survive a real network hop (and simnet's
+// StrictSerialization round trip).
+func init() {
+	transport.RegisterMessage(Item{})
+	transport.RegisterMessage([]Item(nil))
+	transport.RegisterMessage(insertReq{})
+	transport.RegisterMessage(deleteReq{})
+	transport.RegisterMessage(deleteResp{})
+	transport.RegisterMessage(scanMsg{})
+	transport.RegisterMessage(abortMsg{})
+	transport.RegisterMessage(naiveStepReq{})
+	transport.RegisterMessage(naiveStepResp{})
+	transport.RegisterMessage(rebalanceReq{})
+	transport.RegisterMessage(rebalanceResp{})
+	transport.RegisterMessage(mergeInReq{})
+	transport.RegisterMessage(joinData{})
+}

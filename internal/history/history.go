@@ -183,11 +183,21 @@ type Liveness struct {
 }
 
 // BuildLiveness replays the journal into per-key liveness timelines.
+//
+// A peer that failed stays failed forever (the paper's fail-stop model; the
+// system never reuses a peer identifier), so events attributing an item to
+// an already-failed peer are void. Such events are real: a handler that was
+// mid-flight when its peer was killed can journal its Added after the
+// journal recorded the PeerFailed — the mutation physically happened, but on
+// a peer that is already dead, so the item is not live. Without this rule a
+// single unlucky kill would leave a phantom item "live" forever and every
+// later query would be flagged as missing it.
 func BuildLiveness(events []Event) *Liveness {
 	type holding map[string]int // peer -> copies held (should be 0/1)
 	holders := make(map[keyspace.Key]holding)
 	lv := &Liveness{intervals: make(map[keyspace.Key][]Interval)}
 	count := make(map[keyspace.Key]int)
+	failed := make(map[string]bool) // peers that fail-stopped
 
 	open := make(map[keyspace.Key]Seq) // key -> seq at which current live interval opened
 
@@ -206,6 +216,9 @@ func BuildLiveness(events []Event) *Liveness {
 	for _, ev := range events {
 		switch ev.Kind {
 		case ItemAdded:
+			if failed[ev.Peer] {
+				continue // a dead peer's store holds nothing
+			}
 			h := holders[ev.Key]
 			if h == nil {
 				h = make(holding)
@@ -227,8 +240,9 @@ func BuildLiveness(events []Event) *Liveness {
 				holders[ev.Key] = h
 			}
 			// Atomic: destination gains before source loses, net count never
-			// dips to zero during a move.
-			if h[ev.Peer] == 0 {
+			// dips to zero during a move. A move to an already-failed peer
+			// only loses the source copy: the destination is dead.
+			if h[ev.Peer] == 0 && !failed[ev.Peer] {
 				h[ev.Peer] = 1
 				adjust(ev.Key, ev.Seq, 1)
 			}
@@ -237,6 +251,7 @@ func BuildLiveness(events []Event) *Liveness {
 				adjust(ev.Key, ev.Seq, -1)
 			}
 		case PeerFailed:
+			failed[ev.Peer] = true
 			for key, h := range holders {
 				if h[ev.Peer] > 0 {
 					h[ev.Peer] = 0

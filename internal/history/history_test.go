@@ -390,3 +390,43 @@ func TestLivenessMatchesReferenceSimulation(t *testing.T) {
 		}
 	}
 }
+
+// A mutation journaled by a handler that was mid-flight when its peer was
+// killed can be sequenced after the PeerFailed event. The item physically
+// sits on a dead peer, so it must not read as live — otherwise one unlucky
+// kill makes every later query look like it is missing a live item (the
+// TestSoakMixedWorkload flake).
+func TestLivenessIgnoresEventsOnFailedPeers(t *testing.T) {
+	l := NewLog()
+	l.Added("p1", 10)
+	l.Failed("p1")
+	l.Added("p1", 20)       // in-flight insert journaled after the failure
+	l.Moved("p2", "p1", 30) // in-flight transfer to the dead peer
+
+	lv := BuildLiveness(l.Events())
+	end := l.Now()
+	if lv.LiveAtSomePoint(20, 0, end) {
+		t.Error("item added on a failed peer reads as live")
+	}
+	if lv.LiveAtSomePoint(30, 0, end) {
+		t.Error("item moved to a failed peer reads as live")
+	}
+	if lv.LiveThroughout(10, 1, end) {
+		t.Error("failure did not end the pre-failure item's liveness")
+	}
+}
+
+// A failed peer identifier is never reused (fail-stop model), so failure is
+// permanent: no sequence of later events revives the peer's holdings.
+func TestLivenessFailureIsPermanent(t *testing.T) {
+	l := NewLog()
+	l.Added("p1", 10)
+	l.Failed("p1")
+	l.Added("p1", 10)
+	l.Removed("p1", 10)
+	l.Added("p1", 10)
+	lv := BuildLiveness(l.Events())
+	if lv.LiveAtSomePoint(10, Seq(3), l.Now()) {
+		t.Error("dead peer's post-failure adds read as live")
+	}
+}

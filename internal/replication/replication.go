@@ -22,7 +22,7 @@ import (
 	"repro/internal/datastore"
 	"repro/internal/keyspace"
 	"repro/internal/ring"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // RPC method names.
@@ -64,7 +64,7 @@ func (c Config) withDefaults() Config {
 // datastore.Replicator.
 type Manager struct {
 	cfg  Config
-	net  *simnet.Network
+	net  transport.Transport
 	ring *ring.Peer
 	ds   *datastore.Store
 
@@ -80,7 +80,7 @@ type Manager struct {
 }
 
 // New constructs a Manager and registers its RPC handlers on the peer's mux.
-func New(net *simnet.Network, mux *simnet.Mux, rp *ring.Peer, ds *datastore.Store, cfg Config) *Manager {
+func New(net transport.Transport, mux *transport.Mux, rp *ring.Peer, ds *datastore.Store, cfg Config) *Manager {
 	m := &Manager{
 		cfg:      cfg.withDefaults(),
 		net:      net,
@@ -171,7 +171,7 @@ type pushMsg struct {
 }
 
 // handlePush installs replicas, dropping stale ones within the pushed range.
-func (m *Manager) handlePush(_ simnet.Addr, _ string, payload any) (any, error) {
+func (m *Manager) handlePush(_ transport.Addr, _ string, payload any) (any, error) {
 	msg, ok := payload.(pushMsg)
 	if !ok {
 		return nil, fmt.Errorf("replication: bad push payload %T", payload)
@@ -197,7 +197,7 @@ func (m *Manager) handlePush(_ simnet.Addr, _ string, payload any) (any, error) 
 // used by orphaned peers reconstructing a range they now own.
 type pullReq struct{ Range keyspace.Range }
 
-func (m *Manager) handlePull(_ simnet.Addr, _ string, payload any) (any, error) {
+func (m *Manager) handlePull(_ transport.Addr, _ string, payload any) (any, error) {
 	req, ok := payload.(pullReq)
 	if !ok {
 		return nil, fmt.Errorf("replication: bad pull payload %T", payload)

@@ -1,0 +1,10 @@
+package replication
+
+import "repro/internal/transport"
+
+// Replication Manager wire types; item and range types are registered by the
+// datastore and keyspace owners.
+func init() {
+	transport.RegisterMessage(pushMsg{})
+	transport.RegisterMessage(pullReq{})
+}

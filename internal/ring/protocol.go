@@ -6,7 +6,7 @@ import (
 	"time"
 
 	"repro/internal/keyspace"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // RPC method names.
@@ -226,7 +226,7 @@ func (p *Peer) adoptSuccessorList(target Node, sr stabilizeResp) {
 // the list was truncated at self, i.e. it covers every other peer we know
 // of on the ring. Callers hold p.mu.
 func (p *Peer) normalizeLocked(list []Entry) (out []Entry, wrapped bool) {
-	seen := make(map[simnet.Addr]bool, len(list))
+	seen := make(map[transport.Addr]bool, len(list))
 	out = list[:0]
 	for _, e := range list {
 		if e.Node.Addr == p.self.Addr {
@@ -270,7 +270,7 @@ func (p *Peer) firstUsableSuccLocked() (Node, bool) {
 }
 
 // containsAddr reports whether list holds an entry for addr.
-func containsAddr(list []Entry, addr simnet.Addr) bool {
+func containsAddr(list []Entry, addr transport.Addr) bool {
 	for _, e := range list {
 		if e.Node.Addr == addr {
 			return true
@@ -313,7 +313,7 @@ func (p *Peer) raiseNewSuccLocked() {
 
 // handleStabilize answers a predecessor's stabilization request
 // (appendix Algorithm 18). JOINING peers do not respond.
-func (p *Peer) handleStabilize(_ simnet.Addr, _ string, payload any) (any, error) {
+func (p *Peer) handleStabilize(_ transport.Addr, _ string, payload any) (any, error) {
 	req, ok := payload.(stabilizeReq)
 	if !ok {
 		return nil, fmt.Errorf("ring: bad stabilize payload %T", payload)
@@ -391,7 +391,7 @@ func betweenOnRing(v, lo, hi keyspace.Key) bool {
 }
 
 // pingNode synchronously checks liveness of a peer.
-func (p *Peer) pingNode(addr simnet.Addr) bool {
+func (p *Peer) pingNode(addr transport.Addr) bool {
 	ctx, cancel := p.ctx()
 	defer cancel()
 	_, err := p.call(ctx, addr, methodPing, nil)
@@ -405,7 +405,7 @@ type pingResp struct {
 }
 
 // handlePing answers liveness checks in every state except after departure.
-func (p *Peer) handlePing(_ simnet.Addr, _ string, _ any) (any, error) {
+func (p *Peer) handlePing(_ transport.Addr, _ string, _ any) (any, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.departed {
@@ -418,7 +418,7 @@ func (p *Peer) handlePing(_ simnet.Addr, _ string, _ any) (any, error) {
 // current identity and, if its CURRENT value still places it strictly
 // between us and our current first successor (and it is serving), adopt it
 // as our new first successor.
-func (p *Peer) verifyAndRectify(addr simnet.Addr) {
+func (p *Peer) verifyAndRectify(addr transport.Addr) {
 	ctx, cancel := p.ctx()
 	resp, err := p.call(ctx, addr, methodPing, nil)
 	cancel()
@@ -445,7 +445,7 @@ func (p *Peer) verifyAndRectify(addr simnet.Addr) {
 }
 
 // call wraps a network call from this peer.
-func (p *Peer) call(ctx context.Context, to simnet.Addr, method string, payload any) (any, error) {
+func (p *Peer) call(ctx context.Context, to transport.Addr, method string, payload any) (any, error) {
 	p.mu.Lock()
 	from := p.self.Addr
 	p.mu.Unlock()
@@ -701,7 +701,7 @@ func (p *Peer) naiveInsertSucc(ctx context.Context, newNode Node) error {
 
 // handleJoinAck processes the acknowledgment that completes a PEPPER insert
 // (received by the inserting peer from the farthest relevant predecessor).
-func (p *Peer) handleJoinAck(_ simnet.Addr, _ string, payload any) (any, error) {
+func (p *Peer) handleJoinAck(_ transport.Addr, _ string, payload any) (any, error) {
 	msg, ok := payload.(joinAckMsg)
 	if !ok {
 		return nil, fmt.Errorf("ring: bad joinAck payload %T", payload)
@@ -725,7 +725,7 @@ func (p *Peer) handleJoinAck(_ simnet.Addr, _ string, payload any) (any, error) 
 
 // handleJoined installs ring state on the joining peer (Algorithm 11) and
 // raises the INSERTED event to higher layers.
-func (p *Peer) handleJoined(_ simnet.Addr, _ string, payload any) (any, error) {
+func (p *Peer) handleJoined(_ transport.Addr, _ string, payload any) (any, error) {
 	msg, ok := payload.(joinedMsg)
 	if !ok {
 		return nil, fmt.Errorf("ring: bad joined payload %T", payload)
@@ -763,7 +763,7 @@ func (p *Peer) handleJoined(_ simnet.Addr, _ string, payload any) (any, error) {
 // handleStabNow triggers an immediate stabilization round (the proactive
 // contact optimization), cascading to our own predecessor while the join or
 // leave being expedited is still unresolved in our list.
-func (p *Peer) handleStabNow(_ simnet.Addr, _ string, _ any) (any, error) {
+func (p *Peer) handleStabNow(_ transport.Addr, _ string, _ any) (any, error) {
 	go func() {
 		p.StabilizeOnce()
 		p.mu.Lock()
@@ -850,7 +850,7 @@ func (p *Peer) revertLeave() {
 }
 
 // handleLeaveAck signals the leaving peer that it may depart.
-func (p *Peer) handleLeaveAck(_ simnet.Addr, _ string, _ any) (any, error) {
+func (p *Peer) handleLeaveAck(_ transport.Addr, _ string, _ any) (any, error) {
 	p.mu.Lock()
 	ch := p.leaveAck
 	p.leaveAck = nil
@@ -874,6 +874,6 @@ func (p *Peer) Depart() {
 	p.state = StateFree
 	addr := p.self.Addr
 	p.mu.Unlock()
-	p.net.Kill(addr)
+	transport.Deregister(p.net, addr)
 	p.Stop()
 }

@@ -34,7 +34,7 @@ import (
 	"time"
 
 	"repro/internal/keyspace"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // Node identifies a ring participant: its network address (physical id) and
@@ -43,7 +43,7 @@ import (
 // values in cached entries can be stale while addresses never are. Nodes are
 // compared by address.
 type Node struct {
-	Addr simnet.Addr
+	Addr transport.Addr
 	Val  keyspace.Key
 }
 
@@ -199,10 +199,10 @@ func (c Config) withDefaults() Config {
 // Peer is one ring participant. Construct with NewPeer, then either
 // InitRing (first peer) or have an existing peer InsertSucc it.
 type Peer struct {
-	net  *simnet.Network
+	net  transport.Transport
 	cfg  Config
 	cb   Callbacks
-	addr simnet.Addr // immutable identity, safe to read without mu
+	addr transport.Addr // immutable identity, safe to read without mu
 
 	mu          sync.Mutex
 	self        Node
@@ -227,7 +227,7 @@ type Peer struct {
 // NewPeer constructs a peer in the FREE state and registers its protocol
 // handlers on mux. The peer does not participate in any ring until InitRing
 // or a join completes.
-func NewPeer(net *simnet.Network, mux *simnet.Mux, cfg Config, self Node, cb Callbacks) *Peer {
+func NewPeer(net transport.Transport, mux *transport.Mux, cfg Config, self Node, cb Callbacks) *Peer {
 	p := &Peer{
 		net:    net,
 		cfg:    cfg.withDefaults(),

@@ -1,0 +1,17 @@
+package ring
+
+import "repro/internal/transport"
+
+// Every ring protocol payload and response is registered with the wire
+// codec, so the messages survive a real network hop (and simnet's
+// StrictSerialization round trip).
+func init() {
+	transport.RegisterMessage(Node{})
+	transport.RegisterMessage(Entry{})
+	transport.RegisterMessage([]Entry(nil))
+	transport.RegisterMessage(stabilizeReq{})
+	transport.RegisterMessage(stabilizeResp{})
+	transport.RegisterMessage(joinAckMsg{})
+	transport.RegisterMessage(joinedMsg{})
+	transport.RegisterMessage(pingResp{})
+}

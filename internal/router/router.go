@@ -28,7 +28,7 @@ import (
 	"repro/internal/datastore"
 	"repro/internal/keyspace"
 	"repro/internal/ring"
-	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // RPC method names.
@@ -77,7 +77,7 @@ var (
 // Router is one peer's Content Router.
 type Router struct {
 	cfg  Config
-	net  *simnet.Network
+	net  transport.Transport
 	ring *ring.Peer
 	ds   *datastore.Store
 
@@ -92,7 +92,7 @@ type Router struct {
 }
 
 // New constructs a Router and registers its handlers on the peer's mux.
-func New(net *simnet.Network, mux *simnet.Mux, rp *ring.Peer, ds *datastore.Store, cfg Config) *Router {
+func New(net transport.Transport, mux *transport.Mux, rp *ring.Peer, ds *datastore.Store, cfg Config) *Router {
 	r := &Router{
 		cfg:    cfg.withDefaults(),
 		net:    net,
@@ -108,7 +108,7 @@ func New(net *simnet.Network, mux *simnet.Mux, rp *ring.Peer, ds *datastore.Stor
 }
 
 // handleSucc returns this peer's current ring successor.
-func (r *Router) handleSucc(_ simnet.Addr, _ string, _ any) (any, error) {
+func (r *Router) handleSucc(_ transport.Addr, _ string, _ any) (any, error) {
 	if succ, ok := r.ring.FirstStabilizedSuccessor(); ok {
 		return succ, nil
 	}
@@ -220,7 +220,7 @@ func (r *Router) RefreshOnce() {
 }
 
 // handleLevelAt returns this peer's pointer at the requested level.
-func (r *Router) handleLevelAt(_ simnet.Addr, _ string, payload any) (any, error) {
+func (r *Router) handleLevelAt(_ transport.Addr, _ string, payload any) (any, error) {
 	l, ok := payload.(int)
 	if !ok {
 		return nil, fmt.Errorf("router: bad level payload %T", payload)
@@ -241,7 +241,7 @@ type nextHopResp struct {
 }
 
 // handleNextHop implements one greedy routing step at this peer.
-func (r *Router) handleNextHop(_ simnet.Addr, _ string, payload any) (any, error) {
+func (r *Router) handleNextHop(_ transport.Addr, _ string, payload any) (any, error) {
 	key, ok := payload.(keyspace.Key)
 	if !ok {
 		return nil, fmt.Errorf("router: bad key payload %T", payload)
@@ -290,7 +290,7 @@ func (r *Router) handleNextHop(_ simnet.Addr, _ string, payload any) (any, error
 // the greedy descent from this peer. Ownership is decided by the target's
 // own range, so stale pointer values cost extra hops, never wrong answers.
 // It returns the owner's address and the number of hops taken.
-func (r *Router) FindOwner(ctx context.Context, key keyspace.Key) (simnet.Addr, int, error) {
+func (r *Router) FindOwner(ctx context.Context, key keyspace.Key) (transport.Addr, int, error) {
 	self := r.ring.Self()
 	if rng, has := r.ds.Range(); has && rng.Contains(key) {
 		return self.Addr, 0, nil
@@ -343,7 +343,7 @@ func (r *Router) FindOwner(ctx context.Context, key keyspace.Key) (simnet.Addr, 
 // LinearFindOwner walks plain ring successors from this peer until it finds
 // the owner — the baseline the framework always supports, and the fallback
 // behaviour the hierarchy degrades to under heavy staleness.
-func (r *Router) LinearFindOwner(ctx context.Context, key keyspace.Key) (simnet.Addr, int, error) {
+func (r *Router) LinearFindOwner(ctx context.Context, key keyspace.Key) (transport.Addr, int, error) {
 	self := r.ring.Self()
 	cur := self.Addr
 	hops := 0
@@ -374,7 +374,7 @@ func (r *Router) LinearFindOwner(ctx context.Context, key keyspace.Key) (simnet.
 }
 
 // succOf asks the peer at addr for its first usable successor.
-func (r *Router) succOf(ctx context.Context, addr simnet.Addr) (simnet.Addr, error) {
+func (r *Router) succOf(ctx context.Context, addr transport.Addr) (transport.Addr, error) {
 	if addr == r.ring.Self().Addr {
 		if succ, ok := r.ring.FirstStabilizedSuccessor(); ok {
 			return succ.Addr, nil

@@ -1,0 +1,13 @@
+package router
+
+import (
+	"repro/internal/keyspace"
+	"repro/internal/transport"
+)
+
+// Content Router wire types. Lookup keys travel as bare keyspace.Key values
+// and level indices as bare ints (registered by the transport package).
+func init() {
+	transport.RegisterMessage(keyspace.Key(0))
+	transport.RegisterMessage(nextHopResp{})
+}

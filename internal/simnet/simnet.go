@@ -1,11 +1,11 @@
-// Package simnet provides the network substrate: an in-process message
-// network connecting simulated peers.
+// Package simnet provides the in-memory implementation of the transport
+// contract: an in-process message network connecting simulated peers.
 //
 // The paper's evaluation ran 30 concurrent peer processes on a LAN cluster
 // (Section 6.1) and assumes "some underlying network protocol that can be
 // used to send messages reliably from one peer to another with known bounded
 // delay" with fail-stop peer failures (Section 2.1). simnet reproduces that
-// contract in one process:
+// contract in one process, implementing transport.Transport:
 //
 //   - every peer registers an endpoint with a request handler;
 //   - Call performs a synchronous request/response with a configurable,
@@ -15,32 +15,47 @@
 //     it time out after the configured dead-call delay, exactly how a live
 //     peer observes a failed one ("no response" in Algorithm 14).
 //
+// With Config.StrictSerialization set, every payload and response is pushed
+// through the wire codec (transport.Encode/Decode) instead of being handed
+// over by reference. Handlers then observe exactly the deep copy a real
+// network hop would deliver, so tests catch unregistered message types,
+// unencodable fields and accidental sharing of mutable state long before the
+// TCP transport does.
+//
 // All delays scale with Config values, so experiments can run the paper's
 // second-scale parameters at millisecond scale (see EXPERIMENTS.md).
 package simnet
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/transport"
 )
 
 // Addr identifies a peer on the network (the paper's "physical id").
-type Addr string
+type Addr = transport.Addr
 
 // Handler processes one incoming request at a peer and returns a response.
 // Handlers run concurrently; implementations must be safe for concurrent use.
-type Handler func(from Addr, method string, payload any) (any, error)
+type Handler = transport.Handler
 
-// Errors returned by network operations.
+// Mux dispatches per-method handlers for one peer; see transport.Mux.
+type Mux = transport.Mux
+
+// NewMux returns an empty dispatcher.
+func NewMux() *Mux { return transport.NewMux() }
+
+// Errors returned by network operations, shared with every other transport
+// implementation so callers can errors.Is regardless of substrate.
 var (
-	ErrUnreachable = errors.New("simnet: peer unreachable")
-	ErrSenderDead  = errors.New("simnet: sending peer is not alive")
-	ErrDuplicate   = errors.New("simnet: address already registered")
+	ErrUnreachable = transport.ErrUnreachable
+	ErrSenderDead  = transport.ErrSenderDead
+	ErrDuplicate   = transport.ErrDuplicate
 )
 
 // Config controls network timing.
@@ -53,6 +68,11 @@ type Config struct {
 	DeadCallDelay time.Duration
 	// Seed initializes the latency sampler; zero means a fixed default.
 	Seed int64
+	// StrictSerialization routes every payload and response through the wire
+	// codec, delivering a deep copy: what a real network hop produces. A
+	// payload that cannot be encoded fails the Call (or silently drops the
+	// Send, counted in Stats.StrictFailures and retained by StrictErr).
+	StrictSerialization bool
 }
 
 // DefaultConfig returns timing suited to millisecond-scale experiments.
@@ -67,30 +87,42 @@ func DefaultConfig() Config {
 
 // Stats aggregates network traffic counters.
 type Stats struct {
-	Calls    uint64 // synchronous request/responses attempted
-	Sends    uint64 // one-way messages attempted
-	Failures uint64 // calls/sends that could not be delivered
-	ByMethod map[string]uint64
+	Calls          uint64 // synchronous request/responses attempted
+	Sends          uint64 // one-way messages attempted
+	Failures       uint64 // calls/sends that could not be delivered
+	StrictFailures uint64 // messages rejected by the codec in strict mode
+	ByMethod       map[string]uint64
 }
 
-// Network is an in-process message network. The zero value is not usable;
-// construct with New.
+// Network is an in-process message network implementing transport.Transport.
+// The zero value is not usable; construct with New.
 type Network struct {
 	cfg Config
 
-	mu    sync.RWMutex
-	peers map[Addr]*endpoint
+	mu     sync.RWMutex
+	peers  map[Addr]*endpoint
+	closed bool
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
-	calls    atomic.Uint64
-	sends    atomic.Uint64
-	failures atomic.Uint64
+	calls          atomic.Uint64
+	sends          atomic.Uint64
+	failures       atomic.Uint64
+	strictFailures atomic.Uint64
+
+	strictMu  sync.Mutex
+	strictErr error // first codec rejection observed in strict mode
 
 	methodMu sync.Mutex
 	byMethod map[string]uint64
 }
+
+// Network must satisfy the substrate contract used by every protocol layer.
+var (
+	_ transport.Transport   = (*Network)(nil)
+	_ transport.Deregistrar = (*Network)(nil)
+)
 
 type endpoint struct {
 	handler Handler
@@ -120,6 +152,9 @@ func (n *Network) Register(addr Addr, h Handler) error {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.closed {
+		return transport.ErrClosed
+	}
 	if ep, ok := n.peers[addr]; ok && ep.alive.Load() {
 		return fmt.Errorf("%w: %s", ErrDuplicate, addr)
 	}
@@ -141,6 +176,21 @@ func (n *Network) Kill(addr Addr) {
 	}
 }
 
+// Deregister implements transport.Deregistrar as a fail-stop.
+func (n *Network) Deregister(addr Addr) { n.Kill(addr) }
+
+// Close fail-stops the whole network: every peer stops being served and
+// further registrations fail.
+func (n *Network) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.closed = true
+	for _, ep := range n.peers {
+		ep.alive.Store(false)
+	}
+	return nil
+}
+
 // Alive reports whether the peer is registered and not failed.
 func (n *Network) Alive(addr Addr) bool {
 	n.mu.RLock()
@@ -158,11 +208,39 @@ func (n *Network) Stats() Stats {
 	}
 	n.methodMu.Unlock()
 	return Stats{
-		Calls:    n.calls.Load(),
-		Sends:    n.sends.Load(),
-		Failures: n.failures.Load(),
-		ByMethod: by,
+		Calls:          n.calls.Load(),
+		Sends:          n.sends.Load(),
+		Failures:       n.failures.Load(),
+		StrictFailures: n.strictFailures.Load(),
+		ByMethod:       by,
 	}
+}
+
+// StrictErr returns the first codec rejection observed in strict mode, or
+// nil. Tests assert on it to prove every message type survives the wire.
+func (n *Network) StrictErr() error {
+	n.strictMu.Lock()
+	defer n.strictMu.Unlock()
+	return n.strictErr
+}
+
+// strictRoundTrip pushes v through the codec in strict mode, recording the
+// first rejection.
+func (n *Network) strictRoundTrip(v any) (any, error) {
+	if !n.cfg.StrictSerialization {
+		return v, nil
+	}
+	out, err := transport.RoundTrip(v)
+	if err != nil {
+		n.strictFailures.Add(1)
+		n.strictMu.Lock()
+		if n.strictErr == nil {
+			n.strictErr = err
+		}
+		n.strictMu.Unlock()
+		return nil, err
+	}
+	return out, nil
 }
 
 func (n *Network) countMethod(method string) {
@@ -223,6 +301,11 @@ func (n *Network) Call(ctx context.Context, from, to Addr, method string, payloa
 		n.failures.Add(1)
 		return nil, fmt.Errorf("%w: %s", ErrSenderDead, from)
 	}
+	payload, perr := n.strictRoundTrip(payload)
+	if perr != nil {
+		n.failures.Add(1)
+		return nil, perr
+	}
 	if err := sleep(ctx, n.latency()); err != nil {
 		n.failures.Add(1)
 		return nil, err
@@ -247,6 +330,10 @@ func (n *Network) Call(ctx context.Context, from, to Addr, method string, payloa
 	if err != nil {
 		return nil, err
 	}
+	if resp, err = n.strictRoundTrip(resp); err != nil {
+		n.failures.Add(1)
+		return nil, err
+	}
 	if lerr := sleep(ctx, n.latency()); lerr != nil {
 		return nil, lerr
 	}
@@ -255,11 +342,17 @@ func (n *Network) Call(ctx context.Context, from, to Addr, method string, payloa
 
 // Send delivers a one-way message asynchronously: it returns immediately and
 // the handler runs after the sampled propagation delay. Delivery failures are
-// silent, as on a real network.
+// silent, as on a real network; strict-mode codec rejections are silent too
+// but recorded in Stats.StrictFailures and StrictErr.
 func (n *Network) Send(from, to Addr, method string, payload any) {
 	n.sends.Add(1)
 	n.countMethod(method)
 	if from != "" && !n.Alive(from) {
+		n.failures.Add(1)
+		return
+	}
+	payload, perr := n.strictRoundTrip(payload)
+	if perr != nil {
 		n.failures.Add(1)
 		return
 	}

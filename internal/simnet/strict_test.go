@@ -1,0 +1,114 @@
+package simnet
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+type strictRegistered struct{ N int }
+
+func init() { transport.RegisterMessage(strictRegistered{}) }
+
+// An unregistered payload type must fail a strict-mode Call loudly instead
+// of slipping through by reference — the whole point of StrictSerialization.
+func TestStrictSerializationCatchesUnregisteredPayload(t *testing.T) {
+	type unregisteredPayload struct{ N int }
+	n := New(Config{DeadCallDelay: time.Millisecond, Seed: 1, StrictSerialization: true})
+	echo := func(_ Addr, _ string, p any) (any, error) { return p, nil }
+	if err := n.Register("a", echo); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register("b", echo); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	if _, err := n.Call(ctx, "a", "b", "m", unregisteredPayload{N: 7}); err == nil {
+		t.Fatal("strict Call with unregistered payload succeeded")
+	}
+	if err := n.StrictErr(); err == nil {
+		t.Fatal("StrictErr not recorded")
+	}
+	if st := n.Stats(); st.StrictFailures == 0 {
+		t.Fatal("StrictFailures not counted")
+	}
+
+	// A registered payload keeps working and arrives as a deep copy.
+	got, err := n.Call(ctx, "a", "b", "m", strictRegistered{N: 3})
+	if err != nil {
+		t.Fatalf("strict Call with registered payload: %v", err)
+	}
+	if v, ok := got.(strictRegistered); !ok || v.N != 3 {
+		t.Fatalf("got %#v", got)
+	}
+}
+
+// A strict-mode Send with an unencodable payload is dropped silently (Send
+// failures are always silent) but recorded, so tests can assert on it.
+func TestStrictSerializationRecordsSendRejections(t *testing.T) {
+	type unregisteredOneWay struct{ N int }
+	n := New(Config{DeadCallDelay: time.Millisecond, Seed: 1, StrictSerialization: true})
+	delivered := make(chan any, 1)
+	if err := n.Register("a", func(_ Addr, _ string, p any) (any, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register("b", func(_ Addr, _ string, p any) (any, error) {
+		delivered <- p
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	n.Send("a", "b", "m", unregisteredOneWay{N: 1})
+	select {
+	case p := <-delivered:
+		t.Fatalf("unencodable one-way payload delivered: %#v", p)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := n.StrictErr(); err == nil {
+		t.Fatal("StrictErr not recorded for rejected Send")
+	}
+
+	n.Send("a", "b", "m", strictRegistered{N: 2})
+	select {
+	case p := <-delivered:
+		if v, ok := p.(strictRegistered); !ok || v.N != 2 {
+			t.Fatalf("delivered %#v", p)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("registered one-way payload never delivered")
+	}
+}
+
+// By-reference sharing: without strict mode the receiver can mutate the
+// sender's value through a shared slice; with strict mode it cannot. This is
+// the class of bug the codec boundary exists to flush out.
+func TestStrictSerializationBreaksSharedState(t *testing.T) {
+	transport.RegisterMessage([]int(nil))
+	for _, strict := range []bool{false, true} {
+		n := New(Config{DeadCallDelay: time.Millisecond, Seed: 1, StrictSerialization: strict})
+		if err := n.Register("a", func(Addr, string, any) (any, error) { return nil, nil }); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Register("b", func(_ Addr, _ string, p any) (any, error) {
+			p.([]int)[0] = 42 // hostile mutation of the received payload
+			return nil, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		payload := []int{1}
+		if _, err := n.Call(context.Background(), "a", "b", "m", payload); err != nil {
+			t.Fatal(err)
+		}
+		mutated := payload[0] == 42
+		if strict && mutated {
+			t.Fatal("strict mode delivered the payload by reference")
+		}
+		if !strict && !mutated {
+			t.Fatal("sanity: non-strict mode should share by reference")
+		}
+	}
+}

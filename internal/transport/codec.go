@@ -1,0 +1,101 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+)
+
+// The wire codec: a registry of every message type that crosses the
+// transport boundary, and a self-describing envelope encoding built on gob.
+//
+// Every RPC payload and response type must be registered (each protocol
+// package registers its wire types in an init function). The envelope holds
+// the value in an interface field, so gob writes the concrete type name into
+// the stream and decoding recovers the original dynamic type without the
+// receiver knowing the method's schema — the codec is shared by every method
+// of every layer.
+//
+// Encoding is also how by-reference sharing is flushed out: a payload that
+// round-trips through Encode/Decode is a deep copy, exactly what crossing a
+// process boundary produces. simnet's StrictSerialization mode forces every
+// message through this round trip so in-process tests catch unregistered or
+// unencodable payloads before they break the TCP transport.
+
+// envelope wraps a payload so gob records its concrete type.
+type envelope struct {
+	V any
+}
+
+var (
+	regMu      sync.Mutex
+	registered []any // sample values, in registration order
+)
+
+// RegisterMessage registers the concrete type of sample with the wire codec.
+// Call it from an init function once per payload/response type. Registering
+// the same type twice is a no-op; registering two different types with the
+// same name panics (inherited from gob).
+func RegisterMessage(sample any) {
+	gob.Register(sample)
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, prev := range registered {
+		if fmt.Sprintf("%T", prev) == fmt.Sprintf("%T", sample) {
+			return
+		}
+	}
+	registered = append(registered, sample)
+}
+
+// RegisteredMessages returns one sample value per registered message type,
+// in registration order. Tests use it to round-trip every wire type.
+func RegisteredMessages() []any {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]any, len(registered))
+	copy(out, registered)
+	return out
+}
+
+// Encode serializes a payload (which may be nil) into a self-describing byte
+// stream. It fails if the payload's concrete type is not registered or holds
+// unencodable fields — the errors StrictSerialization exists to surface.
+func Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&envelope{V: v}); err != nil {
+		return nil, fmt.Errorf("transport: encode %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode recovers the payload from an Encode stream.
+func Decode(b []byte) (any, error) {
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&env); err != nil {
+		return nil, fmt.Errorf("transport: decode: %w", err)
+	}
+	return env.V, nil
+}
+
+// RoundTrip encodes and immediately decodes a payload, returning the deep
+// copy a real network hop would produce.
+func RoundTrip(v any) (any, error) {
+	b, err := Encode(v)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(b)
+}
+
+func init() {
+	// Predeclared types that travel as bare payloads or responses (e.g. the
+	// `true` acknowledgments and integer level indices). Named protocol types
+	// are registered by the packages that own them.
+	RegisterMessage(false)
+	RegisterMessage(int(0))
+	RegisterMessage(int64(0))
+	RegisterMessage(uint64(0))
+	RegisterMessage("")
+}

@@ -1,4 +1,4 @@
-package simnet
+package transport
 
 import (
 	"fmt"
@@ -6,13 +6,12 @@ import (
 )
 
 // Mux dispatches incoming requests for one peer to per-method handlers, so
-// the ring, data store and replication manager layers of a peer can share a
-// single network endpoint, mirroring how the indexing framework stacks
+// the ring, data store, replication and router layers of a peer can share a
+// single transport endpoint, mirroring how the indexing framework stacks
 // components on one process (Figure 1 of the paper).
 type Mux struct {
 	mu       sync.RWMutex
 	handlers map[string]Handler
-	fallback Handler
 }
 
 // NewMux returns an empty dispatcher.
@@ -32,13 +31,13 @@ func (m *Mux) Handle(method string, h Handler) {
 	m.handlers[method] = h
 }
 
-// Dispatch is the simnet Handler for the peer owning this mux.
+// Dispatch is the transport Handler for the peer owning this mux.
 func (m *Mux) Dispatch(from Addr, method string, payload any) (any, error) {
 	m.mu.RLock()
 	h := m.handlers[method]
 	m.mu.RUnlock()
 	if h == nil {
-		return nil, fmt.Errorf("simnet: no handler for method %q", method)
+		return nil, fmt.Errorf("transport: no handler for method %q", method)
 	}
 	return h(from, method, payload)
 }

@@ -1,0 +1,477 @@
+// Package tcp implements the transport.Transport contract over real TCP
+// connections, so a PEPPER peer can run as its own OS process and clusters
+// can span machines — the deployment model of the paper's evaluation, which
+// ran 30 peer processes on a LAN cluster (Section 6.1).
+//
+// Wire format: every request and response is one length-prefixed frame
+// (transport.WriteFrame) holding a gob-encoded header whose payload bytes
+// are a codec envelope (transport.Encode), so only registered message types
+// cross the wire. Each in-flight call borrows one pooled connection and runs
+// a strict request/response exchange on it; concurrent calls to the same
+// peer use distinct pooled connections, which keeps the protocol trivially
+// correct (no stream multiplexing) while still amortizing dials.
+//
+// Failure semantics match simnet.Kill: a call to a dead, unknown or
+// unresponsive peer fails with transport.ErrUnreachable after the per-call
+// deadline, which is how a live peer observes a fail-stopped one
+// (Algorithm 14's "no response"). Deregister closes a peer's listener, after
+// which its address behaves exactly like a killed simnet peer.
+package tcp
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// Config controls the TCP transport.
+type Config struct {
+	// DialTimeout bounds establishing a connection. Default 2s.
+	DialTimeout time.Duration
+	// CallTimeout is the per-call deadline applied when the caller's context
+	// carries none — the "known bounded delay" of Section 2.1. Default 5s.
+	CallTimeout time.Duration
+	// MaxIdlePerPeer bounds pooled idle connections per destination.
+	// Default 4.
+	MaxIdlePerPeer int
+}
+
+func (c Config) withDefaults() Config {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 5 * time.Second
+	}
+	if c.MaxIdlePerPeer <= 0 {
+		c.MaxIdlePerPeer = 4
+	}
+	return c
+}
+
+// frame kinds.
+const (
+	kindCall = iota
+	kindSend
+	kindResp
+)
+
+// wireMsg is the header of every frame. Payload holds a codec envelope.
+type wireMsg struct {
+	Kind    int
+	From    string
+	Method  string
+	Payload []byte
+	Err     string // kindResp only: non-empty when the handler failed
+}
+
+// Transport is a TCP implementation of transport.Transport.
+type Transport struct {
+	cfg Config
+
+	mu        sync.Mutex
+	listeners map[transport.Addr]*listener
+	pools     map[transport.Addr]*pool
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+type listener struct {
+	ln net.Listener
+	h  transport.Handler
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	dead  bool
+}
+
+// track records an accepted connection so a Deregister can fail-stop it;
+// it reports false when the listener is already dead.
+func (l *listener) track(conn net.Conn) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.dead {
+		return false
+	}
+	if l.conns == nil {
+		l.conns = make(map[net.Conn]struct{})
+	}
+	l.conns[conn] = struct{}{}
+	return true
+}
+
+func (l *listener) untrack(conn net.Conn) {
+	l.mu.Lock()
+	delete(l.conns, conn)
+	l.mu.Unlock()
+}
+
+// kill closes the listener and every accepted connection: a fail-stop. The
+// handler stops being invoked for new requests; in-flight responses are
+// lost, exactly as when a simnet peer is killed mid-call.
+func (l *listener) kill() {
+	l.mu.Lock()
+	l.dead = true
+	conns := make([]net.Conn, 0, len(l.conns))
+	for c := range l.conns {
+		conns = append(conns, c)
+	}
+	l.conns = nil
+	l.mu.Unlock()
+	l.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// pool is a stack of idle connections to one destination.
+type pool struct {
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+// New constructs a TCP transport.
+func New(cfg Config) *Transport {
+	return &Transport{
+		cfg:       cfg.withDefaults(),
+		listeners: make(map[transport.Addr]*listener),
+		pools:     make(map[transport.Addr]*pool),
+	}
+}
+
+// Register listens on addr (a host:port) and serves incoming requests with
+// h. The endpoint is keyed by addr exactly as given — that is the peer's
+// identity, and the address Deregister must be called with — even when the
+// OS resolves it differently (e.g. a hostname). Use Listen to bind an
+// ephemeral port.
+func (t *Transport) Register(addr transport.Addr, h transport.Handler) error {
+	_, err := t.listen(addr, h, false)
+	return err
+}
+
+// Listen is Register for ephemeral ports: it binds addr (e.g.
+// "127.0.0.1:0") and returns the actual bound address, which is the
+// endpoint's key. The bound address is the peer's identity: hand it to
+// other peers as this peer's Addr.
+func (t *Transport) Listen(addr transport.Addr, h transport.Handler) (transport.Addr, error) {
+	return t.listen(addr, h, true)
+}
+
+// listen binds addr and serves h. The endpoint is keyed by the resolved
+// bound address when keyByBound is set, and by addr as given otherwise.
+func (t *Transport) listen(addr transport.Addr, h transport.Handler, keyByBound bool) (transport.Addr, error) {
+	if h == nil {
+		return "", fmt.Errorf("tcp: nil handler for %s", addr)
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return "", transport.ErrClosed
+	}
+	if _, ok := t.listeners[addr]; ok {
+		t.mu.Unlock()
+		return "", fmt.Errorf("%w: %s", transport.ErrDuplicate, addr)
+	}
+	t.mu.Unlock()
+
+	ln, err := net.Listen("tcp", string(addr))
+	if err != nil {
+		return "", fmt.Errorf("tcp: listen %s: %w", addr, err)
+	}
+	key := addr
+	if keyByBound {
+		key = transport.Addr(ln.Addr().String())
+	}
+
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		ln.Close()
+		return "", transport.ErrClosed
+	}
+	if _, ok := t.listeners[key]; ok {
+		t.mu.Unlock()
+		ln.Close()
+		return "", fmt.Errorf("%w: %s", transport.ErrDuplicate, key)
+	}
+	l := &listener{ln: ln, h: h}
+	t.listeners[key] = l
+	t.wg.Add(1)
+	t.mu.Unlock()
+
+	go t.acceptLoop(key, l)
+	return key, nil
+}
+
+func (t *Transport) acceptLoop(addr transport.Addr, l *listener) {
+	defer t.wg.Done()
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			return // listener closed (Deregister or Close)
+		}
+		t.wg.Add(1)
+		go t.serveConn(conn, l)
+	}
+}
+
+// serveConn answers request frames on one inbound connection until the peer
+// hangs up or a protocol error occurs.
+func (t *Transport) serveConn(conn net.Conn, l *listener) {
+	defer t.wg.Done()
+	defer conn.Close()
+	if !l.track(conn) {
+		return
+	}
+	defer l.untrack(conn)
+	h := l.h
+	for {
+		raw, err := transport.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		var req wireMsg
+		if err := decodeMsg(raw, &req); err != nil {
+			return
+		}
+		payload, err := transport.Decode(req.Payload)
+		if err != nil {
+			if req.Kind == kindCall {
+				_ = writeMsg(conn, wireMsg{Kind: kindResp, Err: err.Error()})
+			}
+			continue
+		}
+		resp, herr := h(transport.Addr(req.From), req.Method, payload)
+		if req.Kind != kindCall {
+			continue // one-way: no response frame
+		}
+		out := wireMsg{Kind: kindResp}
+		if herr != nil {
+			out.Err = herr.Error()
+		} else if out.Payload, err = transport.Encode(resp); err != nil {
+			out.Payload, out.Err = nil, err.Error()
+		}
+		if err := writeMsg(conn, out); err != nil {
+			return
+		}
+	}
+}
+
+// RemoteError is a handler error that crossed the wire. The concrete error
+// type cannot survive serialization, so callers get the message text;
+// transport-level failures keep their sentinel identity (ErrUnreachable).
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return e.Msg }
+
+// Call implements transport.Transport. The exchange is bounded by ctx, or by
+// Config.CallTimeout when ctx carries no deadline.
+func (t *Transport) Call(ctx context.Context, from, to transport.Addr, method string, payload any) (any, error) {
+	body, err := transport.Encode(payload)
+	if err != nil {
+		return nil, err
+	}
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		deadline = time.Now().Add(t.cfg.CallTimeout)
+	}
+	conn, err := t.checkout(to, deadline)
+	if err != nil {
+		return nil, unreachable(to, err)
+	}
+	ok = false
+	defer func() {
+		if ok {
+			t.checkin(to, conn)
+		} else {
+			conn.Close()
+		}
+	}()
+
+	_ = conn.SetDeadline(deadline)
+	msg := wireMsg{Kind: kindCall, From: string(from), Method: method, Payload: body}
+	if err := writeMsg(conn, msg); err != nil {
+		return nil, unreachable(to, err)
+	}
+	raw, err := transport.ReadFrame(conn)
+	if err != nil {
+		return nil, unreachable(to, err)
+	}
+	var resp wireMsg
+	if err := decodeMsg(raw, &resp); err != nil {
+		return nil, unreachable(to, err)
+	}
+	_ = conn.SetDeadline(time.Time{})
+	ok = true
+	if resp.Err != "" {
+		return nil, &RemoteError{Msg: resp.Err}
+	}
+	return transport.Decode(resp.Payload)
+}
+
+// Send implements transport.Transport: deliver asynchronously, dropping the
+// message on any failure.
+func (t *Transport) Send(from, to transport.Addr, method string, payload any) {
+	body, err := transport.Encode(payload)
+	if err != nil {
+		return
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.wg.Add(1)
+	t.mu.Unlock()
+	go func() {
+		defer t.wg.Done()
+		deadline := time.Now().Add(t.cfg.CallTimeout)
+		conn, err := t.checkout(to, deadline)
+		if err != nil {
+			return
+		}
+		_ = conn.SetDeadline(deadline)
+		if err := writeMsg(conn, wireMsg{Kind: kindSend, From: string(from), Method: method, Payload: body}); err != nil {
+			conn.Close()
+			return
+		}
+		_ = conn.SetDeadline(time.Time{})
+		t.checkin(to, conn)
+	}()
+}
+
+// checkout returns a pooled idle connection to addr, dialing if none is
+// available.
+func (t *Transport) checkout(addr transport.Addr, deadline time.Time) (net.Conn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, transport.ErrClosed
+	}
+	p := t.pools[addr]
+	if p == nil {
+		p = &pool{}
+		t.pools[addr] = p
+	}
+	t.mu.Unlock()
+
+	p.mu.Lock()
+	for len(p.conns) > 0 {
+		conn := p.conns[len(p.conns)-1]
+		p.conns = p.conns[:len(p.conns)-1]
+		p.mu.Unlock()
+		return conn, nil
+	}
+	p.mu.Unlock()
+
+	timeout := t.cfg.DialTimeout
+	if until := time.Until(deadline); until < timeout {
+		timeout = until
+	}
+	if timeout <= 0 {
+		return nil, context.DeadlineExceeded
+	}
+	return net.DialTimeout("tcp", string(addr), timeout)
+}
+
+// checkin returns a healthy connection to the pool, or closes it when the
+// pool is full or the transport closed.
+func (t *Transport) checkin(addr transport.Addr, conn net.Conn) {
+	t.mu.Lock()
+	p := t.pools[addr]
+	closed := t.closed
+	t.mu.Unlock()
+	if closed || p == nil {
+		conn.Close()
+		return
+	}
+	p.mu.Lock()
+	if len(p.conns) < t.cfg.MaxIdlePerPeer {
+		p.conns = append(p.conns, conn)
+		conn = nil
+	}
+	p.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+// Deregister implements transport.Deregistrar: stop serving addr. Subsequent
+// calls to it observe connection failures and report ErrUnreachable — the
+// same fail-stop signature simnet.Kill produces.
+func (t *Transport) Deregister(addr transport.Addr) {
+	t.mu.Lock()
+	l := t.listeners[addr]
+	delete(t.listeners, addr)
+	t.mu.Unlock()
+	if l != nil {
+		l.kill()
+	}
+}
+
+// Close implements transport.Transport: stop all listeners, close pooled
+// connections, and wait for serving goroutines to drain.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	ls := make([]*listener, 0, len(t.listeners))
+	for _, l := range t.listeners {
+		ls = append(ls, l)
+	}
+	t.listeners = make(map[transport.Addr]*listener)
+	ps := make([]*pool, 0, len(t.pools))
+	for _, p := range t.pools {
+		ps = append(ps, p)
+	}
+	t.pools = make(map[transport.Addr]*pool)
+	t.mu.Unlock()
+
+	for _, l := range ls {
+		l.kill()
+	}
+	for _, p := range ps {
+		p.mu.Lock()
+		for _, c := range p.conns {
+			c.Close()
+		}
+		p.conns = nil
+		p.mu.Unlock()
+	}
+	t.wg.Wait()
+	return nil
+}
+
+// writeMsg frames and writes one gob-encoded wire message.
+func writeMsg(w io.Writer, m wireMsg) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&m); err != nil {
+		return err
+	}
+	return transport.WriteFrame(w, buf.Bytes())
+}
+
+// decodeMsg parses one frame body into a wire message.
+func decodeMsg(b []byte, m *wireMsg) error {
+	return gob.NewDecoder(bytes.NewReader(b)).Decode(m)
+}
+
+// unreachable wraps a transport-level failure as ErrUnreachable, preserving
+// the caller-visible fail-stop semantics of the simulated network.
+func unreachable(to transport.Addr, err error) error {
+	if errors.Is(err, transport.ErrClosed) {
+		return err
+	}
+	return fmt.Errorf("%w: %s (%v)", transport.ErrUnreachable, to, err)
+}

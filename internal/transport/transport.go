@@ -1,0 +1,90 @@
+// Package transport defines the network substrate contract of the system:
+// the Transport interface every protocol layer (ring, data store,
+// replication, router, core) sends its messages through, plus the wire codec
+// all RPC payloads are registered with.
+//
+// The paper assumes only "some underlying network protocol that can be used
+// to send messages reliably from one peer to another with known bounded
+// delay" with fail-stop peer failures (Section 2.1). Transport captures that
+// assumption as an interface so the same protocol code runs unchanged over
+// the in-process simulated network (package simnet, for deterministic tests
+// and experiments) and over real TCP connections (package transport/tcp, for
+// multi-process deployments):
+//
+//   - Register attaches a peer's request handler at an address;
+//   - Call performs a synchronous request/response with per-call deadlines
+//     carried by the context;
+//   - Send delivers an asynchronous one-way message with silent failure;
+//   - Close tears the whole substrate down.
+//
+// Implementations must present fail-stop semantics: a call to a dead or
+// unknown peer blocks for a bounded time and then reports ErrUnreachable,
+// exactly how a live peer observes a failed one ("no response" in
+// Algorithm 14 of the paper).
+package transport
+
+import (
+	"context"
+	"errors"
+)
+
+// Addr identifies a peer on the network (the paper's "physical id"). For the
+// simulated network it is an opaque label; for TCP it is a dialable
+// host:port.
+type Addr string
+
+// Handler processes one incoming request at a peer and returns a response.
+// Handlers run concurrently; implementations must be safe for concurrent use.
+type Handler func(from Addr, method string, payload any) (any, error)
+
+// Errors returned by transport operations. Implementations wrap these so
+// callers can test with errors.Is regardless of the substrate in use.
+var (
+	// ErrUnreachable reports that the destination peer is dead, unknown, or
+	// did not answer within the deadline — the observable signature of a
+	// fail-stop failure.
+	ErrUnreachable = errors.New("transport: peer unreachable")
+	// ErrSenderDead reports that the sending peer itself has been fail-stopped
+	// (a failed peer sends nothing).
+	ErrSenderDead = errors.New("transport: sending peer is not alive")
+	// ErrDuplicate reports a Register at an address that is already serving.
+	ErrDuplicate = errors.New("transport: address already registered")
+	// ErrClosed reports an operation on a transport after Close.
+	ErrClosed = errors.New("transport: closed")
+)
+
+// Transport is the message substrate connecting peers. All methods are safe
+// for concurrent use.
+type Transport interface {
+	// Register attaches a peer to the network at addr; incoming requests are
+	// dispatched to h. Registering an address that is already live is an
+	// error; re-registering a dead address revives it.
+	Register(addr Addr, h Handler) error
+	// Call performs a synchronous request/response from one peer to another.
+	// A call to a dead destination reports ErrUnreachable after a bounded
+	// delay. The context bounds the whole exchange.
+	Call(ctx context.Context, from, to Addr, method string, payload any) (any, error)
+	// Send delivers a one-way message asynchronously: it returns immediately
+	// and delivery failures are silent, as on a real network.
+	Send(from, to Addr, method string, payload any)
+	// Close tears down the transport: all endpoints stop serving and
+	// subsequent operations fail.
+	Close() error
+}
+
+// Deregistrar is implemented by transports that can fail-stop a single
+// endpoint: the peer stops being served and calls to it report
+// ErrUnreachable, while the rest of the transport keeps running. simnet
+// implements it as Kill (failure injection); TCP implements it by closing the
+// peer's listener (graceful departure).
+type Deregistrar interface {
+	Deregister(addr Addr)
+}
+
+// Deregister fail-stops addr on t if the transport supports per-endpoint
+// teardown, and is a no-op otherwise.
+func Deregister(t Transport, addr Addr) {
+	if d, ok := t.(Deregistrar); ok {
+		d.Deregister(addr)
+	}
+}
