@@ -5,15 +5,22 @@
 // Usage:
 //
 //	benchrunner [-fig N] [-scale ms] [-run paperS] [-quick] [-seed n]
+//	            [-transport] [-json FILE]
 //
 // With no -fig, every figure (19–23) runs in order. -quick shrinks the
-// sweeps for a fast sanity pass. Times are reported in "paper seconds": the
-// workload runs with every period scaled down by -scale (real milliseconds
-// per paper second) and measured durations are scaled back up, so series are
-// directly comparable in shape with the paper's plots (see EXPERIMENTS.md).
+// sweeps for a fast sanity pass. -transport appends the transport
+// throughput sweep (pipelined calls vs in-flight depth over one TCP
+// connection). -json also writes every regenerated figure to FILE as a
+// machine-readable report; CI's bench-smoke job uploads that file as the
+// per-PR benchmark artifact (see README.md). Times are reported in "paper
+// seconds": the workload runs with every period scaled down by -scale (real
+// milliseconds per paper second) and measured durations are scaled back up,
+// so series are directly comparable in shape with the paper's plots (see
+// EXPERIMENTS.md).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +30,16 @@ import (
 	"repro/internal/metrics"
 )
 
+// report is the -json artifact: one entry per regenerated figure, plus
+// enough run metadata to compare artifacts across PRs.
+type report struct {
+	GeneratedAt string            `json:"generated_at"`
+	Quick       bool              `json:"quick"`
+	ScaleMS     float64           `json:"scale_ms"`
+	Seed        int64             `json:"seed"`
+	Figures     []*metrics.Figure `json:"figures"`
+}
+
 func main() {
 	figNum := flag.Int("fig", 0, "figure to regenerate (19..23); 0 = all")
 	scaleMS := flag.Float64("scale", 5, "real milliseconds per paper second")
@@ -30,6 +47,8 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast pass")
 	seed := flag.Int64("seed", 1, "workload seed")
 	ablation := flag.Bool("ablation", true, "include the no-proactive-contact ablation in figure 20")
+	transportBench := flag.Bool("transport", false, "append the transport pipelined-call throughput sweep")
+	jsonPath := flag.String("json", "", "also write the regenerated figures to this file as JSON")
 	flag.Parse()
 
 	p := bench.Params{
@@ -42,11 +61,13 @@ func main() {
 	periods := []float64{2, 3, 4, 5, 6, 7, 8}
 	rates := []float64{0, 2, 4, 6, 8, 10, 12}
 	maxHops, queries := 12, 600
+	depths, callsPerDepth := []int{1, 2, 4, 8, 16}, 3000
 	if *quick {
 		lengths = []int{2, 4, 8}
 		periods = []float64{2, 4, 8}
 		rates = []float64{0, 6, 12}
 		maxHops, queries = 8, 200
+		depths, callsPerDepth = []int{1, 2, 4, 8}, 800
 		if p.RunS == 0 {
 			p.RunS = 40
 		}
@@ -64,6 +85,12 @@ func main() {
 		{23, func() (*metrics.Figure, error) { return bench.Fig23(p, rates) }},
 	}
 
+	rep := report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Quick:       *quick,
+		ScaleMS:     *scaleMS,
+		Seed:        *seed,
+	}
 	ran := 0
 	for _, j := range jobs {
 		if *figNum != 0 && j.num != *figNum {
@@ -77,10 +104,36 @@ func main() {
 		}
 		fmt.Println(fig.Render())
 		fmt.Printf("# figure %d regenerated in %v\n\n", j.num, time.Since(start).Round(time.Millisecond))
+		rep.Figures = append(rep.Figures, fig)
+		ran++
+	}
+	if *transportBench {
+		start := time.Now()
+		fig, err := bench.TransportFigure(depths, callsPerDepth, 100*time.Microsecond)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "transport bench failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(fig.Render())
+		fmt.Printf("# transport sweep ran in %v\n\n", time.Since(start).Round(time.Millisecond))
+		rep.Figures = append(rep.Figures, fig)
 		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown figure %d (valid: 19..23)\n", *figNum)
 		os.Exit(2)
+	}
+	if *jsonPath != "" {
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "encoding %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		out = append(out, '\n')
+		if err := os.WriteFile(*jsonPath, out, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("# wrote %d figures to %s\n", len(rep.Figures), *jsonPath)
 	}
 }

@@ -104,7 +104,7 @@ func serveMain(listen, join string, items int, seed int64) {
 func loadItems(ctx context.Context, node *core.Standalone, items int, fail func(error)) {
 	for i := 1; i <= items; i++ {
 		it := datastore.Item{Key: keyspace.Key(i * 1000), Payload: fmt.Sprintf("object-%d", i)}
-		if err := node.Peer.InsertItem(ctx, it); err != nil {
+		if err := node.CurrentPeer().InsertItem(ctx, it); err != nil {
 			if ctx.Err() != nil {
 				return
 			}
@@ -113,7 +113,7 @@ func loadItems(ctx context.Context, node *core.Standalone, items int, fail func(
 	}
 	fmt.Printf("pepperd: loaded %d items\n", items)
 	iv := keyspace.ClosedInterval(0, keyspace.Key((items+1)*1000))
-	res, stats, err := node.Peer.RangeQueryStats(ctx, iv)
+	res, stats, err := node.CurrentPeer().RangeQueryStats(ctx, iv)
 	if err != nil {
 		fmt.Printf("pepperd: full-range query failed: %v\n", err)
 		return
@@ -122,7 +122,7 @@ func loadItems(ctx context.Context, node *core.Standalone, items int, fail func(
 }
 
 func printStatus(node *core.Standalone) {
-	p := node.Peer
+	p := node.CurrentPeer()
 	state := p.Ring.State()
 	if rng, ok := p.Store.Range(); ok {
 		fmt.Printf("pepperd: state=%s val=%d range=%s items=%d replicas=%d free-pool=%d\n",

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/transport"
+	"repro/internal/transport/tcp"
+)
+
+// TransportFigure measures the multiplexed TCP transport directly: call
+// throughput over one loopback connection as the number of in-flight calls
+// grows. It is the benchrunner twin of BenchmarkPipelinedCalls in
+// transport/tcp — the CI bench-smoke job runs it so the perf trajectory of
+// the transport lands in BENCH_pr.json next to the paper figures. The
+// handler holds each call for handlerDelay, standing in for protocol work;
+// the sequential baseline (depth 1) pays one round trip plus that delay per
+// call, while deeper pipelines overlap them on the same connection.
+func TransportFigure(depths []int, callsPerDepth int, handlerDelay time.Duration) (*metrics.Figure, error) {
+	fig := &metrics.Figure{
+		Title:  "transport: pipelined call throughput vs in-flight depth (one TCP connection)",
+		XLabel: "depth",
+		YLabel: "calls/sec",
+	}
+
+	handler := func(_ transport.Addr, _ string, p any) (any, error) {
+		time.Sleep(handlerDelay)
+		return p, nil
+	}
+	tr := tcp.New(tcp.Config{DialTimeout: 2 * time.Second, CallTimeout: 30 * time.Second, ConnsPerPeer: 1})
+	defer tr.Close()
+	src, err := tr.Listen("127.0.0.1:0", handler)
+	if err != nil {
+		return nil, err
+	}
+	dst, err := tr.Listen("127.0.0.1:0", handler)
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	if _, err := tr.Call(ctx, src, dst, "bench.echo", int64(0)); err != nil {
+		return nil, fmt.Errorf("bench: transport warm-up call: %w", err)
+	}
+
+	for _, depth := range depths {
+		start := time.Now()
+		sem := make(chan struct{}, depth)
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var callErr error
+		for i := 0; i < callsPerDepth; i++ {
+			sem <- struct{}{}
+			wg.Add(1)
+			p := tr.CallAsync(ctx, src, dst, "bench.echo", int64(i))
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				if _, err := p.Result(); err != nil {
+					mu.Lock()
+					if callErr == nil {
+						callErr = err
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		if callErr != nil {
+			return nil, fmt.Errorf("bench: transport call at depth %d: %w", depth, callErr)
+		}
+		x := fmt.Sprintf("%d", depth)
+		fig.XOrder = append(fig.XOrder, x)
+		fig.AddPoint("pipelined", x, float64(callsPerDepth)/time.Since(start).Seconds())
+	}
+	return fig, nil
+}

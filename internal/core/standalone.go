@@ -3,7 +3,9 @@ package core
 import (
 	"context"
 	"fmt"
+	"net"
 	"sync"
+	"time"
 
 	"repro/internal/history"
 	"repro/internal/transport"
@@ -26,9 +28,42 @@ type announceMsg struct {
 }
 
 // AddrPool is a datastore.FreePool over announced remote peer addresses.
+//
+// Release distinguishes two cases by whether the address was handed out by
+// Acquire. A lent address being released means a split's insert failed
+// before the peer ever joined: its identity is unused, so it returns to the
+// pool intact. Any other address is this process's own peer reporting that
+// it merged away: the departed stack is defunct (the paper's model forbids
+// re-entering with the same identifier), so the release is forwarded to
+// OnMergedAway — Standalone uses it to assemble a fresh peer and re-announce
+// instead of requiring an operator restart.
 type AddrPool struct {
 	mu    sync.Mutex
 	addrs []transport.Addr
+	lent  map[transport.Addr]time.Time // when the addr was handed to a split
+
+	// OnMergedAway, when set, observes Release of an address this pool never
+	// lent out — a local peer that merged away. Set before the pool is
+	// shared; called without the pool lock held.
+	OnMergedAway func(addr transport.Addr)
+}
+
+// lentTTL bounds how long a lent address stays recognized for the
+// failed-split Release path. A failed insert releases within the
+// maintenance timeout (seconds); a successfully joined peer never releases
+// back to its lender, so entries older than this are joined peers and are
+// purged to keep the map bounded under sustained churn.
+const lentTTL = 5 * time.Minute
+
+// purgeLentLocked drops lent entries old enough to have joined. Callers
+// hold ap.mu.
+func (ap *AddrPool) purgeLentLocked() {
+	cutoff := time.Now().Add(-lentTTL)
+	for a, at := range ap.lent {
+		if at.Before(cutoff) {
+			delete(ap.lent, a)
+		}
+	}
 }
 
 // Add parks a free peer's address in the pool.
@@ -52,13 +87,32 @@ func (ap *AddrPool) Acquire() (transport.Addr, bool) {
 	}
 	addr := ap.addrs[0]
 	ap.addrs = ap.addrs[1:]
+	if ap.lent == nil {
+		ap.lent = make(map[transport.Addr]time.Time)
+	}
+	ap.purgeLentLocked()
+	ap.lent[addr] = time.Now()
 	return addr, true
 }
 
-// Release drops a merged-away peer. The remote stack is defunct (the paper's
-// model forbids re-entering with the same identifier); the operator restarts
-// the process to rejoin, which announces a fresh peer.
-func (ap *AddrPool) Release(transport.Addr) {}
+// Release implements datastore.FreePool: a never-joined lent peer returns to
+// the pool; a merged-away local peer is reported to OnMergedAway so the
+// process can re-enter with a fresh identity.
+func (ap *AddrPool) Release(addr transport.Addr) {
+	ap.mu.Lock()
+	ap.purgeLentLocked()
+	if _, ok := ap.lent[addr]; ok {
+		delete(ap.lent, addr)
+		ap.addrs = append(ap.addrs, addr)
+		ap.mu.Unlock()
+		return
+	}
+	cb := ap.OnMergedAway
+	ap.mu.Unlock()
+	if cb != nil {
+		cb(addr)
+	}
+}
 
 // Len returns the number of pooled free peers.
 func (ap *AddrPool) Len() int {
@@ -68,13 +122,27 @@ func (ap *AddrPool) Len() int {
 }
 
 // Standalone is a single peer stack bound to a real transport endpoint,
-// running in its own OS process.
+// running in its own OS process. When its peer merges away, the stack
+// rebuilds itself under a fresh identity and re-announces to the bootstrap
+// it originally joined (see Rejoin), so the process stays in the free pool's
+// rotation instead of requiring a restart.
 type Standalone struct {
-	Peer *Peer
 	Log  *history.Log
 	Pool *AddrPool
 
-	tr transport.Transport
+	tr  transport.Transport
+	cfg Config
+
+	mu        sync.Mutex
+	peer      *Peer
+	bootstrap transport.Addr // where JoinAsFree announced; "" for the bootstrap process itself
+	rejoinSeq int
+	rejoinErr error         // last rejoin failure, nil after a success
+	rejoins   chan struct{} // signalled after each completed rejoin (buffered)
+
+	// Peer is the current peer stack. It is replaced on rejoin; concurrent
+	// readers should prefer CurrentPeer.
+	Peer *Peer
 }
 
 // NewStandalone assembles a peer stack on tr at addr, which must be the
@@ -84,15 +152,30 @@ type Standalone struct {
 // journal shipping, which is out of scope here.
 func NewStandalone(tr transport.Transport, addr transport.Addr, cfg Config) (*Standalone, error) {
 	cfg = cfg.withDefaults()
-	s := &Standalone{Log: history.NewLog(), Pool: &AddrPool{}, tr: tr}
-	p, err := assemblePeer(tr, addr, cfg, s.Log, s.Pool)
+	s := &Standalone{
+		Log:     history.NewLog(),
+		Pool:    &AddrPool{},
+		tr:      tr,
+		cfg:     cfg,
+		rejoins: make(chan struct{}, 16),
+	}
+	s.Pool.OnMergedAway = s.mergedAway
+	p, err := s.buildPeer(addr)
 	if err != nil {
 		return nil, err
 	}
-	s.Peer = p
-	// Accept free-peer announcements from joining processes. Installed
-	// before Activate so no announce can arrive at a mux that lacks the
-	// handler.
+	s.peer, s.Peer = p, p
+	return s, nil
+}
+
+// buildPeer assembles and activates one peer stack at addr, with the
+// free-peer announce handler installed (before Activate, so no announce can
+// arrive at a mux that lacks the handler).
+func (s *Standalone) buildPeer(addr transport.Addr) (*Peer, error) {
+	p, err := assemblePeer(s.tr, addr, s.cfg, s.Log, s.Pool)
+	if err != nil {
+		return nil, err
+	}
 	p.Mux.Handle(methodAnnounceFree, func(_ transport.Addr, _ string, payload any) (any, error) {
 		msg, ok := payload.(announceMsg)
 		if !ok {
@@ -104,39 +187,158 @@ func NewStandalone(tr transport.Transport, addr transport.Addr, cfg Config) (*St
 	if err := p.Activate(); err != nil {
 		return nil, err
 	}
-	return s, nil
+	return p, nil
 }
+
+// CurrentPeer returns the live peer stack (which changes across rejoins).
+func (s *Standalone) CurrentPeer() *Peer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peer
+}
+
+// Rejoins exposes a signal channel that receives after each completed
+// rejoin; tests use it to wait for the fresh announce deterministically.
+func (s *Standalone) Rejoins() <-chan struct{} { return s.rejoins }
 
 // Bootstrap makes this process the ring's first member, owning the whole
 // key space.
 func (s *Standalone) Bootstrap() error {
-	if err := s.Peer.Ring.InitRing(); err != nil {
+	p := s.CurrentPeer()
+	if err := p.Ring.InitRing(); err != nil {
 		return err
 	}
-	s.Peer.Store.InitFirstPeer()
-	s.Peer.Store.Start()
-	s.Peer.Rep.Start()
-	s.Peer.Router.Start()
+	p.Store.InitFirstPeer()
+	p.Store.Start()
+	p.Rep.Start()
+	p.Router.Start()
 	return nil
 }
 
 // JoinAsFree announces this process's peer to the bootstrap node as a free
 // peer. The peer stays FREE until a split on the bootstrap side draws it
 // from the pool and inserts it into the ring, at which point the ring's
-// joined event starts the local component loops.
+// joined event starts the local component loops. The bootstrap address is
+// remembered: if this peer later merges away, the process re-announces a
+// fresh peer there on its own.
 func (s *Standalone) JoinAsFree(ctx context.Context, bootstrap transport.Addr) error {
-	resp, err := s.tr.Call(ctx, s.Peer.Addr, bootstrap, methodAnnounceFree, announceMsg{Addr: s.Peer.Addr})
+	p := s.CurrentPeer()
+	resp, err := s.tr.Call(ctx, p.Addr, bootstrap, methodAnnounceFree, announceMsg{Addr: p.Addr})
 	if err != nil {
 		return fmt.Errorf("core: announce to %s failed: %w", bootstrap, err)
 	}
 	if ok, _ := resp.(bool); !ok {
 		return fmt.Errorf("core: announce to %s rejected: %v", bootstrap, resp)
 	}
+	s.mu.Lock()
+	s.bootstrap = bootstrap
+	s.mu.Unlock()
 	return nil
+}
+
+// mergedAway is the AddrPool's OnMergedAway hook: the local peer finished a
+// merge and departed the ring. Its identity is spent, so rebuild under a
+// fresh one off the maintenance goroutine that is reporting the merge. The
+// outcome — success or the final error — is recorded in RejoinErr and
+// signalled on Rejoins either way, so a process stuck out of the cluster is
+// observable instead of silently idle.
+func (s *Standalone) mergedAway(addr transport.Addr) {
+	s.mu.Lock()
+	cur := s.peer
+	s.mu.Unlock()
+	if cur == nil || cur.Addr != addr {
+		return // not ours (e.g. a foreign release); nothing to rebuild
+	}
+	go func() {
+		err := s.Rejoin()
+		s.mu.Lock()
+		s.rejoinErr = err
+		s.mu.Unlock()
+		select {
+		case s.rejoins <- struct{}{}:
+		default:
+		}
+	}()
+}
+
+// RejoinErr reports the outcome of the most recent automatic rejoin: nil
+// after a success, the final announce error when the bootstrap stayed
+// unreachable through every retry (the fresh peer is assembled either way
+// and can be re-announced manually via JoinAsFree).
+func (s *Standalone) RejoinErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rejoinErr
+}
+
+// Rejoin tears down the departed peer stack, assembles a fresh one under a
+// new identity, and re-announces it to the remembered bootstrap. The old
+// endpoint was already deregistered by the ring's departure. A bootstrap
+// process (which never announced anywhere) rebuilds as a free peer but
+// stays unannounced.
+func (s *Standalone) Rejoin() error {
+	s.mu.Lock()
+	old := s.peer
+	bootstrap := s.bootstrap
+	s.mu.Unlock()
+	if old != nil {
+		old.Stop()
+	}
+
+	addr := s.freshAddr(old.Addr)
+	p, err := s.buildPeer(addr)
+	if err != nil {
+		return fmt.Errorf("core: rejoin assembly at %s failed: %w", addr, err)
+	}
+	s.mu.Lock()
+	s.peer, s.Peer = p, p
+	s.mu.Unlock()
+
+	if bootstrap == "" || bootstrap == old.Addr {
+		return nil // nowhere to announce; the fresh peer waits for operators
+	}
+	// The bootstrap may itself be mid-churn (it just absorbed our range);
+	// retry the announce with backoff — roughly half a minute of patience —
+	// before reporting failure through RejoinErr.
+	var lastErr error
+	backoff := 100 * time.Millisecond
+	for attempt := 0; attempt < 8; attempt++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		err := s.JoinAsFree(ctx, bootstrap)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > 5*time.Second {
+			backoff = 5 * time.Second
+		}
+	}
+	return fmt.Errorf("core: re-announce after merge failed: %w", lastErr)
+}
+
+// freshAddr derives a new, never-used identity for a rejoining peer. For
+// host:port identities it probes the old host for a free port (which the
+// transport's Register then binds); otherwise it appends a rejoin suffix,
+// which label-addressed transports (simnet) accept as a new endpoint.
+func (s *Standalone) freshAddr(old transport.Addr) transport.Addr {
+	s.mu.Lock()
+	s.rejoinSeq++
+	seq := s.rejoinSeq
+	s.mu.Unlock()
+	if host, _, err := net.SplitHostPort(string(old)); err == nil {
+		if ln, err := net.Listen("tcp", net.JoinHostPort(host, "0")); err == nil {
+			addr := ln.Addr().String()
+			ln.Close()
+			return transport.Addr(addr)
+		}
+	}
+	return transport.Addr(fmt.Sprintf("%s+r%d", old, seq))
 }
 
 // Close stops the peer stack's background work. The transport is the
 // caller's to close.
 func (s *Standalone) Close() {
-	s.Peer.Stop()
+	s.CurrentPeer().Stop()
 }

@@ -132,3 +132,123 @@ func TestStandaloneClusterOverTCP(t *testing.T) {
 		t.Fatalf("point query for cross-process insert = %v, %v", items, err)
 	}
 }
+
+// AddrPool.Release semantics: a lent-but-never-joined peer returns to the
+// pool (a split whose insert failed), while a foreign address — the local
+// peer reporting its own merge-away — is forwarded to OnMergedAway.
+func TestAddrPoolReleaseSemantics(t *testing.T) {
+	pool := &AddrPool{}
+	var merged []transport.Addr
+	pool.OnMergedAway = func(a transport.Addr) { merged = append(merged, a) }
+
+	pool.Add("peer-a")
+	pool.Add("peer-b")
+	addr, ok := pool.Acquire()
+	if !ok || addr != "peer-a" {
+		t.Fatalf("Acquire = %v, %v", addr, ok)
+	}
+	pool.Release(addr) // failed split insert: identity unused, back to the pool
+	if pool.Len() != 2 {
+		t.Fatalf("pool has %d peers after lent release, want 2", pool.Len())
+	}
+	if len(merged) != 0 {
+		t.Fatalf("lent release reached OnMergedAway: %v", merged)
+	}
+
+	pool.Release("self-addr") // our own peer merged away
+	if len(merged) != 1 || merged[0] != "self-addr" {
+		t.Fatalf("merged-away release = %v, want [self-addr]", merged)
+	}
+	if pool.Len() != 2 {
+		t.Fatalf("pool has %d peers after merged-away release, want 2 (defunct identity must not re-enter)", pool.Len())
+	}
+}
+
+// A standalone process whose peer merges away must re-announce a fresh peer
+// to its bootstrap on its own — no operator restart — and be drawable into
+// the ring again by a later split. Full cycle over real TCP: join, split in,
+// merge out, rejoin, split in again.
+func TestStandaloneRejoinAfterMerge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process churn cycle is slow")
+	}
+	cfg := tcpConfig()
+	boot := startStandalone(t, cfg)
+	if err := boot.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	joiner := startStandalone(t, cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if err := joiner.JoinAsFree(ctx, boot.Peer.Addr); err != nil {
+		t.Fatal(err)
+	}
+
+	// Overflow the bootstrap so a split draws the joiner into the ring.
+	for i := 1; i <= 14; i++ {
+		if err := boot.CurrentPeer().InsertItem(ctx, datastore.Item{Key: keyspace.Key(i * 100), Payload: "x"}); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	waitJoined := func(s *Standalone, what string) {
+		t.Helper()
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			p := s.CurrentPeer()
+			if _, ok := p.Store.Range(); ok && p.Ring.State() == ring.StateJoined {
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		t.Fatalf("%s never joined the ring", what)
+	}
+	waitJoined(joiner, "joiner")
+	oldAddr := joiner.CurrentPeer().Addr
+
+	// Drain the joiner's range: the underflow eventually merges it into the
+	// bootstrap, its identity is spent, and the process must rebuild and
+	// re-announce a fresh peer by itself.
+	drainDeadline := time.Now().Add(60 * time.Second)
+	for {
+		items := joiner.CurrentPeer().Store.LocalItems()
+		if len(items) == 0 || joiner.CurrentPeer().Addr != oldAddr {
+			break
+		}
+		if time.Now().After(drainDeadline) {
+			t.Fatal("joiner never drained")
+		}
+		if _, err := boot.CurrentPeer().DeleteItem(ctx, items[0].Key); err != nil {
+			time.Sleep(50 * time.Millisecond) // mid-merge churn; retry
+		}
+	}
+	select {
+	case <-joiner.Rejoins():
+	case <-time.After(60 * time.Second):
+		t.Fatal("joiner never rejoined after merging away")
+	}
+	if err := joiner.RejoinErr(); err != nil {
+		t.Fatalf("rejoin reported failure: %v", err)
+	}
+	fresh := joiner.CurrentPeer()
+	if fresh.Addr == oldAddr {
+		t.Fatalf("rejoined peer reused identity %s (the paper's model forbids re-entering with the same identifier)", oldAddr)
+	}
+	if fresh.Ring.State() != ring.StateFree {
+		t.Fatalf("rejoined peer state = %v, want FREE", fresh.Ring.State())
+	}
+	if boot.Pool.Len() != 1 {
+		t.Fatalf("bootstrap pool has %d peers after rejoin, want 1 (the fresh announce)", boot.Pool.Len())
+	}
+
+	// The fresh peer must be fully functional: another overflow split has to
+	// draw it back into the ring.
+	for i := 1; i <= 14; i++ {
+		if err := boot.CurrentPeer().InsertItem(ctx, datastore.Item{Key: keyspace.Key(i*100 + 50), Payload: "y"}); err != nil {
+			t.Fatalf("reinsert %d: %v", i, err)
+		}
+	}
+	waitJoined(joiner, "rejoined peer")
+	if joiner.CurrentPeer().Store.ItemCount() == 0 {
+		t.Fatal("rejoined peer joined but received no items")
+	}
+}

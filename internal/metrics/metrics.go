@@ -130,18 +130,18 @@ func (c *Counter) Value() uint64 {
 
 // Series is one line of a figure: a label and a y value per x point.
 type Series struct {
-	Label  string
-	Points map[string]float64 // x label -> y value
+	Label  string             `json:"label"`
+	Points map[string]float64 `json:"points"` // x label -> y value
 }
 
 // Figure renders a paper figure as a text table: one row per x value, one
 // column per series, in the given x order.
 type Figure struct {
-	Title  string
-	XLabel string
-	YLabel string
-	XOrder []string
-	Series []Series
+	Title  string   `json:"title"`
+	XLabel string   `json:"x_label"`
+	YLabel string   `json:"y_label"`
+	XOrder []string `json:"x_order"`
+	Series []Series `json:"series"`
 }
 
 // AddPoint records y for series label at x, creating the series if needed.

@@ -219,6 +219,10 @@ func (m *Manager) handlePull(_ transport.Addr, _ string, payload any) (any, erro
 }
 
 // RefreshOnce pushes this peer's items to its first k JOINED successors.
+// The k pushes are independent, so they are issued as one pipelined burst
+// instead of k sequential round trips: one slow replica no longer stretches
+// the whole refresh to k deadlines, and the refresh period stays honest as
+// the factor grows.
 func (m *Manager) RefreshOnce() {
 	rng, ok := m.ds.Range()
 	if !ok {
@@ -231,10 +235,14 @@ func (m *Manager) RefreshOnce() {
 		succs = succs[:m.cfg.Factor]
 	}
 	msg := pushMsg{From: self, Range: rng, Items: items}
+	ctx, cancel := context.WithTimeout(context.Background(), m.cfg.CallTimeout)
+	defer cancel()
+	pends := make([]*transport.Pending, 0, len(succs))
 	for _, succ := range succs {
-		ctx, cancel := context.WithTimeout(context.Background(), m.cfg.CallTimeout)
-		_, _ = m.net.Call(ctx, self.Addr, succ.Addr, methodPush, msg)
-		cancel()
+		pends = append(pends, transport.CallAsync(m.net, ctx, self.Addr, succ.Addr, methodPush, msg))
+	}
+	for _, p := range pends {
+		_, _ = p.Result()
 	}
 }
 
@@ -257,37 +265,37 @@ func (m *Manager) BeforeLeave(ctx context.Context) error {
 		return nil
 	}
 
-	// Own items one extra hop: k+1 successors instead of k.
+	// Own items one extra hop: k+1 successors instead of k. The pushes are
+	// independent, so they run as one pipelined burst.
 	own := pushMsg{From: self, Range: rng, Items: m.ds.LocalItems()}
 	limit := m.cfg.Factor + 1
 	if limit > len(succs) {
 		limit = len(succs)
 	}
+	pends := make([]*transport.Pending, 0, limit)
 	for _, succ := range succs[:limit] {
-		if _, err := m.net.Call(ctx, self.Addr, succ.Addr, methodPush, own); err != nil {
-			return err
-		}
+		pends = append(pends, transport.CallAsync(m.net, ctx, self.Addr, succ.Addr, methodPush, own))
 	}
 
 	// Held replicas one extra hop: hand them to our first successor, which
 	// sits one hop beyond us in every replica group we belong to. Pushed as
 	// a raw merge (no range reconciliation) so they never displace fresher
-	// state: use a degenerate range that deletes nothing.
-	held := m.HeldReplicas()
-	if len(held) > 0 {
-		msg := pushMsg{From: self, Range: keyspace.NewRange(self.Val, self.Val+1), Items: nil}
-		// A nil-range push would reconcile; instead push items one by one
-		// with a point range around each key so stale deletion never spans
-		// other origins' data.
-		for _, it := range held {
-			msg.Items = []datastore.Item{it}
-			msg.Range = keyspace.NewRange(it.Key-1, it.Key)
-			if _, err := m.net.Call(ctx, self.Addr, succs[0].Addr, methodPush, msg); err != nil {
-				return err
-			}
+	// state: use a degenerate point range around each key so stale deletion
+	// never spans other origins' data. All of these target the same peer —
+	// exactly the case stream multiplexing exists for — so they are
+	// pipelined on one connection instead of paying a round trip each.
+	for _, it := range m.HeldReplicas() {
+		msg := pushMsg{From: self, Range: keyspace.NewRange(it.Key-1, it.Key), Items: []datastore.Item{it}}
+		pends = append(pends, transport.CallAsync(m.net, ctx, self.Addr, succs[0].Addr, methodPush, msg))
+	}
+
+	var firstErr error
+	for _, p := range pends {
+		if _, err := p.Result(); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	return nil
+	return firstErr
 }
 
 // Revive implements datastore.Replicator: return held replicas in r, used
@@ -305,12 +313,18 @@ func (m *Manager) Revive(r keyspace.Range) []datastore.Item {
 }
 
 // PullRange implements datastore.Replicator: fetch replicas in r from our
-// successors (used by orphaned peers that hold nothing locally).
+// successors (used by orphaned peers that hold nothing locally). The pulls
+// fan out concurrently; the union of whatever answers is the result.
 func (m *Manager) PullRange(ctx context.Context, r keyspace.Range) []datastore.Item {
 	seen := make(map[keyspace.Key]datastore.Item)
 	self := m.ring.Self()
-	for _, succ := range m.ring.Successors() {
-		resp, err := m.net.Call(ctx, self.Addr, succ.Addr, methodPull, pullReq{Range: r})
+	succs := m.ring.Successors()
+	pends := make([]*transport.Pending, 0, len(succs))
+	for _, succ := range succs {
+		pends = append(pends, transport.CallAsync(m.net, ctx, self.Addr, succ.Addr, methodPull, pullReq{Range: r}))
+	}
+	for _, p := range pends {
+		resp, err := p.Result()
 		if err != nil {
 			continue
 		}

@@ -342,28 +342,40 @@ func (r *Router) FindOwner(ctx context.Context, key keyspace.Key) (transport.Add
 
 // LinearFindOwner walks plain ring successors from this peer until it finds
 // the owner — the baseline the framework always supports, and the fallback
-// behaviour the hierarchy degrades to under heavy staleness.
+// behaviour the hierarchy degrades to under heavy staleness. At each visited
+// peer the ownership probe (nextHop) and the successor fetch (succ) are
+// independent questions to the same peer, so they are pipelined on one
+// connection: a non-owning hop costs one round trip instead of two, and the
+// speculative successor answer is simply discarded at the owner.
 func (r *Router) LinearFindOwner(ctx context.Context, key keyspace.Key) (transport.Addr, int, error) {
 	self := r.ring.Self()
 	cur := self.Addr
 	hops := 0
 	for hops < r.cfg.MaxHops {
 		callCtx, cancel := context.WithTimeout(ctx, r.cfg.CallTimeout)
-		resp, err := r.net.Call(callCtx, self.Addr, cur, methodNextHop, key)
-		cancel()
+		probe := transport.CallAsync(r.net, callCtx, self.Addr, cur, methodNextHop, key)
+		var succPend *transport.Pending
+		if cur != self.Addr {
+			succPend = transport.CallAsync(r.net, callCtx, self.Addr, cur, methodSucc, nil)
+		}
+		resp, err := probe.Result()
 		if err != nil {
+			cancel()
 			return "", hops, err
 		}
 		nh, ok := resp.(nextHopResp)
 		if !ok {
+			cancel()
 			return "", hops, fmt.Errorf("router: bad nextHop response %T", resp)
 		}
 		if nh.Owner {
+			cancel()
 			return cur, hops, nil
 		}
 		// Ignore the greedy suggestion; step to the successor. We reuse the
 		// nextHop handler only for the ownership test.
-		succ, err := r.succOf(ctx, cur)
+		succ, err := r.succAnswer(succPend)
+		cancel()
 		if err != nil {
 			return "", hops, err
 		}
@@ -373,9 +385,10 @@ func (r *Router) LinearFindOwner(ctx context.Context, key keyspace.Key) (transpo
 	return "", hops, ErrTooManyHops
 }
 
-// succOf asks the peer at addr for its first usable successor.
-func (r *Router) succOf(ctx context.Context, addr transport.Addr) (transport.Addr, error) {
-	if addr == r.ring.Self().Addr {
+// succAnswer resolves a pipelined successor fetch; a nil pending means the
+// question was about this peer itself and is answered locally.
+func (r *Router) succAnswer(p *transport.Pending) (transport.Addr, error) {
+	if p == nil {
 		if succ, ok := r.ring.FirstStabilizedSuccessor(); ok {
 			return succ.Addr, nil
 		}
@@ -384,9 +397,7 @@ func (r *Router) succOf(ctx context.Context, addr transport.Addr) (transport.Add
 		}
 		return "", ErrNoProgress
 	}
-	callCtx, cancel := context.WithTimeout(ctx, r.cfg.CallTimeout)
-	defer cancel()
-	resp, err := r.net.Call(callCtx, r.ring.Self().Addr, addr, methodSucc, nil)
+	resp, err := p.Result()
 	if err != nil {
 		return "", err
 	}

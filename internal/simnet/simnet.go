@@ -118,10 +118,13 @@ type Network struct {
 	byMethod map[string]uint64
 }
 
-// Network must satisfy the substrate contract used by every protocol layer.
+// Network must satisfy the substrate contract used by every protocol layer,
+// including the asynchronous pipelining interface the TCP transport
+// multiplexes natively.
 var (
 	_ transport.Transport   = (*Network)(nil)
 	_ transport.Deregistrar = (*Network)(nil)
+	_ transport.AsyncCaller = (*Network)(nil)
 )
 
 type endpoint struct {
@@ -225,12 +228,30 @@ func (n *Network) StrictErr() error {
 }
 
 // strictRoundTrip pushes v through the codec in strict mode, recording the
-// first rejection.
+// first rejection. It also enforces transport.MaxFrameSize: a payload whose
+// encoding could not cross the TCP transport in one frame fails here too, so
+// in-process tests exercise the same boundary instead of being silently
+// unbounded (size violations are counted as failures but kept out of
+// StrictErr, which tracks codec registration bugs).
 func (n *Network) strictRoundTrip(v any) (any, error) {
 	if !n.cfg.StrictSerialization {
 		return v, nil
 	}
-	out, err := transport.RoundTrip(v)
+	b, err := transport.Encode(v)
+	if err != nil {
+		n.strictFailures.Add(1)
+		n.strictMu.Lock()
+		if n.strictErr == nil {
+			n.strictErr = err
+		}
+		n.strictMu.Unlock()
+		return nil, err
+	}
+	if len(b) > transport.MaxFrameSize {
+		n.strictFailures.Add(1)
+		return nil, fmt.Errorf("%w: %T of %d bytes", transport.ErrFrameTooLarge, v, len(b))
+	}
+	out, err := transport.Decode(b)
 	if err != nil {
 		n.strictFailures.Add(1)
 		n.strictMu.Lock()
@@ -338,6 +359,17 @@ func (n *Network) Call(ctx context.Context, from, to Addr, method string, payloa
 		return nil, lerr
 	}
 	return resp, nil
+}
+
+// CallAsync implements transport.AsyncCaller: the same exchange as Call —
+// sender-aliveness, strict-mode codec checks, latency sampling, fail-stop
+// reporting — resolved in the background, so callers can hold many in-flight
+// calls at once (including several to the same peer, which the handler then
+// observes concurrently, exactly as on the multiplexed TCP transport).
+func (n *Network) CallAsync(ctx context.Context, from, to Addr, method string, payload any) *transport.Pending {
+	p := transport.NewPending()
+	go func() { p.Resolve(n.Call(ctx, from, to, method, payload)) }()
+	return p
 }
 
 // Send delivers a one-way message asynchronously: it returns immediately and

@@ -18,7 +18,7 @@ const MaxFrameSize = 16 << 20
 // WriteFrame writes one length-prefixed frame.
 func WriteFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxFrameSize {
-		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(payload))
+		return fmt.Errorf("%w: frame of %d bytes", ErrFrameTooLarge, len(payload))
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
@@ -37,7 +37,7 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrameSize {
-		return nil, fmt.Errorf("transport: frame length %d exceeds limit", n)
+		return nil, fmt.Errorf("%w: frame length %d", ErrFrameTooLarge, n)
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {

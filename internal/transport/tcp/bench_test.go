@@ -1,0 +1,77 @@
+package tcp
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// BenchmarkPipelinedCalls measures single-connection call throughput as the
+// number of in-flight calls grows. The handler holds each request ~100µs
+// (standing in for real protocol work), so the sequential baseline
+// (depth=1) is bounded by one round trip plus handler latency per call,
+// while pipelined depths overlap handler latencies on the same multiplexed
+// connection: throughput must scale with depth (the acceptance bar is ≥2x
+// at depth 8 over depth 1).
+//
+// Run with:
+//
+//	go test -run '^$' -bench BenchmarkPipelinedCalls ./internal/transport/tcp/
+func BenchmarkPipelinedCalls(b *testing.B) {
+	for _, depth := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			benchPipelined(b, depth)
+		})
+	}
+}
+
+func benchPipelined(b *testing.B, depth int) {
+	handler := func(_ transport.Addr, _ string, p any) (any, error) {
+		time.Sleep(100 * time.Microsecond)
+		return p, nil
+	}
+	tr := New(Config{DialTimeout: time.Second, CallTimeout: 30 * time.Second, ConnsPerPeer: 1})
+	defer tr.Close()
+	a, err := tr.Listen("127.0.0.1:0", handler)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst, err := tr.Listen("127.0.0.1:0", handler)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	// Warm the connection so dialing stays out of the measurement.
+	if _, err := tr.Call(ctx, a, dst, "echo", echoMsg{}); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	start := time.Now()
+	sem := make(chan struct{}, depth)
+	var wg sync.WaitGroup
+	var failed sync.Once
+	var benchErr error
+	for i := 0; i < b.N; i++ {
+		sem <- struct{}{}
+		wg.Add(1)
+		p := tr.CallAsync(ctx, a, dst, "echo", echoMsg{N: i})
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if _, err := p.Result(); err != nil {
+				failed.Do(func() { benchErr = err })
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "calls/sec")
+}

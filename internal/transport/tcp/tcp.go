@@ -3,19 +3,30 @@
 // can span machines — the deployment model of the paper's evaluation, which
 // ran 30 peer processes on a LAN cluster (Section 6.1).
 //
-// Wire format: every request and response is one length-prefixed frame
-// (transport.WriteFrame) holding a gob-encoded header whose payload bytes
-// are a codec envelope (transport.Encode), so only registered message types
-// cross the wire. Each in-flight call borrows one pooled connection and runs
-// a strict request/response exchange on it; concurrent calls to the same
-// peer use distinct pooled connections, which keeps the protocol trivially
-// correct (no stream multiplexing) while still amortizing dials.
+// Wire format (multiplexed): every message is one length-prefixed frame
+// (transport.WriteFrame) holding a gob-encoded header. Call frames carry a
+// connection-scoped request ID; the matching response frame echoes it, so a
+// single connection carries many concurrent in-flight calls and responses
+// return in completion order, not issue order. Protocol chatter (ring
+// stabilization, replica pushes) is therefore never serialized behind a slow
+// state transfer sharing the connection — the availability protocols keep
+// their maintenance traffic flowing under load.
+//
+// Outbound frames pass through a write-side batcher: queued frames are
+// coalesced into one buffered write and flushed when the queue drains, when
+// the buffered bytes reach Config.BatchBytes, or at the latest after
+// Config.BatchDelay (Nagle with a knob; the default delay of zero adds no
+// latency and still amortizes syscalls under pipelined load).
 //
 // Failure semantics match simnet.Kill: a call to a dead, unknown or
 // unresponsive peer fails with transport.ErrUnreachable after the per-call
 // deadline, which is how a live peer observes a fail-stopped one
-// (Algorithm 14's "no response"). Deregister closes a peer's listener, after
-// which its address behaves exactly like a killed simnet peer.
+// (Algorithm 14's "no response"). Deregister closes a peer's listener and
+// its accepted connections; every call still in flight to that peer resolves
+// promptly with ErrUnreachable instead of dangling until its deadline.
+// Pooled connections left idle longer than Config.IdlePingAfter are
+// health-checked with a ping frame before carrying a new call, so a dead
+// idle connection costs one bounded ping instead of a caller's deadline.
 package tcp
 
 import (
@@ -24,9 +35,9 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/transport"
@@ -39,9 +50,22 @@ type Config struct {
 	// CallTimeout is the per-call deadline applied when the caller's context
 	// carries none — the "known bounded delay" of Section 2.1. Default 5s.
 	CallTimeout time.Duration
-	// MaxIdlePerPeer bounds pooled idle connections per destination.
-	// Default 4.
-	MaxIdlePerPeer int
+	// ConnsPerPeer bounds multiplexed connections per destination; calls are
+	// spread round-robin across them. Default 2.
+	ConnsPerPeer int
+	// BatchBytes flushes the write batcher once this many bytes are
+	// buffered. Default 64 KiB.
+	BatchBytes int
+	// BatchDelay is the longest the batcher waits for more frames before
+	// flushing a non-empty buffer. Zero (the default) flushes as soon as the
+	// queue drains, adding no latency.
+	BatchDelay time.Duration
+	// IdlePingAfter health-checks a pooled connection with a ping frame
+	// before reuse when nothing has been read from it for this long.
+	// Default 30s.
+	IdlePingAfter time.Duration
+	// PingTimeout bounds one health-check exchange. Default 1s.
+	PingTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -51,8 +75,17 @@ func (c Config) withDefaults() Config {
 	if c.CallTimeout <= 0 {
 		c.CallTimeout = 5 * time.Second
 	}
-	if c.MaxIdlePerPeer <= 0 {
-		c.MaxIdlePerPeer = 4
+	if c.ConnsPerPeer <= 0 {
+		c.ConnsPerPeer = 2
+	}
+	if c.BatchBytes <= 0 {
+		c.BatchBytes = 64 << 10
+	}
+	if c.IdlePingAfter <= 0 {
+		c.IdlePingAfter = 30 * time.Second
+	}
+	if c.PingTimeout <= 0 {
+		c.PingTimeout = time.Second
 	}
 	return c
 }
@@ -62,27 +95,41 @@ const (
 	kindCall = iota
 	kindSend
 	kindResp
+	kindPing
+	kindPong
 )
 
-// wireMsg is the header of every frame. Payload holds a codec envelope.
+// wireMsg is the header of every frame. Payload holds a codec envelope. ID
+// correlates a kindResp (or kindPong) with the kindCall (kindPing) that
+// asked for it; IDs are scoped to one connection and direction.
 type wireMsg struct {
 	Kind    int
+	ID      uint64
 	From    string
 	Method  string
 	Payload []byte
 	Err     string // kindResp only: non-empty when the handler failed
 }
 
-// Transport is a TCP implementation of transport.Transport.
+// Transport is a TCP implementation of transport.Transport with stream
+// multiplexing: one pooled connection carries many concurrent calls.
 type Transport struct {
 	cfg Config
 
 	mu        sync.Mutex
 	listeners map[transport.Addr]*listener
-	pools     map[transport.Addr]*pool
+	peers     map[transport.Addr]*peerConns
 	closed    bool
 	wg        sync.WaitGroup
 }
+
+// Transport must satisfy the full substrate contract, including native
+// asynchronous pipelining.
+var (
+	_ transport.Transport   = (*Transport)(nil)
+	_ transport.Deregistrar = (*Transport)(nil)
+	_ transport.AsyncCaller = (*Transport)(nil)
+)
 
 type listener struct {
 	ln net.Listener
@@ -132,18 +179,12 @@ func (l *listener) kill() {
 	}
 }
 
-// pool is a stack of idle connections to one destination.
-type pool struct {
-	mu    sync.Mutex
-	conns []net.Conn
-}
-
 // New constructs a TCP transport.
 func New(cfg Config) *Transport {
 	return &Transport{
 		cfg:       cfg.withDefaults(),
 		listeners: make(map[transport.Addr]*listener),
-		pools:     make(map[transport.Addr]*pool),
+		peers:     make(map[transport.Addr]*peerConns),
 	}
 }
 
@@ -207,11 +248,11 @@ func (t *Transport) listen(addr transport.Addr, h transport.Handler, keyByBound 
 	t.wg.Add(1)
 	t.mu.Unlock()
 
-	go t.acceptLoop(key, l)
+	go t.acceptLoop(l)
 	return key, nil
 }
 
-func (t *Transport) acceptLoop(addr transport.Addr, l *listener) {
+func (t *Transport) acceptLoop(l *listener) {
 	defer t.wg.Done()
 	for {
 		conn, err := l.ln.Accept()
@@ -224,7 +265,10 @@ func (t *Transport) acceptLoop(addr transport.Addr, l *listener) {
 }
 
 // serveConn answers request frames on one inbound connection until the peer
-// hangs up or a protocol error occurs.
+// hangs up or a protocol error occurs. Each request is dispatched in its own
+// goroutine and its response re-enters the connection through the shared
+// batched writer, so a slow handler never blocks the requests pipelined
+// behind it.
 func (t *Transport) serveConn(conn net.Conn, l *listener) {
 	defer t.wg.Done()
 	defer conn.Close()
@@ -232,6 +276,17 @@ func (t *Transport) serveConn(conn net.Conn, l *listener) {
 		return
 	}
 	defer l.untrack(conn)
+	w := newBatchWriter(conn, t.cfg)
+	// A dead writer must take the whole connection down: otherwise this loop
+	// would keep reading and dispatching pipelined requests whose responses
+	// are silently dropped, leaving callers to burn their full deadlines.
+	w.onError = func(error) { conn.Close() }
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		w.loop()
+	}()
+	defer w.stop()
 	h := l.h
 	for {
 		raw, err := transport.ReadFrame(conn)
@@ -242,26 +297,45 @@ func (t *Transport) serveConn(conn net.Conn, l *listener) {
 		if err := decodeMsg(raw, &req); err != nil {
 			return
 		}
-		payload, err := transport.Decode(req.Payload)
-		if err != nil {
-			if req.Kind == kindCall {
-				_ = writeMsg(conn, wireMsg{Kind: kindResp, Err: err.Error()})
-			}
-			continue
+		switch req.Kind {
+		case kindPing:
+			_ = w.enqueueMsg(wireMsg{Kind: kindPong, ID: req.ID})
+		case kindSend, kindCall:
+			t.wg.Add(1)
+			go func() {
+				defer t.wg.Done()
+				t.dispatch(h, w, req)
+			}()
+		default:
+			return // protocol error: abandon the connection
 		}
-		resp, herr := h(transport.Addr(req.From), req.Method, payload)
-		if req.Kind != kindCall {
-			continue // one-way: no response frame
+	}
+}
+
+// dispatch runs one request through the handler and, for calls, queues the
+// response frame.
+func (t *Transport) dispatch(h transport.Handler, w *batchWriter, req wireMsg) {
+	payload, err := transport.Decode(req.Payload)
+	if err != nil {
+		if req.Kind == kindCall {
+			_ = w.enqueueMsg(wireMsg{Kind: kindResp, ID: req.ID, Err: err.Error()})
 		}
-		out := wireMsg{Kind: kindResp}
-		if herr != nil {
-			out.Err = herr.Error()
-		} else if out.Payload, err = transport.Encode(resp); err != nil {
-			out.Payload, out.Err = nil, err.Error()
-		}
-		if err := writeMsg(conn, out); err != nil {
-			return
-		}
+		return
+	}
+	resp, herr := h(transport.Addr(req.From), req.Method, payload)
+	if req.Kind != kindCall {
+		return // one-way: no response frame
+	}
+	out := wireMsg{Kind: kindResp, ID: req.ID}
+	if herr != nil {
+		out.Err = herr.Error()
+	} else if out.Payload, err = transport.Encode(resp); err != nil {
+		out.Payload, out.Err = nil, err.Error()
+	}
+	if err := w.enqueueMsg(out); err != nil && errors.Is(err, transport.ErrFrameTooLarge) {
+		// The response alone can never cross the wire; tell the caller why
+		// instead of letting it burn its deadline.
+		_ = w.enqueueMsg(wireMsg{Kind: kindResp, ID: req.ID, Err: err.Error()})
 	}
 }
 
@@ -275,42 +349,55 @@ func (e *RemoteError) Error() string { return e.Msg }
 // Call implements transport.Transport. The exchange is bounded by ctx, or by
 // Config.CallTimeout when ctx carries no deadline.
 func (t *Transport) Call(ctx context.Context, from, to transport.Addr, method string, payload any) (any, error) {
+	return t.CallAsync(ctx, from, to, method, payload).Result()
+}
+
+// CallAsync implements transport.AsyncCaller: issue the call and return its
+// Pending immediately. Many pendings to the same peer ride one multiplexed
+// connection concurrently.
+func (t *Transport) CallAsync(ctx context.Context, from, to transport.Addr, method string, payload any) *transport.Pending {
+	p := transport.NewPending()
 	body, err := transport.Encode(payload)
 	if err != nil {
-		return nil, err
+		p.Resolve(nil, err)
+		return p
 	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		p.Resolve(nil, transport.ErrClosed)
+		return p
+	}
+	t.wg.Add(1)
+	t.mu.Unlock()
+	go func() {
+		defer t.wg.Done()
+		p.Resolve(t.roundTrip(ctx, wireMsg{Kind: kindCall, From: string(from), Method: method, Payload: body}, to))
+	}()
+	return p
+}
+
+// roundTrip performs one call exchange against to, bounded by ctx (or the
+// default call timeout).
+func (t *Transport) roundTrip(ctx context.Context, msg wireMsg, to transport.Addr) (any, error) {
 	deadline, ok := ctx.Deadline()
 	if !ok {
 		deadline = time.Now().Add(t.cfg.CallTimeout)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, deadline)
+		defer cancel()
 	}
-	conn, err := t.checkout(to, deadline)
+	mc, err := t.grabConn(ctx, to, deadline)
 	if err != nil {
 		return nil, unreachable(to, err)
 	}
-	ok = false
-	defer func() {
-		if ok {
-			t.checkin(to, conn)
-		} else {
-			conn.Close()
+	resp, err := mc.exchange(ctx, msg)
+	if err != nil {
+		if errors.Is(err, transport.ErrFrameTooLarge) {
+			return nil, err // permanent payload failure, not a fail-stop signal
 		}
-	}()
-
-	_ = conn.SetDeadline(deadline)
-	msg := wireMsg{Kind: kindCall, From: string(from), Method: method, Payload: body}
-	if err := writeMsg(conn, msg); err != nil {
 		return nil, unreachable(to, err)
 	}
-	raw, err := transport.ReadFrame(conn)
-	if err != nil {
-		return nil, unreachable(to, err)
-	}
-	var resp wireMsg
-	if err := decodeMsg(raw, &resp); err != nil {
-		return nil, unreachable(to, err)
-	}
-	_ = conn.SetDeadline(time.Time{})
-	ok = true
 	if resp.Err != "" {
 		return nil, &RemoteError{Msg: resp.Err}
 	}
@@ -318,7 +405,8 @@ func (t *Transport) Call(ctx context.Context, from, to transport.Addr, method st
 }
 
 // Send implements transport.Transport: deliver asynchronously, dropping the
-// message on any failure.
+// message on any failure. Send frames share the multiplexed connections and
+// the write batcher with calls.
 func (t *Transport) Send(from, to transport.Addr, method string, payload any) {
 	body, err := transport.Encode(payload)
 	if err != nil {
@@ -334,44 +422,122 @@ func (t *Transport) Send(from, to transport.Addr, method string, payload any) {
 	go func() {
 		defer t.wg.Done()
 		deadline := time.Now().Add(t.cfg.CallTimeout)
-		conn, err := t.checkout(to, deadline)
+		ctx, cancel := context.WithDeadline(context.Background(), deadline)
+		defer cancel()
+		mc, err := t.grabConn(ctx, to, deadline)
 		if err != nil {
 			return
 		}
-		_ = conn.SetDeadline(deadline)
-		if err := writeMsg(conn, wireMsg{Kind: kindSend, From: string(from), Method: method, Payload: body}); err != nil {
-			conn.Close()
-			return
-		}
-		_ = conn.SetDeadline(time.Time{})
-		t.checkin(to, conn)
+		_ = mc.enqueueMsg(wireMsg{Kind: kindSend, From: string(from), Method: method, Payload: body})
 	}()
 }
 
-// checkout returns a pooled idle connection to addr, dialing if none is
-// available.
-func (t *Transport) checkout(addr transport.Addr, deadline time.Time) (net.Conn, error) {
+// peerConns is the set of multiplexed connections to one destination.
+type peerConns struct {
+	mu      sync.Mutex
+	conns   []*muxConn
+	rr      int
+	dialing bool
+	waiters []chan struct{}
+}
+
+// pruneLocked drops dead connections. Callers hold pc.mu.
+func (pc *peerConns) pruneLocked() {
+	live := pc.conns[:0]
+	for _, mc := range pc.conns {
+		if !mc.isDead() {
+			live = append(live, mc)
+		}
+	}
+	pc.conns = live
+}
+
+// notifyLocked wakes goroutines waiting for a dial to finish.
+func (pc *peerConns) notifyLocked() {
+	for _, ch := range pc.waiters {
+		close(ch)
+	}
+	pc.waiters = nil
+}
+
+// peerEntry returns the connection set for addr, creating it if needed.
+func (t *Transport) peerEntry(addr transport.Addr) (*peerConns, error) {
 	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.closed {
-		t.mu.Unlock()
 		return nil, transport.ErrClosed
 	}
-	p := t.pools[addr]
-	if p == nil {
-		p = &pool{}
-		t.pools[addr] = p
+	pc := t.peers[addr]
+	if pc == nil {
+		pc = &peerConns{}
+		t.peers[addr] = pc
 	}
-	t.mu.Unlock()
+	return pc, nil
+}
 
-	p.mu.Lock()
-	for len(p.conns) > 0 {
-		conn := p.conns[len(p.conns)-1]
-		p.conns = p.conns[:len(p.conns)-1]
-		p.mu.Unlock()
-		return conn, nil
+// grabConn returns a healthy multiplexed connection to addr, dialing when
+// the destination has fewer than ConnsPerPeer and reusing round-robin
+// otherwise. A connection idle past IdlePingAfter is ping-checked first.
+func (t *Transport) grabConn(ctx context.Context, addr transport.Addr, deadline time.Time) (*muxConn, error) {
+	for {
+		pc, err := t.peerEntry(addr)
+		if err != nil {
+			return nil, err
+		}
+		pc.mu.Lock()
+		pc.pruneLocked()
+		if len(pc.conns) > 0 && (len(pc.conns) >= t.cfg.ConnsPerPeer || pc.dialing) {
+			mc := pc.conns[pc.rr%len(pc.conns)]
+			pc.rr++
+			pc.mu.Unlock()
+			if err := t.ensureHealthy(mc, pc); err != nil {
+				continue // conn was dead; dial or pick another
+			}
+			return mc, nil
+		}
+		if pc.dialing {
+			// First connection is being dialed; wait for it rather than
+			// racing a second dial.
+			ch := make(chan struct{})
+			pc.waiters = append(pc.waiters, ch)
+			pc.mu.Unlock()
+			select {
+			case <-ch:
+				continue
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		pc.dialing = true
+		pc.mu.Unlock()
+
+		mc, err := t.dialConn(addr, deadline)
+		pc.mu.Lock()
+		pc.dialing = false
+		pc.notifyLocked()
+		if err != nil {
+			pc.mu.Unlock()
+			return nil, err
+		}
+		pc.conns = append(pc.conns, mc)
+		pc.mu.Unlock()
+		// Close may have drained pc.conns between the dial and the append
+		// above; re-checking after the append guarantees one side sees the
+		// other (Close sets closed before draining), so no live connection
+		// can be orphaned where Close's wg.Wait would hang on its readLoop.
+		t.mu.Lock()
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			mc.fail(transport.ErrClosed)
+			return nil, transport.ErrClosed
+		}
+		return mc, nil
 	}
-	p.mu.Unlock()
+}
 
+// dialConn establishes one multiplexed connection and starts its loops.
+func (t *Transport) dialConn(addr transport.Addr, deadline time.Time) (*muxConn, error) {
 	timeout := t.cfg.DialTimeout
 	if until := time.Until(deadline); until < timeout {
 		timeout = until
@@ -379,34 +545,179 @@ func (t *Transport) checkout(addr transport.Addr, deadline time.Time) (net.Conn,
 	if timeout <= 0 {
 		return nil, context.DeadlineExceeded
 	}
-	return net.DialTimeout("tcp", string(addr), timeout)
+	conn, err := net.DialTimeout("tcp", string(addr), timeout)
+	if err != nil {
+		return nil, err
+	}
+	mc := &muxConn{
+		conn:    conn,
+		w:       newBatchWriter(conn, t.cfg),
+		pending: make(map[uint64]chan pendingResp),
+	}
+	mc.lastRead.Store(time.Now().UnixNano())
+	mc.w.onError = mc.fail
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		conn.Close()
+		return nil, transport.ErrClosed
+	}
+	t.wg.Add(2)
+	t.mu.Unlock()
+	go func() {
+		defer t.wg.Done()
+		mc.w.loop()
+	}()
+	go func() {
+		defer t.wg.Done()
+		mc.readLoop()
+	}()
+	return mc, nil
 }
 
-// checkin returns a healthy connection to the pool, or closes it when the
-// pool is full or the transport closed.
-func (t *Transport) checkin(addr transport.Addr, conn net.Conn) {
-	t.mu.Lock()
-	p := t.pools[addr]
-	closed := t.closed
-	t.mu.Unlock()
-	if closed || p == nil {
-		conn.Close()
+// ensureHealthy ping-checks mc when it has been silent past IdlePingAfter,
+// failing it (and reporting an error so the caller re-grabs) when the ping
+// gets no pong in time.
+func (t *Transport) ensureHealthy(mc *muxConn, pc *peerConns) error {
+	if mc.isDead() {
+		return errors.New("tcp: connection is dead")
+	}
+	idle := time.Since(time.Unix(0, mc.lastRead.Load()))
+	if idle < t.cfg.IdlePingAfter {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), t.cfg.PingTimeout)
+	defer cancel()
+	if _, err := mc.exchange(ctx, wireMsg{Kind: kindPing}); err != nil {
+		mc.fail(fmt.Errorf("tcp: idle health check failed: %w", err))
+		pc.mu.Lock()
+		pc.pruneLocked()
+		pc.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// pendingResp carries one response (or the connection's death) to a waiter.
+type pendingResp struct {
+	msg wireMsg
+	err error
+}
+
+// muxConn is one dialed connection multiplexing many in-flight calls:
+// requests are tagged with connection-scoped IDs and responses are matched
+// back by ID, in whatever order the peer finishes them.
+type muxConn struct {
+	conn net.Conn
+	w    *batchWriter
+
+	mu      sync.Mutex
+	pending map[uint64]chan pendingResp
+	nextID  uint64
+	dead    bool
+	deadErr error
+
+	lastRead atomic.Int64 // UnixNano of the last inbound frame
+}
+
+func (c *muxConn) isDead() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead
+}
+
+// exchange sends one request frame and waits for the matching response. A
+// context expiry abandons the request — the connection stays usable and a
+// late response is dropped — while a connection failure resolves every
+// outstanding exchange at once.
+func (c *muxConn) exchange(ctx context.Context, msg wireMsg) (wireMsg, error) {
+	ch := make(chan pendingResp, 1)
+	c.mu.Lock()
+	if c.dead {
+		err := c.deadErr
+		c.mu.Unlock()
+		return wireMsg{}, err
+	}
+	c.nextID++
+	id := c.nextID
+	msg.ID = id
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	if err := c.enqueueMsg(msg); err != nil {
+		c.unregister(id)
+		return wireMsg{}, err
+	}
+	select {
+	case r := <-ch:
+		return r.msg, r.err
+	case <-ctx.Done():
+		c.unregister(id)
+		return wireMsg{}, ctx.Err()
+	}
+}
+
+func (c *muxConn) unregister(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// enqueueMsg encodes and queues one frame for the batched writer.
+func (c *muxConn) enqueueMsg(m wireMsg) error {
+	return c.w.enqueueMsg(m)
+}
+
+// readLoop delivers response frames to their waiting exchanges until the
+// connection fails, then resolves everything still pending.
+func (c *muxConn) readLoop() {
+	for {
+		raw, err := transport.ReadFrame(c.conn)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.lastRead.Store(time.Now().UnixNano())
+		var m wireMsg
+		if err := decodeMsg(raw, &m); err != nil {
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[m.ID]
+		delete(c.pending, m.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- pendingResp{msg: m}
+		}
+	}
+}
+
+// fail marks the connection dead, closes it, and resolves every in-flight
+// exchange with err — the orderly-cancellation path a peer's Deregister (or
+// a network fault) triggers on the dial side.
+func (c *muxConn) fail(err error) {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
 		return
 	}
-	p.mu.Lock()
-	if len(p.conns) < t.cfg.MaxIdlePerPeer {
-		p.conns = append(p.conns, conn)
-		conn = nil
-	}
-	p.mu.Unlock()
-	if conn != nil {
-		conn.Close()
+	c.dead = true
+	c.deadErr = err
+	pend := c.pending
+	c.pending = nil
+	c.mu.Unlock()
+	c.conn.Close()
+	c.w.stop()
+	for _, ch := range pend {
+		ch <- pendingResp{err: err}
 	}
 }
 
-// Deregister implements transport.Deregistrar: stop serving addr. Subsequent
-// calls to it observe connection failures and report ErrUnreachable — the
-// same fail-stop signature simnet.Kill produces.
+// Deregister implements transport.Deregistrar: stop serving addr. Its
+// accepted connections close, so every caller's in-flight exchange to it
+// resolves promptly with ErrUnreachable — the same fail-stop signature
+// simnet.Kill produces.
 func (t *Transport) Deregister(addr transport.Addr) {
 	t.mu.Lock()
 	l := t.listeners[addr]
@@ -417,8 +728,8 @@ func (t *Transport) Deregister(addr transport.Addr) {
 	}
 }
 
-// Close implements transport.Transport: stop all listeners, close pooled
-// connections, and wait for serving goroutines to drain.
+// Close implements transport.Transport: stop all listeners, fail every
+// multiplexed connection, and wait for serving goroutines to drain.
 func (t *Transport) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -431,35 +742,168 @@ func (t *Transport) Close() error {
 		ls = append(ls, l)
 	}
 	t.listeners = make(map[transport.Addr]*listener)
-	ps := make([]*pool, 0, len(t.pools))
-	for _, p := range t.pools {
+	ps := make([]*peerConns, 0, len(t.peers))
+	for _, p := range t.peers {
 		ps = append(ps, p)
 	}
-	t.pools = make(map[transport.Addr]*pool)
+	t.peers = make(map[transport.Addr]*peerConns)
 	t.mu.Unlock()
 
 	for _, l := range ls {
 		l.kill()
 	}
-	for _, p := range ps {
-		p.mu.Lock()
-		for _, c := range p.conns {
-			c.Close()
+	for _, pc := range ps {
+		pc.mu.Lock()
+		conns := append([]*muxConn(nil), pc.conns...)
+		pc.conns = nil
+		pc.mu.Unlock()
+		for _, mc := range conns {
+			mc.fail(transport.ErrClosed)
 		}
-		p.conns = nil
-		p.mu.Unlock()
 	}
 	t.wg.Wait()
 	return nil
 }
 
-// writeMsg frames and writes one gob-encoded wire message.
-func writeMsg(w io.Writer, m wireMsg) error {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&m); err != nil {
+// batchWriter coalesces queued frames into as few syscalls as possible: it
+// keeps writing while frames are queued and flushes when the queue drains,
+// when BatchBytes are buffered, or after BatchDelay at the latest.
+type batchWriter struct {
+	conn       net.Conn
+	ch         chan []byte
+	done       chan struct{}
+	stopOnce   sync.Once
+	batchBytes int
+	batchDelay time.Duration
+	writeWait  time.Duration
+	onError    func(error) // optional: invoked once on a write failure
+}
+
+func newBatchWriter(conn net.Conn, cfg Config) *batchWriter {
+	return &batchWriter{
+		conn:       conn,
+		ch:         make(chan []byte, 256),
+		done:       make(chan struct{}),
+		batchBytes: cfg.BatchBytes,
+		batchDelay: cfg.BatchDelay,
+		writeWait:  2 * cfg.CallTimeout,
+	}
+}
+
+// enqueueMsg encodes m and queues its frame, rejecting oversized messages
+// with transport.ErrFrameTooLarge before they reach the wire.
+func (w *batchWriter) enqueueMsg(m wireMsg) error {
+	body, err := encodeMsg(m)
+	if err != nil {
 		return err
 	}
-	return transport.WriteFrame(w, buf.Bytes())
+	select {
+	case w.ch <- body:
+		return nil
+	case <-w.done:
+		return errors.New("tcp: connection writer stopped")
+	}
+}
+
+// stop terminates the writer loop; queued frames not yet written are lost
+// (the connection is dying anyway).
+func (w *batchWriter) stop() {
+	w.stopOnce.Do(func() { close(w.done) })
+}
+
+func (w *batchWriter) loop() {
+	buf := bytes.NewBuffer(make([]byte, 0, w.batchBytes))
+	var delay *time.Timer
+	defer func() {
+		if delay != nil {
+			delay.Stop()
+		}
+	}()
+	for {
+		select {
+		case body := <-w.ch:
+			buf.Reset()
+			if err := transport.WriteFrame(buf, body); err != nil {
+				continue // size-checked at enqueue; defensive only
+			}
+			// Coalesce: keep appending queued frames until the queue drains,
+			// the size threshold is hit, or the batch window closes.
+			var window <-chan time.Time
+			if w.batchDelay > 0 {
+				if delay == nil {
+					delay = time.NewTimer(w.batchDelay)
+				} else {
+					delay.Reset(w.batchDelay)
+				}
+				window = delay.C
+			}
+		coalesce:
+			for buf.Len() < w.batchBytes {
+				select {
+				case more := <-w.ch:
+					if err := transport.WriteFrame(buf, more); err != nil {
+						continue
+					}
+				case <-window:
+					break coalesce
+				case <-w.done:
+					break coalesce
+				default:
+					if window == nil {
+						break coalesce
+					}
+					select {
+					case more := <-w.ch:
+						if err := transport.WriteFrame(buf, more); err != nil {
+							continue
+						}
+					case <-window:
+						break coalesce
+					case <-w.done:
+						break coalesce
+					}
+				}
+			}
+			if delay != nil && !delay.Stop() {
+				select {
+				case <-delay.C:
+				default:
+				}
+			}
+			_ = w.conn.SetWriteDeadline(time.Now().Add(w.writeWait))
+			if _, err := w.conn.Write(buf.Bytes()); err != nil {
+				w.stop()
+				if w.onError != nil {
+					w.onError(err)
+				}
+				return
+			}
+			_ = w.conn.SetWriteDeadline(time.Time{})
+			if buf.Cap() > 4*w.batchBytes {
+				// An outsized state transfer grew the buffer (up to a whole
+				// 16 MiB frame); drop the capacity back so long-lived
+				// connections are sized for their typical batch, not their
+				// largest ever.
+				buf = bytes.NewBuffer(make([]byte, 0, w.batchBytes))
+			}
+		case <-w.done:
+			return
+		}
+	}
+}
+
+// encodeMsg gob-encodes one wire message, enforcing the frame size limit
+// with a typed error so callers can tell an oversized state transfer from a
+// fail-stopped peer.
+func encodeMsg(m wireMsg) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&m); err != nil {
+		return nil, err
+	}
+	if buf.Len() > transport.MaxFrameSize {
+		return nil, fmt.Errorf("%w: %s message of %d bytes", transport.ErrFrameTooLarge, m.Method, buf.Len())
+	}
+	return buf.Bytes(), nil
 }
 
 // decodeMsg parses one frame body into a wire message.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -187,6 +188,20 @@ func TestDeregisterMatchesKillSemantics(t *testing.T) {
 	}
 }
 
+// connCount returns how many multiplexed connections tr holds to addr.
+func connCount(tr *Transport, addr transport.Addr) int {
+	tr.mu.Lock()
+	pc := tr.peers[addr]
+	tr.mu.Unlock()
+	if pc == nil {
+		return 0
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	pc.pruneLocked()
+	return len(pc.conns)
+}
+
 func TestConnectionPooling(t *testing.T) {
 	okh := func(transport.Addr, string, any) (any, error) { return true, nil }
 	tr, a, b := newPair(t, okh, okh)
@@ -195,17 +210,178 @@ func TestConnectionPooling(t *testing.T) {
 			t.Fatalf("call %d: %v", i, err)
 		}
 	}
-	tr.mu.Lock()
-	p := tr.pools[b]
-	tr.mu.Unlock()
-	if p == nil {
-		t.Fatal("no pool for destination")
+	if n := connCount(tr, b); n == 0 || n > tr.cfg.ConnsPerPeer {
+		t.Fatalf("connection count %d, want 1..%d (sequential calls must reuse multiplexed connections)", n, tr.cfg.ConnsPerPeer)
 	}
-	p.mu.Lock()
-	idle := len(p.conns)
-	p.mu.Unlock()
-	if idle == 0 || idle > tr.cfg.MaxIdlePerPeer {
-		t.Fatalf("idle pool size %d, want 1..%d (sequential calls must reuse one connection)", idle, tr.cfg.MaxIdlePerPeer)
+}
+
+// Many concurrent calls to one peer must share a single multiplexed
+// connection (ConnsPerPeer=1) and overlap at the handler: with 16 calls each
+// holding the handler ~20ms, the pipelined batch must finish far faster than
+// the serialized 16×20ms.
+func TestPipelinedCallsShareOneConnection(t *testing.T) {
+	const depth = 16
+	var inflight, peak atomic.Int64
+	slow := func(_ transport.Addr, _ string, p any) (any, error) {
+		cur := inflight.Add(1)
+		defer inflight.Add(-1)
+		for {
+			old := peak.Load()
+			if cur <= old || peak.CompareAndSwap(old, cur) {
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+		return p, nil
+	}
+	tr := New(Config{DialTimeout: time.Second, CallTimeout: 10 * time.Second, ConnsPerPeer: 1})
+	t.Cleanup(func() { tr.Close() })
+	a, err := tr.Listen("127.0.0.1:0", slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tr.Listen("127.0.0.1:0", slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	pends := make([]*transport.Pending, depth)
+	for i := range pends {
+		pends[i] = tr.CallAsync(context.Background(), a, b, "slow", echoMsg{N: i})
+	}
+	for i, p := range pends {
+		got, err := p.Result()
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if m, ok := got.(echoMsg); !ok || m.N != i {
+			t.Fatalf("call %d returned %#v", i, got)
+		}
+	}
+	elapsed := time.Since(start)
+
+	if n := connCount(tr, b); n != 1 {
+		t.Fatalf("pipelined calls used %d connections, want 1", n)
+	}
+	if peak.Load() < 2 {
+		t.Fatalf("handler concurrency peak %d, want >= 2 (calls must overlap on one connection)", peak.Load())
+	}
+	if serialized := depth * 20 * time.Millisecond; elapsed > serialized/2 {
+		t.Fatalf("pipelined batch took %v, want well under the serialized %v", elapsed, serialized)
+	}
+}
+
+// Responses must be matched by request ID, not arrival order: a fast call
+// issued after a slow one on the same connection returns first, with each
+// caller seeing its own payload.
+func TestOutOfOrderResponses(t *testing.T) {
+	handler := func(_ transport.Addr, _ string, p any) (any, error) {
+		m := p.(echoMsg)
+		if m.N == 0 {
+			time.Sleep(100 * time.Millisecond) // the slow state transfer
+		}
+		return m, nil
+	}
+	tr := New(Config{DialTimeout: time.Second, CallTimeout: 5 * time.Second, ConnsPerPeer: 1})
+	t.Cleanup(func() { tr.Close() })
+	a, _ := tr.Listen("127.0.0.1:0", handler)
+	b, err := tr.Listen("127.0.0.1:0", handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	slow := tr.CallAsync(context.Background(), a, b, "m", echoMsg{N: 0})
+	time.Sleep(5 * time.Millisecond) // ensure the slow call is on the wire first
+	fastStart := time.Now()
+	fast, err := tr.Call(context.Background(), a, b, "m", echoMsg{N: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fastDur := time.Since(fastStart); fastDur > 80*time.Millisecond {
+		t.Fatalf("fast call took %v: it was serialized behind the slow call", fastDur)
+	}
+	if m, ok := fast.(echoMsg); !ok || m.N != 7 {
+		t.Fatalf("fast call returned %#v", fast)
+	}
+	got, err := slow.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, ok := got.(echoMsg); !ok || m.N != 0 {
+		t.Fatalf("slow call returned %#v", got)
+	}
+}
+
+// A per-call timeout abandons only that call: the connection survives and
+// later calls on it succeed.
+func TestCallTimeoutLeavesConnectionUsable(t *testing.T) {
+	block := make(chan struct{})
+	handler := func(_ transport.Addr, _ string, p any) (any, error) {
+		m := p.(echoMsg)
+		if m.N == 0 {
+			<-block
+		}
+		return m, nil
+	}
+	tr := New(Config{DialTimeout: time.Second, CallTimeout: 5 * time.Second, ConnsPerPeer: 1})
+	t.Cleanup(func() { tr.Close() })
+	t.Cleanup(func() { close(block) })
+	a, _ := tr.Listen("127.0.0.1:0", handler)
+	b, err := tr.Listen("127.0.0.1:0", handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := tr.Call(ctx, a, b, "m", echoMsg{N: 0}); !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("blocked call: err = %v, want ErrUnreachable", err)
+	}
+	got, err := tr.Call(context.Background(), a, b, "m", echoMsg{N: 1})
+	if err != nil {
+		t.Fatalf("call after timeout: %v (the connection must survive an abandoned call)", err)
+	}
+	if m, ok := got.(echoMsg); !ok || m.N != 1 {
+		t.Fatalf("call after timeout returned %#v", got)
+	}
+	if n := connCount(tr, b); n != 1 {
+		t.Fatalf("connection count %d after timeout, want 1 (no redial)", n)
+	}
+}
+
+// Deregister must resolve calls already in flight to the dead peer promptly
+// with ErrUnreachable — orderly cancellation, not a dangling wait for the
+// full deadline.
+func TestDeregisterCancelsInFlightCalls(t *testing.T) {
+	block := make(chan struct{})
+	handler := func(transport.Addr, string, any) (any, error) {
+		<-block
+		return true, nil
+	}
+	tr := New(Config{DialTimeout: time.Second, CallTimeout: 30 * time.Second, ConnsPerPeer: 1})
+	t.Cleanup(func() { tr.Close() })
+	t.Cleanup(func() { close(block) })
+	a, _ := tr.Listen("127.0.0.1:0", handler)
+	b, err := tr.Listen("127.0.0.1:0", handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pends := make([]*transport.Pending, 4)
+	for i := range pends {
+		pends[i] = tr.CallAsync(context.Background(), a, b, "m", echoMsg{N: i})
+	}
+	time.Sleep(20 * time.Millisecond) // let the calls reach the wire
+	start := time.Now()
+	tr.Deregister(b)
+	for i, p := range pends {
+		if _, err := p.Result(); !errors.Is(err, transport.ErrUnreachable) {
+			t.Fatalf("in-flight call %d after Deregister: err = %v, want ErrUnreachable", i, err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("in-flight calls took %v to cancel; Deregister must fail them promptly", elapsed)
 	}
 }
 

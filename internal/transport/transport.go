@@ -26,6 +26,7 @@ package transport
 import (
 	"context"
 	"errors"
+	"sync"
 )
 
 // Addr identifies a peer on the network (the paper's "physical id"). For the
@@ -51,6 +52,11 @@ var (
 	ErrDuplicate = errors.New("transport: address already registered")
 	// ErrClosed reports an operation on a transport after Close.
 	ErrClosed = errors.New("transport: closed")
+	// ErrFrameTooLarge reports a message whose encoded form exceeds
+	// MaxFrameSize. Unlike ErrUnreachable it is a permanent, payload-level
+	// failure: retrying the same message can never succeed, the state
+	// transfer must be shrunk or chunked instead.
+	ErrFrameTooLarge = errors.New("transport: message exceeds frame size limit")
 )
 
 // Transport is the message substrate connecting peers. All methods are safe
@@ -87,4 +93,60 @@ func Deregister(t Transport, addr Addr) {
 	if d, ok := t.(Deregistrar); ok {
 		d.Deregister(addr)
 	}
+}
+
+// Pending is the future of one asynchronous call: issued now, resolved when
+// the response (or failure) arrives. Callers hold many Pendings at once to
+// pipeline independent RPCs — including several to the same peer, which
+// multiplexing transports carry concurrently on one connection.
+type Pending struct {
+	done chan struct{}
+	once sync.Once
+	val  any
+	err  error
+}
+
+// NewPending returns an unresolved Pending. Transport implementations
+// resolve it exactly once with Resolve.
+func NewPending() *Pending { return &Pending{done: make(chan struct{})} }
+
+// Resolve completes the call. Later resolutions are ignored, so a response
+// racing a timeout settles cleanly on whichever lands first.
+func (p *Pending) Resolve(v any, err error) {
+	p.once.Do(func() {
+		p.val, p.err = v, err
+		close(p.done)
+	})
+}
+
+// Done is closed when the call has resolved.
+func (p *Pending) Done() <-chan struct{} { return p.done }
+
+// Result blocks until the call resolves and returns its outcome. The call's
+// own context bounds the wait: every issued call resolves — with its
+// response, its handler error, or a transport failure — within its deadline.
+func (p *Pending) Result() (any, error) {
+	<-p.done
+	return p.val, p.err
+}
+
+// AsyncCaller is implemented by transports with native asynchronous calls.
+// CallAsync has exactly Call's semantics (deadlines, fail-stop reporting,
+// error identities) but returns immediately; the exchange proceeds in the
+// background and the Pending resolves when it completes.
+type AsyncCaller interface {
+	CallAsync(ctx context.Context, from, to Addr, method string, payload any) *Pending
+}
+
+// CallAsync issues an asynchronous call on any transport: natively when t
+// implements AsyncCaller, otherwise by running the synchronous Call in a
+// goroutine. Protocol code uses it to fan out independent RPCs — the
+// semantics match Call either way, only the concurrency differs.
+func CallAsync(t Transport, ctx context.Context, from, to Addr, method string, payload any) *Pending {
+	if ac, ok := t.(AsyncCaller); ok {
+		return ac.CallAsync(ctx, from, to, method, payload)
+	}
+	p := NewPending()
+	go func() { p.Resolve(t.Call(ctx, from, to, method, payload)) }()
+	return p
 }
