@@ -1,0 +1,120 @@
+// Command benchcheck gates CI on transport performance: it compares the
+// per-PR benchmark report (BENCH_pr.json, produced by cmd/benchrunner in the
+// bench-smoke job) against the committed baseline (BENCH_main.json,
+// refreshed on pushes to main) and exits non-zero when pipelined-call
+// throughput regressed by more than the threshold.
+//
+// The gated metric is the pipelining speedup: peak pipelined throughput
+// divided by the same run's depth-1 (sequential) throughput. Normalizing
+// within one run makes the gate hardware-independent — a PR run on a slow CI
+// machine is compared against what that machine could do sequentially, not
+// against the absolute numbers of whatever host produced the baseline. Raw
+// peak throughput is printed alongside for trend reading.
+//
+// Usage:
+//
+//	benchcheck -pr BENCH_pr.json -main BENCH_main.json [-threshold 0.25]
+//	           [-allow-missing]
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// report mirrors cmd/benchrunner's -json artifact.
+type report struct {
+	GeneratedAt string            `json:"generated_at"`
+	Figures     []*metrics.Figure `json:"figures"`
+}
+
+// transportMetrics is the gated slice of one report.
+type transportMetrics struct {
+	Peak    float64 // best pipelined throughput across depths (calls/sec)
+	Depth1  float64 // sequential throughput (depth 1)
+	Speedup float64 // Peak / Depth1
+}
+
+func main() {
+	prPath := flag.String("pr", "BENCH_pr.json", "PR benchmark report")
+	mainPath := flag.String("main", "BENCH_main.json", "baseline benchmark report")
+	threshold := flag.Float64("threshold", 0.25, "fail when the pipelining speedup drops by more than this fraction")
+	allowMissing := flag.Bool("allow-missing", false, "exit 0 (with a warning) when the baseline file does not exist")
+	flag.Parse()
+
+	pr, err := loadTransportMetrics(*prPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: PR report: %v\n", err)
+		os.Exit(1)
+	}
+	base, err := loadTransportMetrics(*mainPath)
+	if err != nil {
+		if *allowMissing && errors.Is(err, fs.ErrNotExist) {
+			fmt.Printf("benchcheck: no baseline at %s; skipping comparison\n", *mainPath)
+			fmt.Printf("benchcheck: PR pipelining speedup %.2fx (peak %.0f calls/sec, depth-1 %.0f)\n", pr.Speedup, pr.Peak, pr.Depth1)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "benchcheck: baseline report: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("benchcheck: pipelining speedup: PR %.2fx vs baseline %.2fx (threshold -%.0f%%)\n",
+		pr.Speedup, base.Speedup, *threshold*100)
+	fmt.Printf("benchcheck: raw peak throughput: PR %.0f calls/sec vs baseline %.0f calls/sec (informational)\n",
+		pr.Peak, base.Peak)
+	if pr.Speedup < (1-*threshold)*base.Speedup {
+		fmt.Fprintf(os.Stderr, "benchcheck: FAIL: pipelined-call throughput regressed %.0f%% (speedup %.2fx -> %.2fx)\n",
+			(1-pr.Speedup/base.Speedup)*100, base.Speedup, pr.Speedup)
+		os.Exit(1)
+	}
+	fmt.Println("benchcheck: OK")
+}
+
+// loadTransportMetrics extracts the pipelined-call series from a report.
+func loadTransportMetrics(path string) (transportMetrics, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return transportMetrics{}, fmt.Errorf("reading: %w", err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return transportMetrics{}, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return extractTransportMetrics(&rep, path)
+}
+
+// extractTransportMetrics finds the transport figure and computes the gate.
+func extractTransportMetrics(rep *report, path string) (transportMetrics, error) {
+	for _, fig := range rep.Figures {
+		if fig == nil || !strings.HasPrefix(fig.Title, "transport:") {
+			continue
+		}
+		for _, s := range fig.Series {
+			if s.Label != "pipelined" {
+				continue
+			}
+			var m transportMetrics
+			for x, y := range s.Points {
+				if x == "1" {
+					m.Depth1 = y
+				}
+				if y > m.Peak {
+					m.Peak = y
+				}
+			}
+			if m.Depth1 <= 0 || m.Peak <= 0 {
+				return m, fmt.Errorf("%s: transport figure lacks a depth-1 baseline point", path)
+			}
+			m.Speedup = m.Peak / m.Depth1
+			return m, nil
+		}
+	}
+	return transportMetrics{}, fmt.Errorf("%s: no transport figure with a %q series (run benchrunner with -transport)", path, "pipelined")
+}

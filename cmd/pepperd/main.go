@@ -44,10 +44,28 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-peer state")
 	listen := flag.String("listen", "", "serve one peer over TCP at this dialable host:port (multi-process mode)")
 	join := flag.String("join", "", "announce to this bootstrap peer as a free peer (requires -listen)")
+	payload := flag.Int("payload", 0, "payload bytes per loaded item (multi-process mode; forces chunked state transfers)")
+	probe := flag.String("probe", "", "probe the pepperd process at this address and exit (CI smoke / operators)")
+	expect := flag.Int("expect", -1, "with -probe: require a range query to return exactly this many items")
+	serving := flag.Bool("serving", false, "with -probe: require the peer to be JOINED and serving a range")
+	minPool := flag.Int("min-pool", -1, "with -probe: require at least this many pooled free peers")
+	audit := flag.Bool("audit", false, "with -probe: journal the final query and require a clean Definition 4 audit")
+	wait := flag.Duration("wait", 0, "with -probe: keep retrying until satisfied or this timeout elapses")
+	probeUB := flag.Uint64("probe-ub", uint64(keyspace.MaxKey), "with -probe -expect: upper bound of the probed query interval")
 	flag.Parse()
 
+	if *probe != "" {
+		os.Exit(probeMain(*probe, probeOpts{
+			expect:  *expect,
+			serving: *serving,
+			minPool: *minPool,
+			audit:   *audit,
+			wait:    *wait,
+			ub:      keyspace.Key(*probeUB),
+		}))
+	}
 	if *listen != "" {
-		serveMain(*listen, *join, *items, *seed)
+		serveMain(*listen, *join, *items, *payload, *seed)
 		return
 	}
 	if *join != "" {

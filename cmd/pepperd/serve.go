@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -52,7 +53,7 @@ func tcpPeerConfig(seed int64) core.Config {
 }
 
 // serveMain runs one peer as its own OS process over TCP: the -listen mode.
-func serveMain(listen, join string, items int, seed int64) {
+func serveMain(listen, join string, items, payload int, seed int64) {
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "pepperd: %v\n", err)
 		os.Exit(1)
@@ -77,7 +78,7 @@ func serveMain(listen, join string, items int, seed int64) {
 		}
 		fmt.Printf("pepperd: bootstrapped ring at %s (owns the full key space)\n", listen)
 		if items > 0 {
-			go loadItems(ctx, node, items, fail)
+			go loadItems(ctx, node, items, payload, fail)
 		}
 	} else {
 		if err := node.JoinAsFree(ctx, transport.Addr(join)); err != nil {
@@ -100,10 +101,16 @@ func serveMain(listen, join string, items int, seed int64) {
 }
 
 // loadItems feeds the index from this process, forcing splits that pull
-// announced free peers into the ring.
-func loadItems(ctx context.Context, node *core.Standalone, items int, fail func(error)) {
+// announced free peers into the ring. A non-zero payload size pads every
+// item, so the resulting split hand-offs and replica pushes exercise the
+// chunked streaming transfer on the real wire.
+func loadItems(ctx context.Context, node *core.Standalone, items, payload int, fail func(error)) {
+	pad := ""
+	if payload > 0 {
+		pad = strings.Repeat("x", payload)
+	}
 	for i := 1; i <= items; i++ {
-		it := datastore.Item{Key: keyspace.Key(i * 1000), Payload: fmt.Sprintf("object-%d", i)}
+		it := datastore.Item{Key: keyspace.Key(i * 1000), Payload: fmt.Sprintf("object-%d%s", i, pad)}
 		if err := node.CurrentPeer().InsertItem(ctx, it); err != nil {
 			if ctx.Err() != nil {
 				return
@@ -119,6 +126,95 @@ func loadItems(ctx context.Context, node *core.Standalone, items int, fail func(
 		return
 	}
 	fmt.Printf("pepperd: full-range query -> %d items in %v over %d hops\n", len(res), stats.ScanTime, stats.Hops)
+}
+
+// probeOpts are the success criteria of one pepperd -probe invocation.
+type probeOpts struct {
+	expect  int           // required query item count; <0 = no query
+	serving bool          // require JOINED with a range
+	minPool int           // required free-pool size; <0 = don't care
+	audit   bool          // final journaled query + Definition 4 audit
+	wait    time.Duration // keep retrying until satisfied or this elapses
+	ub      keyspace.Key  // query interval upper bound
+}
+
+// probeMain is the -probe mode: a thin RPC client that interrogates a
+// running pepperd process and exits 0 only when the process satisfies the
+// requested criteria. The CI cluster-smoke job drives the whole churn cycle
+// with it. Polling probes run unjournaled queries; with -audit, once the
+// criteria hold, one final journaled query runs and the process's
+// Definition 4 checker must come back clean.
+func probeMain(target string, o probeOpts) int {
+	tr := tcp.New(tcp.Config{DialTimeout: 2 * time.Second, CallTimeout: 60 * time.Second})
+	defer tr.Close()
+	ctx := context.Background()
+	deadline := time.Now().Add(o.wait)
+
+	req := core.ProbeRequest{Query: o.expect >= 0, Lo: 0, Hi: o.ub}
+	var st core.ProbeStatus
+	var err error
+	for {
+		st, err = core.Probe(ctx, tr, "probe", transport.Addr(target), req)
+		if err == nil && probeSatisfied(st, o) {
+			break
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pepperd: probe %s failed: %v\n", target, err)
+			} else {
+				fmt.Fprintf(os.Stderr, "pepperd: probe %s unsatisfied: %s\n", target, renderStatus(st))
+			}
+			return 1
+		}
+		time.Sleep(time.Second)
+	}
+
+	if o.audit {
+		req.Journal, req.Audit = true, true
+		st, err = core.Probe(ctx, tr, "probe", transport.Addr(target), req)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pepperd: audit probe %s failed: %v\n", target, err)
+			return 1
+		}
+		if !probeSatisfied(st, o) || st.Violations != 0 {
+			fmt.Fprintf(os.Stderr, "pepperd: audit %s not clean: %s\n", target, renderStatus(st))
+			return 1
+		}
+	}
+	fmt.Printf("pepperd: probe %s ok: %s\n", target, renderStatus(st))
+	return 0
+}
+
+// probeSatisfied checks one status against the criteria (ignoring the audit
+// verdict, which only the final journaled probe carries).
+func probeSatisfied(st core.ProbeStatus, o probeOpts) bool {
+	if o.expect >= 0 && (st.QueryErr != "" || st.QueryCount != o.expect) {
+		return false
+	}
+	if o.serving && (st.State != "JOINED" || !st.HasRange) {
+		return false
+	}
+	if o.minPool >= 0 && st.FreePool < o.minPool {
+		return false
+	}
+	return st.RejoinErr == ""
+}
+
+// renderStatus formats a probe status for the job log.
+func renderStatus(st core.ProbeStatus) string {
+	out := fmt.Sprintf("state=%s val=%d items=%d replicas=%d free-pool=%d", st.State, st.Val, st.Items, st.Replicas, st.FreePool)
+	if st.QueryErr != "" {
+		out += fmt.Sprintf(" query-err=%q", st.QueryErr)
+	} else if st.QueryCount >= 0 {
+		out += fmt.Sprintf(" query-items=%d", st.QueryCount)
+	}
+	if st.Violations >= 0 {
+		out += fmt.Sprintf(" violations=%d", st.Violations)
+	}
+	if st.RejoinErr != "" {
+		out += fmt.Sprintf(" rejoin-err=%q", st.RejoinErr)
+	}
+	return out
 }
 
 func printStatus(node *core.Standalone) {

@@ -7,7 +7,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/datastore"
 	"repro/internal/history"
+	"repro/internal/keyspace"
 	"repro/internal/transport"
 )
 
@@ -22,9 +24,117 @@ import (
 // node's free pool.
 const methodAnnounceFree = "core.announceFree"
 
+// methodProbe serves operational probes: a thin RPC client (pepperd -probe,
+// the CI cluster smoke) asks a running process for its state and optionally
+// has it execute a range query and a journal audit on the prober's behalf.
+const methodProbe = "core.probe"
+
+// methodAcquireFree lends a pooled free peer to a remote process's split.
+// Free peers announce only to the bootstrap, so without this an overflowed
+// non-bootstrap peer could never split: its local pool is always empty.
+const methodAcquireFree = "core.acquireFree"
+
 // announceMsg announces a free peer's dialable address.
 type announceMsg struct {
 	Addr transport.Addr
+}
+
+// ProbeRequest asks a standalone process to report its state. With Query set
+// the process also evaluates a range query over [Lo, Hi] from its own peer;
+// Journal additionally records that query in the process's correctness
+// journal (polls during failure recovery stay unjournaled — this journal
+// never learns of remote failures, so a journaled poll observing the
+// transient gap would read as a phantom violation). Audit runs the
+// Definition 4 checker over every journaled query of the process.
+type ProbeRequest struct {
+	Query   bool
+	Lo, Hi  keyspace.Key
+	Journal bool
+	Audit   bool
+}
+
+// ProbeStatus reports one process's observable state.
+type ProbeStatus struct {
+	State      string // ring lifecycle state
+	Val        keyspace.Key
+	HasRange   bool
+	RangeLo    keyspace.Key
+	RangeHi    keyspace.Key
+	Items      int
+	Replicas   int
+	FreePool   int
+	RejoinErr  string
+	QueryCount int    // -1 when no query ran
+	QueryErr   string // query failure, if any
+	Violations int    // -1 unless Audit was requested
+}
+
+func init() {
+	transport.RegisterMessage(ProbeRequest{})
+	transport.RegisterMessage(ProbeStatus{})
+}
+
+// Probe asks the standalone process at addr for its status; any process (or
+// a bare transport client like pepperd -probe) can issue it.
+func Probe(ctx context.Context, tr transport.Transport, from, addr transport.Addr, req ProbeRequest) (ProbeStatus, error) {
+	resp, err := tr.Call(ctx, from, addr, methodProbe, req)
+	if err != nil {
+		return ProbeStatus{}, err
+	}
+	st, ok := resp.(ProbeStatus)
+	if !ok {
+		return ProbeStatus{}, fmt.Errorf("core: bad probe response %T", resp)
+	}
+	return st, nil
+}
+
+// handleProbe serves methodProbe against the current peer stack.
+func (s *Standalone) handleProbe(_ transport.Addr, _ string, payload any) (any, error) {
+	req, ok := payload.(ProbeRequest)
+	if !ok {
+		return nil, fmt.Errorf("core: bad probe payload %T", payload)
+	}
+	p := s.CurrentPeer()
+	resp := ProbeStatus{
+		State:      p.Ring.State().String(),
+		Val:        p.Ring.Self().Val,
+		Items:      p.Store.ItemCount(),
+		Replicas:   p.Rep.ReplicaCount(),
+		FreePool:   s.Pool.Len(),
+		QueryCount: -1,
+		Violations: -1,
+	}
+	if rng, has := p.Store.Range(); has {
+		resp.HasRange, resp.RangeLo, resp.RangeHi = true, rng.Lo, rng.Hi
+	}
+	if err := s.RejoinErr(); err != nil {
+		resp.RejoinErr = err.Error()
+	}
+	if req.Query {
+		ctx, cancel := context.WithTimeout(context.Background(), 45*time.Second)
+		iv := keyspace.ClosedInterval(req.Lo, req.Hi)
+		var err error
+		var n int
+		if req.Journal {
+			var items []datastore.Item
+			items, _, err = p.RangeQueryStats(ctx, iv)
+			n = len(items)
+		} else {
+			var items []datastore.Item
+			items, _, err = p.RangeQueryUnjournaled(ctx, iv)
+			n = len(items)
+		}
+		cancel()
+		if err != nil {
+			resp.QueryErr = err.Error()
+		} else {
+			resp.QueryCount = n
+		}
+	}
+	if req.Audit {
+		resp.Violations = len(s.Log.CheckAllQueries())
+	}
+	return resp, nil
 }
 
 // AddrPool is a datastore.FreePool over announced remote peer addresses.
@@ -93,6 +203,20 @@ func (ap *AddrPool) Acquire() (transport.Addr, bool) {
 	ap.purgeLentLocked()
 	ap.lent[addr] = time.Now()
 	return addr, true
+}
+
+// MarkLent records addr as lent out by this pool even though Acquire never
+// handed it out locally — a split that borrowed the address from a remote
+// pool uses it so a failed insert's Release re-pools the peer here instead
+// of dropping it.
+func (ap *AddrPool) MarkLent(addr transport.Addr) {
+	ap.mu.Lock()
+	defer ap.mu.Unlock()
+	if ap.lent == nil {
+		ap.lent = make(map[transport.Addr]time.Time)
+	}
+	ap.purgeLentLocked()
+	ap.lent[addr] = time.Now()
 }
 
 // Release implements datastore.FreePool: a never-joined lent peer returns to
@@ -170,9 +294,10 @@ func NewStandalone(tr transport.Transport, addr transport.Addr, cfg Config) (*St
 
 // buildPeer assembles and activates one peer stack at addr, with the
 // free-peer announce handler installed (before Activate, so no announce can
-// arrive at a mux that lacks the handler).
+// arrive at a mux that lacks the handler). The stack's free pool is the
+// Standalone itself: local pool first, bootstrap's pool as the fallback.
 func (s *Standalone) buildPeer(addr transport.Addr) (*Peer, error) {
-	p, err := assemblePeer(s.tr, addr, s.cfg, s.Log, s.Pool)
+	p, err := assemblePeer(s.tr, addr, s.cfg, s.Log, s)
 	if err != nil {
 		return nil, err
 	}
@@ -184,11 +309,56 @@ func (s *Standalone) buildPeer(addr transport.Addr) (*Peer, error) {
 		s.Pool.Add(msg.Addr)
 		return true, nil
 	})
+	p.Mux.Handle(methodProbe, s.handleProbe)
+	p.Mux.Handle(methodAcquireFree, func(_ transport.Addr, _ string, _ any) (any, error) {
+		addr, ok := s.Pool.Acquire()
+		if !ok {
+			return announceMsg{}, nil
+		}
+		return announceMsg{Addr: addr}, nil
+	})
 	if err := p.Activate(); err != nil {
 		return nil, err
 	}
 	return p, nil
 }
+
+// Acquire implements datastore.FreePool for this process's splits: pop a
+// locally pooled free peer, or — when the local pool is empty — borrow one
+// from the bootstrap's pool over the wire. Free peers announce only to the
+// bootstrap, so without the remote path only the bootstrap process could
+// ever split; an overflowed non-bootstrap peer (e.g. one that just revived
+// a failed neighbour's range) would wait forever for a peer that was parked
+// one process over.
+func (s *Standalone) Acquire() (transport.Addr, bool) {
+	if addr, ok := s.Pool.Acquire(); ok {
+		return addr, true
+	}
+	s.mu.Lock()
+	bootstrap := s.bootstrap
+	cur := s.peer
+	s.mu.Unlock()
+	if bootstrap == "" || cur == nil {
+		return "", false
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	resp, err := s.tr.Call(ctx, cur.Addr, bootstrap, methodAcquireFree, nil)
+	if err != nil {
+		return "", false
+	}
+	msg, ok := resp.(announceMsg)
+	if !ok || msg.Addr == "" {
+		return "", false
+	}
+	// Track the borrowed address as lent locally, so a failed split's
+	// Release re-pools it here instead of dropping it on the floor.
+	s.Pool.MarkLent(msg.Addr)
+	return msg.Addr, true
+}
+
+// Release implements datastore.FreePool; see AddrPool.Release.
+func (s *Standalone) Release(addr transport.Addr) { s.Pool.Release(addr) }
 
 // CurrentPeer returns the live peer stack (which changes across rejoins).
 func (s *Standalone) CurrentPeer() *Peer {

@@ -252,3 +252,42 @@ func TestStandaloneRejoinAfterMerge(t *testing.T) {
 		t.Fatal("rejoined peer joined but received no items")
 	}
 }
+
+// A split at a non-bootstrap process must be able to borrow a free peer
+// from the bootstrap's pool: free peers announce only to the bootstrap, so
+// without the remote-acquire path an overflowed non-bootstrap peer could
+// never split (the cluster-smoke churn cycle hits exactly this after a
+// failure revival re-homes a range away from the bootstrap).
+func TestAcquireBorrowsFreePeerFromBootstrap(t *testing.T) {
+	cfg := tcpConfig()
+	cfg.Store.DisableMaintenance = true
+	boot := startStandalone(t, cfg)
+	if err := boot.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	member := startStandalone(t, cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := member.JoinAsFree(ctx, boot.CurrentPeer().Addr); err != nil {
+		t.Fatal(err)
+	}
+
+	// The member's own pool is empty, so Acquire must reach across to the
+	// bootstrap's pool (which holds the member's own announced address).
+	addr, ok := member.Acquire()
+	if !ok {
+		t.Fatal("Acquire found no free peer despite one pooled at the bootstrap")
+	}
+	if addr != member.CurrentPeer().Addr {
+		t.Fatalf("Acquire returned %s, want the announced %s", addr, member.CurrentPeer().Addr)
+	}
+	if boot.Pool.Len() != 0 {
+		t.Fatalf("bootstrap pool still holds %d peers after the remote acquire", boot.Pool.Len())
+	}
+	// A failed split releases the borrowed address: it must re-pool locally
+	// (the lent bookkeeping), not vanish or be mistaken for a merge-away.
+	member.Release(addr)
+	if member.Pool.Len() != 1 {
+		t.Fatalf("released borrowed peer not re-pooled locally (len=%d)", member.Pool.Len())
+	}
+}

@@ -314,7 +314,9 @@ func (s *Store) underflow() error {
 
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.MaintenanceTimeout)
 	defer cancel()
-	resp, err := s.net.Call(ctx, self.Addr, succ.Addr, methodRebalance, rebalanceReq{From: self, FromCount: count})
+	// Bulk call: a redistribution answer carries half the successor's items,
+	// which may not fit one transport frame.
+	resp, err := transport.CallBulk(s.net, ctx, self.Addr, succ.Addr, methodRebalance, rebalanceReq{From: self, FromCount: count})
 	if err != nil {
 		return err
 	}
@@ -481,7 +483,11 @@ func (s *Store) mergeIntoSuccessor(ctx context.Context, succ ring.Node) error {
 
 	// The receiver journals the item moves as it applies them: if we die
 	// mid-call, the journal then matches wherever the items physically are.
-	_, err := s.net.Call(ctx, self.Addr, succ.Addr, methodMergeIn, mergeInReq{From: self, Range: rng, Items: items})
+	// The hand-off is a bulk call: an arbitrarily large range streams across
+	// in chunks and the successor applies it atomically at commit, so a
+	// transfer interrupted mid-stream leaves the successor unchanged and the
+	// items safely back here via the error path below.
+	_, err := transport.CallBulk(s.net, ctx, self.Addr, succ.Addr, methodMergeIn, mergeInReq{From: self, Range: rng, Items: items})
 	if err != nil {
 		// The successor is gone; put the state back and let the ring heal.
 		s.mu.Lock()

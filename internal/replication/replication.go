@@ -222,7 +222,9 @@ func (m *Manager) handlePull(_ transport.Addr, _ string, payload any) (any, erro
 // The k pushes are independent, so they are issued as one pipelined burst
 // instead of k sequential round trips: one slow replica no longer stretches
 // the whole refresh to k deadlines, and the refresh period stays honest as
-// the factor grows.
+// the factor grows. Pushes are bulk calls: a range whose encoding exceeds
+// the transport frame size streams across in chunks and commits atomically
+// at each replica.
 func (m *Manager) RefreshOnce() {
 	rng, ok := m.ds.Range()
 	if !ok {
@@ -239,7 +241,7 @@ func (m *Manager) RefreshOnce() {
 	defer cancel()
 	pends := make([]*transport.Pending, 0, len(succs))
 	for _, succ := range succs {
-		pends = append(pends, transport.CallAsync(m.net, ctx, self.Addr, succ.Addr, methodPush, msg))
+		pends = append(pends, transport.CallBulkAsync(m.net, ctx, self.Addr, succ.Addr, methodPush, msg))
 	}
 	for _, p := range pends {
 		_, _ = p.Result()
@@ -274,7 +276,7 @@ func (m *Manager) BeforeLeave(ctx context.Context) error {
 	}
 	pends := make([]*transport.Pending, 0, limit)
 	for _, succ := range succs[:limit] {
-		pends = append(pends, transport.CallAsync(m.net, ctx, self.Addr, succ.Addr, methodPush, own))
+		pends = append(pends, transport.CallBulkAsync(m.net, ctx, self.Addr, succ.Addr, methodPush, own))
 	}
 
 	// Held replicas one extra hop: hand them to our first successor, which
@@ -286,7 +288,7 @@ func (m *Manager) BeforeLeave(ctx context.Context) error {
 	// pipelined on one connection instead of paying a round trip each.
 	for _, it := range m.HeldReplicas() {
 		msg := pushMsg{From: self, Range: keyspace.NewRange(it.Key-1, it.Key), Items: []datastore.Item{it}}
-		pends = append(pends, transport.CallAsync(m.net, ctx, self.Addr, succs[0].Addr, methodPush, msg))
+		pends = append(pends, transport.CallBulkAsync(m.net, ctx, self.Addr, succs[0].Addr, methodPush, msg))
 	}
 
 	var firstErr error
@@ -314,14 +316,16 @@ func (m *Manager) Revive(r keyspace.Range) []datastore.Item {
 
 // PullRange implements datastore.Replicator: fetch replicas in r from our
 // successors (used by orphaned peers that hold nothing locally). The pulls
-// fan out concurrently; the union of whatever answers is the result.
+// fan out concurrently as bulk calls — the answers are whole ranges, so they
+// stream back chunked when they outgrow a frame — and the union of whatever
+// arrives is the result.
 func (m *Manager) PullRange(ctx context.Context, r keyspace.Range) []datastore.Item {
 	seen := make(map[keyspace.Key]datastore.Item)
 	self := m.ring.Self()
 	succs := m.ring.Successors()
 	pends := make([]*transport.Pending, 0, len(succs))
 	for _, succ := range succs {
-		pends = append(pends, transport.CallAsync(m.net, ctx, self.Addr, succ.Addr, methodPull, pullReq{Range: r}))
+		pends = append(pends, transport.CallBulkAsync(m.net, ctx, self.Addr, succ.Addr, methodPull, pullReq{Range: r}))
 	}
 	for _, p := range pends {
 		resp, err := p.Result()

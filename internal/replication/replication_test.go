@@ -27,9 +27,15 @@ type repHarness struct {
 }
 
 func newRepHarness(t *testing.T) *repHarness {
+	return newRepHarnessNet(t, simnet.Config{DeadCallDelay: time.Millisecond, Seed: 5})
+}
+
+// newRepHarnessNet is newRepHarness over a custom network configuration
+// (strict serialization, chunk sizing, fault injection).
+func newRepHarnessNet(t *testing.T, netCfg simnet.Config) *repHarness {
 	return &repHarness{
 		t:      t,
-		net:    simnet.New(simnet.Config{DeadCallDelay: time.Millisecond, Seed: 5}),
+		net:    simnet.New(netCfg),
 		log:    history.NewLog(),
 		mgrs:   make(map[simnet.Addr]*Manager),
 		stores: make(map[simnet.Addr]*datastore.Store),

@@ -606,7 +606,11 @@ func (p *Peer) completeJoin(ctx context.Context, newNode Node) error {
 	if p.cb.PrepareJoinData != nil {
 		data = p.cb.PrepareJoinData(newNode)
 	}
-	_, err := p.net.Call(ctx, self.Addr, newNode.Addr, methodJoined, joinedMsg{
+	// The joined message carries the Data Store hand-off (the INSERT event's
+	// carved-off items), so it is a bulk call: a split moving more items than
+	// fit one transport frame streams them across in chunks, and the joining
+	// peer installs the range atomically at commit.
+	_, err := transport.CallBulk(p.net, ctx, self.Addr, newNode.Addr, methodJoined, joinedMsg{
 		Self: newNode,
 		Pred: self,
 		List: list,
@@ -682,7 +686,7 @@ func (p *Peer) naiveInsertSucc(ctx context.Context, newNode Node) error {
 	if p.cb.PrepareJoinData != nil {
 		data = p.cb.PrepareJoinData(newNode)
 	}
-	_, err := p.net.Call(ctx, self.Addr, newNode.Addr, methodJoined, joinedMsg{
+	_, err := transport.CallBulk(p.net, ctx, self.Addr, newNode.Addr, methodJoined, joinedMsg{
 		Self: newNode, Pred: self, List: list, Data: data,
 	})
 	if err != nil {

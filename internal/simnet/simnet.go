@@ -73,6 +73,16 @@ type Config struct {
 	// payload that cannot be encoded fails the Call (or silently drops the
 	// Send, counted in Stats.StrictFailures and retained by StrictErr).
 	StrictSerialization bool
+	// ChunkBytes is the chunk size for streamed bulk transfers (OpenStream).
+	// Default transport.DefaultChunkBytes.
+	ChunkBytes int
+	// ChunkFault, when set, is consulted for every chunk frame of every
+	// streamed transfer (fault injection): returning true drops that chunk
+	// on the floor, which tears the whole transfer down — the sender's
+	// stream fails, the receiver discards everything staged and its handler
+	// never runs. seq is the zero-based chunk sequence number within the
+	// transfer.
+	ChunkFault func(to Addr, method string, seq int) bool
 }
 
 // DefaultConfig returns timing suited to millisecond-scale experiments.
@@ -89,6 +99,9 @@ func DefaultConfig() Config {
 type Stats struct {
 	Calls          uint64 // synchronous request/responses attempted
 	Sends          uint64 // one-way messages attempted
+	Streams        uint64 // chunked transfers opened
+	Chunks         uint64 // chunk frames carried by streamed transfers
+	ChunkDrops     uint64 // chunk frames dropped by fault injection
 	Failures       uint64 // calls/sends that could not be delivered
 	StrictFailures uint64 // messages rejected by the codec in strict mode
 	ByMethod       map[string]uint64
@@ -108,6 +121,9 @@ type Network struct {
 
 	calls          atomic.Uint64
 	sends          atomic.Uint64
+	streams        atomic.Uint64
+	chunks         atomic.Uint64
+	chunkDrops     atomic.Uint64
 	failures       atomic.Uint64
 	strictFailures atomic.Uint64
 
@@ -122,9 +138,10 @@ type Network struct {
 // including the asynchronous pipelining interface the TCP transport
 // multiplexes natively.
 var (
-	_ transport.Transport   = (*Network)(nil)
-	_ transport.Deregistrar = (*Network)(nil)
-	_ transport.AsyncCaller = (*Network)(nil)
+	_ transport.Transport    = (*Network)(nil)
+	_ transport.Deregistrar  = (*Network)(nil)
+	_ transport.AsyncCaller  = (*Network)(nil)
+	_ transport.StreamOpener = (*Network)(nil)
 )
 
 type endpoint struct {
@@ -144,6 +161,14 @@ func New(cfg Config) *Network {
 		rng:      rand.New(rand.NewSource(seed)),
 		byMethod: make(map[string]uint64),
 	}
+}
+
+// chunkBytes returns the configured stream chunk size.
+func (n *Network) chunkBytes() int {
+	if n.cfg.ChunkBytes > 0 {
+		return n.cfg.ChunkBytes
+	}
+	return transport.DefaultChunkBytes
 }
 
 // Register attaches a peer to the network. Re-registering an address that was
@@ -213,6 +238,9 @@ func (n *Network) Stats() Stats {
 	return Stats{
 		Calls:          n.calls.Load(),
 		Sends:          n.sends.Load(),
+		Streams:        n.streams.Load(),
+		Chunks:         n.chunks.Load(),
+		ChunkDrops:     n.chunkDrops.Load(),
 		Failures:       n.failures.Load(),
 		StrictFailures: n.strictFailures.Load(),
 		ByMethod:       by,
@@ -237,6 +265,30 @@ func (n *Network) strictRoundTrip(v any) (any, error) {
 	if !n.cfg.StrictSerialization {
 		return v, nil
 	}
+	b, err := n.encodeStrict(v)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) > transport.MaxFrameSize {
+		n.strictFailures.Add(1)
+		return nil, fmt.Errorf("%w: %T of %d bytes", transport.ErrFrameTooLarge, v, len(b))
+	}
+	return n.decodeStrict(b)
+}
+
+// codecRoundTrip is strictRoundTrip without the frame-size bound: the round
+// trip streamed transfers and their acknowledgments take (real transports
+// chunk them, so size is no longer a frame concern).
+func (n *Network) codecRoundTrip(v any) (any, error) {
+	b, err := n.encodeStrict(v)
+	if err != nil {
+		return nil, err
+	}
+	return n.decodeStrict(b)
+}
+
+// encodeStrict encodes v, recording a codec rejection in StrictErr.
+func (n *Network) encodeStrict(v any) ([]byte, error) {
 	b, err := transport.Encode(v)
 	if err != nil {
 		n.strictFailures.Add(1)
@@ -247,10 +299,11 @@ func (n *Network) strictRoundTrip(v any) (any, error) {
 		n.strictMu.Unlock()
 		return nil, err
 	}
-	if len(b) > transport.MaxFrameSize {
-		n.strictFailures.Add(1)
-		return nil, fmt.Errorf("%w: %T of %d bytes", transport.ErrFrameTooLarge, v, len(b))
-	}
+	return b, nil
+}
+
+// decodeStrict decodes b, recording a codec rejection in StrictErr.
+func (n *Network) decodeStrict(b []byte) (any, error) {
 	out, err := transport.Decode(b)
 	if err != nil {
 		n.strictFailures.Add(1)
@@ -351,9 +404,16 @@ func (n *Network) Call(ctx context.Context, from, to Addr, method string, payloa
 	if err != nil {
 		return nil, err
 	}
-	if resp, err = n.strictRoundTrip(resp); err != nil {
-		n.failures.Add(1)
-		return nil, err
+	// Responses round-trip the codec in strict mode but are NOT bounded by
+	// the frame size: the TCP transport chunks oversized responses back
+	// (kindRespChunk), so a small request answered with a whole range — a
+	// replica pull, a rebalance — crosses both substrates identically. Only
+	// the request direction of a plain call stays frame-bounded.
+	if n.cfg.StrictSerialization {
+		if resp, err = n.codecRoundTrip(resp); err != nil {
+			n.failures.Add(1)
+			return nil, err
+		}
 	}
 	if lerr := sleep(ctx, n.latency()); lerr != nil {
 		return nil, lerr
@@ -370,6 +430,142 @@ func (n *Network) CallAsync(ctx context.Context, from, to Addr, method string, p
 	p := transport.NewPending()
 	go func() { p.Resolve(n.Call(ctx, from, to, method, payload)) }()
 	return p
+}
+
+// OpenStream implements transport.StreamOpener: one chunked transfer whose
+// reassembled payload is delivered to the destination handler atomically at
+// commit time. Chunks are staged sender-side (the in-process twin of the
+// receiver staging a real transport does); per-chunk fault injection via
+// Config.ChunkFault models a transfer dying mid-stream: the staged chunks
+// are discarded and the destination handler never observes the transfer.
+// The payload bytes are the wire form, so the transfer round-trips the codec
+// even without StrictSerialization — exactly what crossing a process
+// boundary produces; strict mode additionally round-trips the response.
+// Propagation latency is charged once, at commit, like one Call round trip.
+func (n *Network) OpenStream(_ context.Context, from, to Addr, method string) (transport.Stream, error) {
+	n.streams.Add(1)
+	n.countMethod(method)
+	n.mu.RLock()
+	closed := n.closed
+	n.mu.RUnlock()
+	if closed {
+		return nil, transport.ErrClosed
+	}
+	if from != "" && !n.Alive(from) {
+		n.failures.Add(1)
+		return nil, fmt.Errorf("%w: %s", ErrSenderDead, from)
+	}
+	return &simStream{n: n, from: from, to: to, method: method}, nil
+}
+
+// simStream is one in-flight chunked transfer on the simulated network.
+type simStream struct {
+	n      *Network
+	from   Addr
+	to     Addr
+	method string
+	chunks [][]byte
+	failed error
+	done   bool
+}
+
+func (s *simStream) MaxChunk() int { return s.n.chunkBytes() }
+
+// Chunk stages one sequence-numbered chunk, consulting the fault hook: a
+// dropped chunk kills the whole transfer, exactly as a connection loss does
+// on a real stream transport.
+func (s *simStream) Chunk(ctx context.Context, data []byte) error {
+	if s.done {
+		return transport.ErrStreamAborted
+	}
+	if s.failed != nil {
+		return s.failed
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if len(data) > s.MaxChunk() {
+		return fmt.Errorf("simnet: stream chunk of %d bytes exceeds chunk size %d", len(data), s.MaxChunk())
+	}
+	seq := len(s.chunks)
+	s.n.chunks.Add(1)
+	if f := s.n.cfg.ChunkFault; f != nil && f(s.to, s.method, seq) {
+		s.n.chunkDrops.Add(1)
+		s.n.failures.Add(1)
+		s.chunks = nil
+		s.failed = fmt.Errorf("%w: %s (chunk %d of a %s stream dropped)", ErrUnreachable, s.to, seq, s.method)
+		return s.failed
+	}
+	// Stage a copy: the transfer must not alias caller memory, just as real
+	// chunk frames do not.
+	c := make([]byte, len(data))
+	copy(c, data)
+	s.chunks = append(s.chunks, c)
+	return nil
+}
+
+// Commit delivers the reassembled transfer to the destination handler and
+// returns its typed acknowledgment. The handler runs only here: a transfer
+// that failed or was aborted earlier never touches the receiver.
+func (s *simStream) Commit(ctx context.Context) (any, error) {
+	if s.done {
+		return nil, transport.ErrStreamAborted
+	}
+	s.done = true
+	if s.failed != nil {
+		return nil, s.failed
+	}
+	var body []byte
+	for _, c := range s.chunks {
+		body = append(body, c...)
+	}
+	s.chunks = nil
+	if err := sleep(ctx, s.n.latency()); err != nil {
+		s.n.failures.Add(1)
+		return nil, err
+	}
+	ep, ok := s.n.lookup(s.to)
+	if !ok {
+		s.n.failures.Add(1)
+		if err := sleep(ctx, s.n.cfg.DeadCallDelay); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: %s", ErrUnreachable, s.to)
+	}
+	payload, err := transport.Decode(body)
+	if err != nil {
+		s.n.failures.Add(1)
+		return nil, err
+	}
+	resp, err := ep.handler(s.from, s.method, payload)
+	if !ep.alive.Load() {
+		s.n.failures.Add(1)
+		if serr := sleep(ctx, s.n.cfg.DeadCallDelay); serr != nil {
+			return nil, serr
+		}
+		return nil, fmt.Errorf("%w: %s (died mid-commit)", ErrUnreachable, s.to)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// The acknowledgment is not frame-bounded (real transports chunk it),
+	// but in strict mode it still round-trips the codec.
+	if s.n.cfg.StrictSerialization {
+		if resp, err = s.n.codecRoundTrip(resp); err != nil {
+			s.n.failures.Add(1)
+			return nil, err
+		}
+	}
+	if lerr := sleep(ctx, s.n.latency()); lerr != nil {
+		return nil, lerr
+	}
+	return resp, nil
+}
+
+// Abort discards the staged transfer; the destination never sees it.
+func (s *simStream) Abort(string) {
+	s.done = true
+	s.chunks = nil
 }
 
 // Send delivers a one-way message asynchronously: it returns immediately and

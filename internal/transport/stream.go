@@ -1,0 +1,140 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Chunked streaming state transfer: the contract that lets bulk state —
+// replica pushes, split/merge hand-offs, range pulls — cross the wire in
+// sequence-numbered chunk frames instead of one frame bounded by
+// MaxFrameSize.
+//
+// A logical transfer is opened with OpenStream, fed with Chunk (each chunk
+// at most MaxChunk bytes, carrying a strictly increasing sequence number on
+// the wire), and finished with Commit, which delivers the terminal frame and
+// blocks for the receiver's typed acknowledgment: the handler's decoded
+// response, or its error. The receiver stages chunks into a buffer and hands
+// the reassembled payload to its handler only when the terminal frame
+// arrives — a transfer that loses a chunk, is aborted, or whose connection
+// dies mid-stream never reaches the handler, so the receiver's state is
+// bit-for-bit unchanged (the atomic-commit property the availability
+// protocols rely on: a peer can crash mid-hand-off without leaving its
+// successor holding half a range).
+//
+// Transports implement the contract natively: on TCP the chunk frames
+// interleave with ordinary multiplexed RPC frames on the pooled connection
+// (ring stabilization keeps flowing beside a multi-second state transfer),
+// and on simnet the reassembled payload round-trips the wire codec with
+// per-chunk fault injection hooks. Protocol layers do not use Stream
+// directly; they call CallBulk/CallBulkAsync, which have exactly Call's
+// semantics with the frame-size bound removed.
+
+// DefaultChunkBytes is the chunk size used when a transport's configuration
+// does not set its own: large enough to amortize per-frame overhead, small
+// enough that protocol chatter interleaving between chunks never waits long
+// behind one frame.
+const DefaultChunkBytes = 256 << 10
+
+// ErrStreamAborted reports a transfer that was torn down — by an explicit
+// Abort, a dropped chunk, or receiver-side staging limits — before its
+// terminal frame committed. The receiver has discarded all staged chunks.
+var ErrStreamAborted = errors.New("transport: stream aborted")
+
+// Stream is the sender half of one chunked transfer. A Stream is used by a
+// single goroutine: Chunk calls are ordered, and exactly one of Commit or
+// Abort ends the transfer.
+type Stream interface {
+	// MaxChunk returns the transport's chunk size: the largest data slice
+	// one Chunk call may carry.
+	MaxChunk() int
+	// Chunk sends the next sequence-numbered chunk. The context bounds this
+	// chunk's hand-off to the transport (the per-chunk deadline); a chunk
+	// that cannot be queued fails the whole transfer.
+	Chunk(ctx context.Context, data []byte) error
+	// Commit sends the terminal frame and blocks for the receiver's typed
+	// acknowledgment: the handler's response value, or its error. The
+	// receiver applies the transfer atomically before acknowledging.
+	Commit(ctx context.Context) (any, error)
+	// Abort tears the transfer down; the receiver discards staged chunks
+	// without ever invoking its handler. Safe to call after a failure and
+	// idempotent; Abort after Commit is a no-op.
+	Abort(reason string)
+}
+
+// StreamOpener is implemented by transports with native chunked streaming.
+// OpenStream starts one logical transfer to the handler registered at to for
+// method; the receiver observes the reassembled payload as a single request,
+// exactly as if it had arrived in one (unbounded) Call frame.
+type StreamOpener interface {
+	OpenStream(ctx context.Context, from, to Addr, method string) (Stream, error)
+}
+
+// CallBulk performs a request/response whose payload and response may exceed
+// MaxFrameSize. On a streaming transport the encoded payload travels as
+// chunk frames and commits atomically at the receiver; on any other
+// transport it degrades to a plain Call (bounded by the transport's frame
+// limit, if it has one). Deadlines, fail-stop error identities and handler
+// error propagation match Call.
+//
+// There is deliberately no small-payload fallback to a plain Call: deciding
+// by request size would re-bound the response (the answer to a tiny pull
+// request is a whole range), and measuring the payload costs a full encode
+// that the call path would then repeat — more expensive than the one extra
+// terminal frame a small stream costs on a batched writer.
+func CallBulk(t Transport, ctx context.Context, from, to Addr, method string, payload any) (any, error) {
+	so, ok := t.(StreamOpener)
+	if !ok {
+		return t.Call(ctx, from, to, method, payload)
+	}
+	body, err := Encode(payload)
+	if err != nil {
+		return nil, err
+	}
+	st, err := so.OpenStream(ctx, from, to, method)
+	if err != nil {
+		return nil, err
+	}
+	size := st.MaxChunk()
+	if size <= 0 {
+		size = DefaultChunkBytes
+	}
+	for off := 0; off < len(body); off += size {
+		end := off + size
+		if end > len(body) {
+			end = len(body)
+		}
+		if err := st.Chunk(ctx, body[off:end]); err != nil {
+			st.Abort(err.Error())
+			return nil, err
+		}
+	}
+	return st.Commit(ctx)
+}
+
+// CallBulkAsync is CallBulk issued asynchronously, so bulk transfers can be
+// pipelined exactly like CallAsync pipelines plain calls (replica refresh
+// fans one push out to k successors as one burst).
+func CallBulkAsync(t Transport, ctx context.Context, from, to Addr, method string, payload any) *Pending {
+	p := NewPending()
+	go func() { p.Resolve(CallBulk(t, ctx, from, to, method, payload)) }()
+	return p
+}
+
+// JoinChunks validates a staged chunk sequence against the committed count
+// and reassembles it. Shared by receiver-side implementations.
+func JoinChunks(chunks [][]byte, total int) ([]byte, error) {
+	if len(chunks) != total {
+		return nil, fmt.Errorf("%w: committed %d chunks, staged %d", ErrStreamAborted, total, len(chunks))
+	}
+	n := 0
+	for _, c := range chunks {
+		n += len(c)
+	}
+	out := make([]byte, 0, n)
+	for _, c := range chunks {
+		out = append(out, c...)
+	}
+	return out, nil
+}

@@ -66,6 +66,15 @@ type Config struct {
 	IdlePingAfter time.Duration
 	// PingTimeout bounds one health-check exchange. Default 1s.
 	PingTimeout time.Duration
+	// ChunkBytes is the chunk size for streamed bulk transfers (OpenStream):
+	// large enough to amortize framing, small enough that RPC frames
+	// interleaving on the same connection never wait long behind one chunk.
+	// Default transport.DefaultChunkBytes; clamped well under MaxFrameSize.
+	ChunkBytes int
+	// MaxStreamBytes caps the bytes a receiver stages for one in-flight
+	// transfer before rejecting it (protection against runaway senders).
+	// Default 512 MiB.
+	MaxStreamBytes int
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +96,15 @@ func (c Config) withDefaults() Config {
 	if c.PingTimeout <= 0 {
 		c.PingTimeout = time.Second
 	}
+	if c.ChunkBytes <= 0 {
+		c.ChunkBytes = transport.DefaultChunkBytes
+	}
+	if max := transport.MaxFrameSize - (64 << 10); c.ChunkBytes > max {
+		c.ChunkBytes = max // leave headroom for the frame header
+	}
+	if c.MaxStreamBytes <= 0 {
+		c.MaxStreamBytes = 512 << 20
+	}
 	return c
 }
 
@@ -97,18 +115,32 @@ const (
 	kindResp
 	kindPing
 	kindPong
+	// Streamed bulk transfers (transport.Stream): a logical transfer is a
+	// run of kindChunk frames closed by kindCommit (or torn down by
+	// kindAbort); the terminal acknowledgment is a kindResp, whose payload
+	// may itself travel as kindRespChunk frames when it exceeds the chunk
+	// size. Stream frames share the connection, the request-ID space and the
+	// batched writer with ordinary calls, so RPC chatter interleaves with a
+	// long transfer instead of queueing behind it.
+	kindChunk
+	kindCommit
+	kindAbort
+	kindRespChunk
 )
 
-// wireMsg is the header of every frame. Payload holds a codec envelope. ID
-// correlates a kindResp (or kindPong) with the kindCall (kindPing) that
-// asked for it; IDs are scoped to one connection and direction.
+// wireMsg is the header of every frame. Payload holds a codec envelope (or,
+// for chunk frames, a raw slice of one). ID correlates a kindResp (or
+// kindPong) with the kindCall/kindCommit (kindPing) that asked for it; IDs
+// are scoped to one connection and direction.
 type wireMsg struct {
 	Kind    int
 	ID      uint64
+	Seq     int // chunk sequence number; on kindCommit/terminal kindResp: total chunk count
 	From    string
 	Method  string
 	Payload []byte
-	Err     string // kindResp only: non-empty when the handler failed
+	Err     string // kindResp only: non-empty when the handler or stream failed
+	Fail    bool   // kindResp only: Err is a stream-protocol failure, not a handler error
 }
 
 // Transport is a TCP implementation of transport.Transport with stream
@@ -124,11 +156,12 @@ type Transport struct {
 }
 
 // Transport must satisfy the full substrate contract, including native
-// asynchronous pipelining.
+// asynchronous pipelining and chunked streaming.
 var (
-	_ transport.Transport   = (*Transport)(nil)
-	_ transport.Deregistrar = (*Transport)(nil)
-	_ transport.AsyncCaller = (*Transport)(nil)
+	_ transport.Transport    = (*Transport)(nil)
+	_ transport.Deregistrar  = (*Transport)(nil)
+	_ transport.AsyncCaller  = (*Transport)(nil)
+	_ transport.StreamOpener = (*Transport)(nil)
 )
 
 type listener struct {
@@ -264,11 +297,24 @@ func (t *Transport) acceptLoop(l *listener) {
 	}
 }
 
+// inboundStream is one transfer being staged at the receiver: chunks
+// accumulate here and nothing touches the handler until the commit frame
+// arrives, so an interrupted transfer leaves the receiver bit-for-bit
+// unchanged.
+type inboundStream struct {
+	from   string
+	method string
+	chunks [][]byte
+	bytes  int
+}
+
 // serveConn answers request frames on one inbound connection until the peer
 // hangs up or a protocol error occurs. Each request is dispatched in its own
 // goroutine and its response re-enters the connection through the shared
 // batched writer, so a slow handler never blocks the requests pipelined
-// behind it.
+// behind it. Stream chunks are staged per connection by this loop (single
+// goroutine, no locking) and dispatched as one reassembled request on
+// commit; a connection that dies mid-stream simply drops its staged state.
 func (t *Transport) serveConn(conn net.Conn, l *listener) {
 	defer t.wg.Done()
 	defer conn.Close()
@@ -288,6 +334,13 @@ func (t *Transport) serveConn(conn net.Conn, l *listener) {
 	}()
 	defer w.stop()
 	h := l.h
+	streams := make(map[uint64]*inboundStream)
+	// failStream rejects a transfer with a typed stream failure; the sender's
+	// Commit resolves with ErrStreamAborted instead of burning its deadline.
+	failStream := func(id uint64, reason string) {
+		delete(streams, id)
+		_ = w.enqueueMsg(wireMsg{Kind: kindResp, ID: id, Fail: true, Err: reason})
+	}
 	for {
 		raw, err := transport.ReadFrame(conn)
 		if err != nil {
@@ -306,14 +359,67 @@ func (t *Transport) serveConn(conn net.Conn, l *listener) {
 				defer t.wg.Done()
 				t.dispatch(h, w, req)
 			}()
+		case kindChunk:
+			st := streams[req.ID]
+			if st == nil {
+				if req.Seq != 0 {
+					continue // tail of a transfer already rejected; ignore
+				}
+				st = &inboundStream{from: req.From, method: req.Method}
+				streams[req.ID] = st
+			}
+			if req.Seq != len(st.chunks) {
+				failStream(req.ID, fmt.Sprintf("tcp: stream chunk %d out of sequence (want %d)", req.Seq, len(st.chunks)))
+				continue
+			}
+			if st.bytes += len(req.Payload); st.bytes > t.cfg.MaxStreamBytes {
+				failStream(req.ID, fmt.Sprintf("tcp: stream exceeds %d staged bytes", t.cfg.MaxStreamBytes))
+				continue
+			}
+			st.chunks = append(st.chunks, req.Payload)
+		case kindCommit:
+			st := streams[req.ID]
+			delete(streams, req.ID)
+			var chunks [][]byte
+			from, method := req.From, req.Method
+			if st != nil {
+				chunks, from, method = st.chunks, st.from, st.method
+			}
+			body, err := transport.JoinChunks(chunks, req.Seq)
+			if err != nil {
+				failStream(req.ID, err.Error())
+				continue
+			}
+			t.wg.Add(1)
+			go func() {
+				defer t.wg.Done()
+				t.dispatchStream(h, w, req.ID, transport.Addr(from), method, body)
+			}()
+		case kindAbort:
+			delete(streams, req.ID)
 		default:
 			return // protocol error: abandon the connection
 		}
 	}
 }
 
+// dispatchStream runs one reassembled transfer through the handler and
+// queues the terminal acknowledgment through the same (chunk-capable)
+// response path ordinary calls use.
+func (t *Transport) dispatchStream(h transport.Handler, w *batchWriter, id uint64, from transport.Addr, method string, body []byte) {
+	payload, err := transport.Decode(body)
+	if err != nil {
+		_ = w.enqueueMsg(wireMsg{Kind: kindResp, ID: id, Err: err.Error()})
+		return
+	}
+	resp, herr := h(from, method, payload)
+	t.respond(w, id, resp, herr)
+}
+
 // dispatch runs one request through the handler and, for calls, queues the
-// response frame.
+// response — chunked when it outgrows the chunk size, exactly like a
+// stream's acknowledgment, so a small request (a pull, a rebalance probe)
+// can be answered with an arbitrarily large range.
 func (t *Transport) dispatch(h transport.Handler, w *batchWriter, req wireMsg) {
 	payload, err := transport.Decode(req.Payload)
 	if err != nil {
@@ -326,17 +432,44 @@ func (t *Transport) dispatch(h transport.Handler, w *batchWriter, req wireMsg) {
 	if req.Kind != kindCall {
 		return // one-way: no response frame
 	}
-	out := wireMsg{Kind: kindResp, ID: req.ID}
+	t.respond(w, req.ID, resp, herr)
+}
+
+// respond queues one call's (or committed stream's) terminal response,
+// chunking the encoded payload as kindRespChunk frames when it exceeds the
+// chunk size. The batched writer preserves enqueue order per connection, so
+// the chunk run lands before its terminal frame.
+func (t *Transport) respond(w *batchWriter, id uint64, resp any, herr error) {
+	out := wireMsg{Kind: kindResp, ID: id}
 	if herr != nil {
 		out.Err = herr.Error()
-	} else if out.Payload, err = transport.Encode(resp); err != nil {
-		out.Payload, out.Err = nil, err.Error()
+		_ = w.enqueueMsg(out)
+		return
 	}
-	if err := w.enqueueMsg(out); err != nil && errors.Is(err, transport.ErrFrameTooLarge) {
-		// The response alone can never cross the wire; tell the caller why
-		// instead of letting it burn its deadline.
-		_ = w.enqueueMsg(wireMsg{Kind: kindResp, ID: req.ID, Err: err.Error()})
+	respBody, err := transport.Encode(resp)
+	if err != nil {
+		out.Err = err.Error()
+		_ = w.enqueueMsg(out)
+		return
 	}
+	if len(respBody) <= t.cfg.ChunkBytes {
+		out.Payload = respBody
+		_ = w.enqueueMsg(out)
+		return
+	}
+	n := 0
+	for off := 0; off < len(respBody); off += t.cfg.ChunkBytes {
+		end := off + t.cfg.ChunkBytes
+		if end > len(respBody) {
+			end = len(respBody)
+		}
+		if err := w.enqueueMsg(wireMsg{Kind: kindRespChunk, ID: id, Seq: n, Payload: respBody[off:end]}); err != nil {
+			return // connection dying; the caller sees its failure
+		}
+		n++
+	}
+	out.Seq = n
+	_ = w.enqueueMsg(out)
 }
 
 // RemoteError is a handler error that crossed the wire. The concrete error
@@ -430,6 +563,146 @@ func (t *Transport) Send(from, to transport.Addr, method string, payload any) {
 		}
 		_ = mc.enqueueMsg(wireMsg{Kind: kindSend, From: string(from), Method: method, Payload: body})
 	}()
+}
+
+// OpenStream implements transport.StreamOpener: start one chunked transfer
+// to the handler at to. The transfer's frames ride a pooled multiplexed
+// connection, interleaving with concurrent RPC frames; its terminal
+// acknowledgment is matched back by request ID exactly like a call response.
+func (t *Transport) OpenStream(ctx context.Context, from, to transport.Addr, method string) (transport.Stream, error) {
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		deadline = time.Now().Add(t.cfg.CallTimeout)
+	}
+	mc, err := t.grabConn(ctx, to, deadline)
+	if err != nil {
+		return nil, unreachable(to, err)
+	}
+	id, ch, err := mc.register()
+	if err != nil {
+		return nil, unreachable(to, err)
+	}
+	return &tcpStream{
+		t:      t,
+		mc:     mc,
+		to:     to,
+		id:     id,
+		ch:     ch,
+		from:   string(from),
+		method: method,
+	}, nil
+}
+
+// tcpStream is the sender half of one chunked transfer on a multiplexed
+// connection.
+type tcpStream struct {
+	t      *Transport
+	mc     *muxConn
+	to     transport.Addr
+	id     uint64
+	ch     chan pendingResp
+	from   string
+	method string
+	seq    int
+	early  *pendingResp // receiver rejected the transfer before commit
+	done   bool
+}
+
+func (s *tcpStream) MaxChunk() int { return s.t.cfg.ChunkBytes }
+
+// Chunk queues the next sequence-numbered chunk frame, bounded by ctx (the
+// per-chunk deadline). A receiver-side rejection that already arrived fails
+// the transfer immediately instead of streaming the rest for nothing.
+func (s *tcpStream) Chunk(ctx context.Context, data []byte) error {
+	if s.done {
+		return transport.ErrStreamAborted
+	}
+	if len(data) > s.t.cfg.ChunkBytes {
+		return fmt.Errorf("tcp: stream chunk of %d bytes exceeds chunk size %d", len(data), s.t.cfg.ChunkBytes)
+	}
+	if s.early == nil {
+		select {
+		case r := <-s.ch:
+			s.early = &r
+		default:
+		}
+	}
+	if s.early != nil {
+		return s.earlyErr()
+	}
+	msg := wireMsg{Kind: kindChunk, ID: s.id, Seq: s.seq, From: s.from, Method: s.method, Payload: data}
+	if err := s.mc.w.enqueueMsgCtx(ctx, msg); err != nil {
+		// A dead writer means the connection (and with it the peer, as far
+		// as this transfer is concerned) is gone: keep the fail-stop error
+		// identity callers test for, exactly as Commit and OpenStream do.
+		return unreachable(s.to, err)
+	}
+	s.seq++
+	return nil
+}
+
+// Commit sends the terminal frame and waits for the receiver's typed
+// acknowledgment, applying the transport's default call timeout when ctx
+// carries no deadline.
+func (s *tcpStream) Commit(ctx context.Context) (any, error) {
+	if s.done {
+		return nil, transport.ErrStreamAborted
+	}
+	s.done = true
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.t.cfg.CallTimeout)
+		defer cancel()
+	}
+	if s.early != nil {
+		s.mc.unregister(s.id)
+		return nil, s.earlyErr()
+	}
+	msg := wireMsg{Kind: kindCommit, ID: s.id, Seq: s.seq, From: s.from, Method: s.method}
+	if err := s.mc.w.enqueueMsgCtx(ctx, msg); err != nil {
+		s.mc.unregister(s.id)
+		return nil, unreachable(s.to, err)
+	}
+	select {
+	case r := <-s.ch:
+		return s.resolveAck(r)
+	case <-ctx.Done():
+		s.mc.unregister(s.id)
+		return nil, unreachable(s.to, ctx.Err())
+	}
+}
+
+// Abort tears the transfer down: the receiver discards its staged chunks.
+func (s *tcpStream) Abort(reason string) {
+	if s.done {
+		return
+	}
+	s.done = true
+	s.mc.unregister(s.id)
+	_ = s.mc.enqueueMsg(wireMsg{Kind: kindAbort, ID: s.id, Err: reason})
+}
+
+// earlyErr converts a pre-commit receiver rejection into the caller error.
+func (s *tcpStream) earlyErr() error {
+	s.done = true
+	if _, err := s.resolveAck(*s.early); err != nil {
+		return err
+	}
+	return transport.ErrStreamAborted // a success ack before commit is a protocol bug
+}
+
+// resolveAck interprets the terminal acknowledgment frame.
+func (s *tcpStream) resolveAck(r pendingResp) (any, error) {
+	if r.err != nil {
+		return nil, unreachable(s.to, r.err)
+	}
+	if r.msg.Fail {
+		return nil, fmt.Errorf("%w: %s", transport.ErrStreamAborted, r.msg.Err)
+	}
+	if r.msg.Err != "" {
+		return nil, &RemoteError{Msg: r.msg.Err}
+	}
+	return transport.Decode(r.msg.Payload)
 }
 
 // peerConns is the set of multiplexed connections to one destination.
@@ -550,9 +823,10 @@ func (t *Transport) dialConn(addr transport.Addr, deadline time.Time) (*muxConn,
 		return nil, err
 	}
 	mc := &muxConn{
-		conn:    conn,
-		w:       newBatchWriter(conn, t.cfg),
-		pending: make(map[uint64]chan pendingResp),
+		conn:     conn,
+		w:        newBatchWriter(conn, t.cfg),
+		pending:  make(map[uint64]chan pendingResp),
+		maxStage: t.cfg.MaxStreamBytes,
 	}
 	mc.lastRead.Store(time.Now().UnixNano())
 	mc.w.onError = mc.fail
@@ -613,10 +887,12 @@ type muxConn struct {
 
 	mu      sync.Mutex
 	pending map[uint64]chan pendingResp
+	respBuf map[uint64]*respStage // staged kindRespChunk payloads by request ID
 	nextID  uint64
 	dead    bool
 	deadErr error
 
+	maxStage int          // cap on staged chunked-response bytes per request
 	lastRead atomic.Int64 // UnixNano of the last inbound frame
 }
 
@@ -631,18 +907,11 @@ func (c *muxConn) isDead() bool {
 // late response is dropped — while a connection failure resolves every
 // outstanding exchange at once.
 func (c *muxConn) exchange(ctx context.Context, msg wireMsg) (wireMsg, error) {
-	ch := make(chan pendingResp, 1)
-	c.mu.Lock()
-	if c.dead {
-		err := c.deadErr
-		c.mu.Unlock()
+	id, ch, err := c.register()
+	if err != nil {
 		return wireMsg{}, err
 	}
-	c.nextID++
-	id := c.nextID
 	msg.ID = id
-	c.pending[id] = ch
-	c.mu.Unlock()
 
 	if err := c.enqueueMsg(msg); err != nil {
 		c.unregister(id)
@@ -657,9 +926,26 @@ func (c *muxConn) exchange(ctx context.Context, msg wireMsg) (wireMsg, error) {
 	}
 }
 
+// register allocates a request ID and its response channel without sending
+// anything: streams register at open time so a receiver-side rejection can
+// resolve the transfer even before its commit frame is queued.
+func (c *muxConn) register() (uint64, chan pendingResp, error) {
+	ch := make(chan pendingResp, 1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead {
+		return 0, nil, c.deadErr
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	return id, ch, nil
+}
+
 func (c *muxConn) unregister(id uint64) {
 	c.mu.Lock()
 	delete(c.pending, id)
+	delete(c.respBuf, id)
 	c.mu.Unlock()
 }
 
@@ -683,14 +969,66 @@ func (c *muxConn) readLoop() {
 			c.fail(err)
 			return
 		}
+		if m.Kind == kindRespChunk {
+			// Stage one piece of a chunked acknowledgment; the terminal
+			// kindResp assembles and delivers it. Staging is capped exactly
+			// like the receiver's inbound direction, so a runaway responder
+			// cannot balloon the dialer's memory either.
+			c.mu.Lock()
+			ch, live := c.pending[m.ID]
+			var overflow bool
+			if live {
+				if c.respBuf == nil {
+					c.respBuf = make(map[uint64]*respStage)
+				}
+				st := c.respBuf[m.ID]
+				if st == nil {
+					st = &respStage{}
+					c.respBuf[m.ID] = st
+				}
+				if st.bytes += len(m.Payload); st.bytes > c.maxStage {
+					overflow = true
+					delete(c.pending, m.ID)
+					delete(c.respBuf, m.ID)
+				} else {
+					st.chunks = append(st.chunks, m.Payload)
+				}
+			}
+			c.mu.Unlock()
+			if overflow {
+				ch <- pendingResp{err: fmt.Errorf("%w: response exceeds %d staged bytes", transport.ErrStreamAborted, c.maxStage)}
+			}
+			continue
+		}
 		c.mu.Lock()
 		ch := c.pending[m.ID]
+		staged := c.respBuf[m.ID]
 		delete(c.pending, m.ID)
+		delete(c.respBuf, m.ID)
 		c.mu.Unlock()
-		if ch != nil {
-			ch <- pendingResp{msg: m}
+		if ch == nil {
+			continue
 		}
+		if m.Kind == kindResp && m.Seq > 0 && m.Err == "" {
+			var chunks [][]byte
+			if staged != nil {
+				chunks = staged.chunks
+			}
+			body, err := transport.JoinChunks(chunks, m.Seq)
+			if err != nil {
+				ch <- pendingResp{err: err}
+				continue
+			}
+			m.Payload = body
+		}
+		ch <- pendingResp{msg: m}
 	}
+}
+
+// respStage is one in-progress chunked acknowledgment on the dial side.
+type respStage struct {
+	chunks [][]byte
+	bytes  int
 }
 
 // fail marks the connection dead, closes it, and resolves every in-flight
@@ -706,6 +1044,7 @@ func (c *muxConn) fail(err error) {
 	c.deadErr = err
 	pend := c.pending
 	c.pending = nil
+	c.respBuf = nil
 	c.mu.Unlock()
 	c.conn.Close()
 	c.w.stop()
@@ -802,6 +1141,24 @@ func (w *batchWriter) enqueueMsg(m wireMsg) error {
 		return nil
 	case <-w.done:
 		return errors.New("tcp: connection writer stopped")
+	}
+}
+
+// enqueueMsgCtx is enqueueMsg bounded by ctx: stream chunks apply their
+// per-chunk deadline here, so a stalled receiver fails the transfer instead
+// of blocking the sender forever once the write queue backs up.
+func (w *batchWriter) enqueueMsgCtx(ctx context.Context, m wireMsg) error {
+	body, err := encodeMsg(m)
+	if err != nil {
+		return err
+	}
+	select {
+	case w.ch <- body:
+		return nil
+	case <-w.done:
+		return errors.New("tcp: connection writer stopped")
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 

@@ -52,10 +52,13 @@ var (
 	ErrDuplicate = errors.New("transport: address already registered")
 	// ErrClosed reports an operation on a transport after Close.
 	ErrClosed = errors.New("transport: closed")
-	// ErrFrameTooLarge reports a message whose encoded form exceeds
-	// MaxFrameSize. Unlike ErrUnreachable it is a permanent, payload-level
-	// failure: retrying the same message can never succeed, the state
-	// transfer must be shrunk or chunked instead.
+	// ErrFrameTooLarge reports a plain-call message whose encoded form
+	// exceeds MaxFrameSize. Unlike ErrUnreachable it is a permanent,
+	// payload-level failure: retrying the same message can never succeed.
+	// Bulk state transfers never see it — they go through CallBulk, which
+	// streams payloads of any size in chunk frames — so this error is
+	// strictly a guard against un-chunked protocol messages outgrowing a
+	// frame.
 	ErrFrameTooLarge = errors.New("transport: message exceeds frame size limit")
 )
 

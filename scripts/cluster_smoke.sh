@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# cluster_smoke.sh — the CI cluster gauntlet: build pepperd, run a real
+# 3-process TCP cluster through a churn cycle (kill one serving peer, let
+# replication revive its range, rejoin a fresh process that a split draws
+# back into the ring) and fail unless the final Definition 4 audit at the
+# bootstrap is clean.
+#
+# The item payloads are padded (-payload) so the split hand-offs and replica
+# pushes exceed the streaming chunk size: the chunked state transfer has to
+# survive the real wire, not just simnet.
+#
+# Usage: scripts/cluster_smoke.sh [port-base]
+set -euo pipefail
+
+PORT_BASE=${1:-7101}
+P_BOOT="127.0.0.1:$PORT_BASE"
+P_A="127.0.0.1:$((PORT_BASE + 1))"
+P_B="127.0.0.1:$((PORT_BASE + 2))"
+P_REJOIN="127.0.0.1:$((PORT_BASE + 3))"
+ITEMS=40
+PAYLOAD=65536 # 64 KiB per item: hand-offs span multiple 256 KiB chunks
+WAIT=120s
+UB=$(( (ITEMS + 1) * 1000 ))
+
+WORK=$(mktemp -d)
+BIN="$WORK/pepperd"
+declare -a PIDS=()
+STATUS=1
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  if [ "$STATUS" -ne 0 ]; then
+    echo "=== cluster smoke FAILED; process logs follow ==="
+    for log in "$WORK"/*.log; do
+      echo "--- $log"
+      tail -40 "$log" || true
+    done
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== build pepperd"
+go build -o "$BIN" ./cmd/pepperd
+
+echo "== start bootstrap at $P_BOOT ($ITEMS items, $PAYLOAD-byte payloads)"
+"$BIN" -listen "$P_BOOT" -items "$ITEMS" -payload "$PAYLOAD" >"$WORK/boot.log" 2>&1 &
+PIDS+=($!)
+# Wait for the FULL load before any membership change: every insert must be
+# journaled at the bootstrap while it still owns the whole key space, or the
+# final Definition 4 audit is unsound (journals are per-process — an insert
+# routed to another peer mid-split journals there, and the bootstrap's
+# checker would flag the item as never-live; see ROADMAP on journal
+# shipping).
+"$BIN" -probe "$P_BOOT" -serving -wait 30s
+"$BIN" -probe "$P_BOOT" -expect "$ITEMS" -probe-ub "$UB" -wait "$WAIT"
+
+echo "== start two free peers ($P_A, $P_B); splits draw them into the ring"
+"$BIN" -listen "$P_A" -join "$P_BOOT" >"$WORK/peer-a.log" 2>&1 &
+PID_A=$!
+PIDS+=("$PID_A")
+"$BIN" -listen "$P_B" -join "$P_BOOT" >"$WORK/peer-b.log" 2>&1 &
+PID_B=$!
+PIDS+=("$PID_B")
+
+echo "== wait until both joiners serve a range and the full load is queryable"
+"$BIN" -probe "$P_A" -serving -wait "$WAIT"
+"$BIN" -probe "$P_B" -serving -wait "$WAIT"
+"$BIN" -probe "$P_BOOT" -expect "$ITEMS" -probe-ub "$UB" -wait "$WAIT"
+
+echo "== churn: fail-stop one serving peer ($P_B)"
+kill -9 "$PID_B"
+
+echo "== recovery: replication must revive the lost range"
+"$BIN" -probe "$P_BOOT" -expect "$ITEMS" -probe-ub "$UB" -wait "$WAIT"
+
+echo "== rejoin: a fresh process re-enters and the pending split draws it in"
+"$BIN" -listen "$P_REJOIN" -join "$P_BOOT" >"$WORK/peer-rejoin.log" 2>&1 &
+PIDS+=($!)
+"$BIN" -probe "$P_REJOIN" -serving -wait "$WAIT"
+
+echo "== final audit: journaled full query + Definition 4 check at the bootstrap"
+"$BIN" -probe "$P_BOOT" -expect "$ITEMS" -probe-ub "$UB" -audit -wait "$WAIT"
+
+STATUS=0
+echo "== cluster smoke PASSED"
