@@ -217,6 +217,43 @@ func BenchmarkRangeQueryWide(b *testing.B) {
 	}
 }
 
+// BenchmarkRangeQuery measures routed range queries with the owner-lookup
+// cache cold (cleared before every query, forcing the full router descent)
+// versus warm (the pipelined scan enters at the cached owner and validates
+// there), across query spans from single-peer to most-of-the-ring.
+func BenchmarkRangeQuery(b *testing.B) {
+	for _, span := range []uint64{2, 20, 60} {
+		for _, mode := range []string{"cold", "warm"} {
+			b.Run(fmt.Sprintf("%s/span=%dk", mode, span), func(b *testing.B) {
+				c := steadyCluster(b)
+				ctx := context.Background()
+				origin := c.LivePeers()[0]
+				width := keyspace.Key(span * 1000)
+				ivFor := func(i int) keyspace.Interval {
+					lb := keyspace.Key((i%50 + 1) * 1000)
+					return keyspace.ClosedInterval(lb, lb+width)
+				}
+				if mode == "warm" {
+					for i := 0; i < 50; i++ {
+						if _, _, err := origin.RangeQueryUnjournaled(ctx, ivFor(i)); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if mode == "cold" {
+						origin.Router.Cache().Clear()
+					}
+					if _, _, err := origin.RangeQueryUnjournaled(ctx, ivFor(i)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkFindOwner measures content routing to a key's owner.
 func BenchmarkFindOwner(b *testing.B) {
 	c := steadyCluster(b)

@@ -1,20 +1,25 @@
-// Command benchcheck gates CI on transport performance: it compares the
-// per-PR benchmark report (BENCH_pr.json, produced by cmd/benchrunner in the
+// Command benchcheck gates CI on performance: it compares the per-PR
+// benchmark report (BENCH_pr.json, produced by cmd/benchrunner in the
 // bench-smoke job) against the committed baseline (BENCH_main.json,
 // refreshed on pushes to main) and exits non-zero when pipelined-call
 // throughput regressed by more than the threshold.
 //
-// The gated metric is the pipelining speedup: peak pipelined throughput
-// divided by the same run's depth-1 (sequential) throughput. Normalizing
-// within one run makes the gate hardware-independent — a PR run on a slow CI
-// machine is compared against what that machine could do sequentially, not
-// against the absolute numbers of whatever host produced the baseline. Raw
-// peak throughput is printed alongside for trend reading.
+// The gated transport metric is the pipelining speedup: peak pipelined
+// throughput divided by the same run's depth-1 (sequential) throughput.
+// Normalizing within one run makes the gate hardware-independent — a PR run
+// on a slow CI machine is compared against what that machine could do
+// sequentially, not against the absolute numbers of whatever host produced
+// the baseline. Raw peak throughput is printed alongside for trend reading.
+//
+// With -readpath-min > 0 the read-path figure (benchrunner -readpath) is
+// gated the same self-normalized way: at the largest benched cluster size,
+// cached-entry range queries must be at least the given factor faster than
+// cold-descent queries. The replica-fallback series is informational.
 //
 // Usage:
 //
 //	benchcheck -pr BENCH_pr.json -main BENCH_main.json [-threshold 0.25]
-//	           [-allow-missing]
+//	           [-readpath-min 2.0] [-allow-missing]
 package main
 
 import (
@@ -46,13 +51,25 @@ func main() {
 	prPath := flag.String("pr", "BENCH_pr.json", "PR benchmark report")
 	mainPath := flag.String("main", "BENCH_main.json", "baseline benchmark report")
 	threshold := flag.Float64("threshold", 0.25, "fail when the pipelining speedup drops by more than this fraction")
+	readPathMin := flag.Float64("readpath-min", 0, "when > 0: fail unless cached-entry queries are at least this factor faster than cold-descent queries at the largest benched cluster size")
 	allowMissing := flag.Bool("allow-missing", false, "exit 0 (with a warning) when the baseline file does not exist")
 	flag.Parse()
 
-	pr, err := loadTransportMetrics(*prPath)
+	prRep, err := loadReport(*prPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchcheck: PR report: %v\n", err)
 		os.Exit(1)
+	}
+	pr, err := extractTransportMetrics(prRep, *prPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: PR report: %v\n", err)
+		os.Exit(1)
+	}
+	if *readPathMin > 0 {
+		if err := checkReadPath(prRep, *prPath, *readPathMin); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: FAIL: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	base, err := loadTransportMetrics(*mainPath)
 	if err != nil {
@@ -77,17 +94,62 @@ func main() {
 	fmt.Println("benchcheck: OK")
 }
 
-// loadTransportMetrics extracts the pipelined-call series from a report.
-func loadTransportMetrics(path string) (transportMetrics, error) {
+// loadReport reads one benchmark report from disk.
+func loadReport(path string) (*report, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return transportMetrics{}, fmt.Errorf("reading: %w", err)
+		return nil, fmt.Errorf("reading: %w", err)
 	}
 	var rep report
 	if err := json.Unmarshal(raw, &rep); err != nil {
-		return transportMetrics{}, fmt.Errorf("parsing %s: %w", path, err)
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
 	}
-	return extractTransportMetrics(&rep, path)
+	return &rep, nil
+}
+
+// loadTransportMetrics extracts the pipelined-call series from a report.
+func loadTransportMetrics(path string) (transportMetrics, error) {
+	rep, err := loadReport(path)
+	if err != nil {
+		return transportMetrics{}, err
+	}
+	return extractTransportMetrics(rep, path)
+}
+
+// checkReadPath gates the read-path figure: at the largest benched cluster
+// size, the cached-entry series must be at least minSpeedup times faster
+// than the cold-descent series. Like the transport gate, the comparison is
+// within one run, so it is hardware-independent.
+func checkReadPath(rep *report, path string, minSpeedup float64) error {
+	for _, fig := range rep.Figures {
+		if fig == nil || !strings.HasPrefix(fig.Title, "read path:") {
+			continue
+		}
+		if len(fig.XOrder) == 0 {
+			return fmt.Errorf("%s: read-path figure has no x points", path)
+		}
+		largest := fig.XOrder[len(fig.XOrder)-1]
+		var cold, cached float64
+		for _, s := range fig.Series {
+			if s.Label == "cold descent" {
+				cold = s.Points[largest]
+			}
+			if s.Label == "cached entry" {
+				cached = s.Points[largest]
+			}
+		}
+		if cold <= 0 || cached <= 0 {
+			return fmt.Errorf("%s: read-path figure lacks cold/cached points at size %s", path, largest)
+		}
+		speedup := cold / cached
+		fmt.Printf("benchcheck: read-path cache speedup at %s peers: %.2fx (cold %.4f vs cached %.4f paper-s; floor %.2fx)\n",
+			largest, speedup, cold, cached, minSpeedup)
+		if speedup < minSpeedup {
+			return fmt.Errorf("cached-entry queries only %.2fx faster than cold descent at %s peers (floor %.2fx)", speedup, largest, minSpeedup)
+		}
+		return nil
+	}
+	return fmt.Errorf("%s: no read-path figure in the report (run benchrunner with -readpath)", path)
 }
 
 // extractTransportMetrics finds the transport figure and computes the gate.

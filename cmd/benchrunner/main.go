@@ -5,12 +5,14 @@
 // Usage:
 //
 //	benchrunner [-fig N] [-scale ms] [-run paperS] [-quick] [-seed n]
-//	            [-transport] [-json FILE]
+//	            [-transport] [-readpath] [-json FILE]
 //
 // With no -fig, every figure (19–23) runs in order. -quick shrinks the
 // sweeps for a fast sanity pass. -transport appends the transport
 // throughput sweep (pipelined calls vs in-flight depth over one TCP
-// connection). -json also writes every regenerated figure to FILE as a
+// connection). -readpath appends the read-path figure (range query latency
+// vs cluster size: cold descent / cached entry / replica fallback), gated
+// by cmd/benchcheck. -json also writes every regenerated figure to FILE as a
 // machine-readable report; CI's bench-smoke job uploads that file as the
 // per-PR benchmark artifact (see README.md). Times are reported in "paper
 // seconds": the workload runs with every period scaled down by -scale (real
@@ -48,6 +50,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	ablation := flag.Bool("ablation", true, "include the no-proactive-contact ablation in figure 20")
 	transportBench := flag.Bool("transport", false, "append the transport pipelined-call throughput sweep")
+	readPath := flag.Bool("readpath", false, "append the read-path figure (query latency vs cluster size: cold / cached / replica fallback)")
 	jsonPath := flag.String("json", "", "also write the regenerated figures to this file as JSON")
 	flag.Parse()
 
@@ -62,12 +65,14 @@ func main() {
 	rates := []float64{0, 2, 4, 6, 8, 10, 12}
 	maxHops, queries := 12, 600
 	depths, callsPerDepth := []int{1, 2, 4, 8, 16}, 3000
+	rpSizes, rpQueries := []int{6, 12, 20, 28}, 40
 	if *quick {
 		lengths = []int{2, 4, 8}
 		periods = []float64{2, 4, 8}
 		rates = []float64{0, 6, 12}
 		maxHops, queries = 8, 200
 		depths, callsPerDepth = []int{1, 2, 4, 8}, 800
+		rpSizes, rpQueries = []int{6, 12, 20}, 24
 		if p.RunS == 0 {
 			p.RunS = 40
 		}
@@ -116,6 +121,18 @@ func main() {
 		}
 		fmt.Println(fig.Render())
 		fmt.Printf("# transport sweep ran in %v\n\n", time.Since(start).Round(time.Millisecond))
+		rep.Figures = append(rep.Figures, fig)
+		ran++
+	}
+	if *readPath {
+		start := time.Now()
+		fig, err := bench.ReadPathFigure(p, rpSizes, rpQueries)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "read-path bench failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(fig.Render())
+		fmt.Printf("# read-path sweep ran in %v\n\n", time.Since(start).Round(time.Millisecond))
 		rep.Figures = append(rep.Figures, fig)
 		ran++
 	}

@@ -49,6 +49,7 @@ func main() {
 	expect := flag.Int("expect", -1, "with -probe: require a range query to return exactly this many items")
 	serving := flag.Bool("serving", false, "with -probe: require the peer to be JOINED and serving a range")
 	minPool := flag.Int("min-pool", -1, "with -probe: require at least this many pooled free peers")
+	minCacheHits := flag.Int64("min-cache-hits", -1, "with -probe: require the process's owner-lookup cache to report at least this many hits")
 	audit := flag.Bool("audit", false, "with -probe: journal the final query and require a clean Definition 4 audit")
 	wait := flag.Duration("wait", 0, "with -probe: keep retrying until satisfied or this timeout elapses")
 	probeUB := flag.Uint64("probe-ub", uint64(keyspace.MaxKey), "with -probe -expect: upper bound of the probed query interval")
@@ -56,12 +57,13 @@ func main() {
 
 	if *probe != "" {
 		os.Exit(probeMain(*probe, probeOpts{
-			expect:  *expect,
-			serving: *serving,
-			minPool: *minPool,
-			audit:   *audit,
-			wait:    *wait,
-			ub:      keyspace.Key(*probeUB),
+			expect:       *expect,
+			serving:      *serving,
+			minPool:      *minPool,
+			minCacheHits: *minCacheHits,
+			audit:        *audit,
+			wait:         *wait,
+			ub:           keyspace.Key(*probeUB),
 		}))
 	}
 	if *listen != "" {

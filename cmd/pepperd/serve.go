@@ -130,12 +130,13 @@ func loadItems(ctx context.Context, node *core.Standalone, items, payload int, f
 
 // probeOpts are the success criteria of one pepperd -probe invocation.
 type probeOpts struct {
-	expect  int           // required query item count; <0 = no query
-	serving bool          // require JOINED with a range
-	minPool int           // required free-pool size; <0 = don't care
-	audit   bool          // final journaled query + Definition 4 audit
-	wait    time.Duration // keep retrying until satisfied or this elapses
-	ub      keyspace.Key  // query interval upper bound
+	expect       int           // required query item count; <0 = no query
+	serving      bool          // require JOINED with a range
+	minPool      int           // required free-pool size; <0 = don't care
+	minCacheHits int64         // required owner-lookup cache hits; <0 = don't care
+	audit        bool          // final journaled query + Definition 4 audit
+	wait         time.Duration // keep retrying until satisfied or this elapses
+	ub           keyspace.Key  // query interval upper bound
 }
 
 // probeMain is the -probe mode: a thin RPC client that interrogates a
@@ -197,12 +198,16 @@ func probeSatisfied(st core.ProbeStatus, o probeOpts) bool {
 	if o.minPool >= 0 && st.FreePool < o.minPool {
 		return false
 	}
+	if o.minCacheHits >= 0 && st.CacheHits < uint64(o.minCacheHits) {
+		return false
+	}
 	return st.RejoinErr == ""
 }
 
 // renderStatus formats a probe status for the job log.
 func renderStatus(st core.ProbeStatus) string {
-	out := fmt.Sprintf("state=%s val=%d items=%d replicas=%d free-pool=%d", st.State, st.Val, st.Items, st.Replicas, st.FreePool)
+	out := fmt.Sprintf("state=%s val=%d items=%d replicas=%d free-pool=%d cache-hits=%d/%d (entries=%d) replica-reads=%d",
+		st.State, st.Val, st.Items, st.Replicas, st.FreePool, st.CacheHits, st.CacheHits+st.CacheMisses, st.CacheEntries, st.ReplicaReads)
 	if st.QueryErr != "" {
 		out += fmt.Sprintf(" query-err=%q", st.QueryErr)
 	} else if st.QueryCount >= 0 {

@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/keyspace"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// ReadPathFigureTitle prefixes the read-path figure so cmd/benchcheck can
+// find it in a benchmark report.
+const ReadPathFigureTitle = "read path: range query latency vs cluster size"
+
+// ReadPathFigure measures the read path's scale levers: mean range-query
+// latency against cluster size for three arms.
+//
+//   - "cold descent": the origin's owner-lookup cache is cleared before
+//     every query, so each one pays the full O(log n) router descent before
+//     the scan.
+//   - "cached entry": the cache is warm, so the scan goes straight to the
+//     remembered owner and validates there — one round trip replaces the
+//     descent, and the gap widens with cluster size.
+//   - "replica fallback": the primary owner of the queried range is
+//     fail-stopped (with failure detection slowed so revival cannot race the
+//     measurement) and queries are served through the replica-read fallback.
+//
+// Queries are narrow (about one peer's holding) so the owner lookup
+// dominates and the arms isolate the lookup strategy rather than the scan
+// width. All queries run unjournaled, like operational reads.
+func ReadPathFigure(p Params, sizes []int, queriesPer int) (*metrics.Figure, error) {
+	p = p.withDefaults()
+	if len(sizes) == 0 {
+		sizes = []int{6, 12, 20, 28}
+	}
+	if queriesPer <= 0 {
+		queriesPer = 30
+	}
+	fig := &metrics.Figure{
+		Title:  ReadPathFigureTitle,
+		XLabel: "serving peers",
+		YLabel: "range query latency (paper seconds)",
+	}
+	ctx := context.Background()
+	for _, n := range sizes {
+		x := fmt.Sprint(n)
+		fig.XOrder = append(fig.XOrder, x)
+		cold, cached, err := readPathColdCached(ctx, p, n, queriesPer)
+		if err != nil {
+			return nil, err
+		}
+		fig.AddPoint("cold descent", x, p.paperSeconds(cold))
+		fig.AddPoint("cached entry", x, p.paperSeconds(cached))
+		replica, err := readPathReplica(ctx, p, n, queriesPer)
+		if err != nil {
+			return nil, err
+		}
+		if replica > 0 {
+			fig.AddPoint("replica fallback", x, p.paperSeconds(replica))
+		}
+	}
+	return fig, nil
+}
+
+// readPathBoot boots a cluster grown to n serving peers and returns it with
+// the keys inserted. Unlike the protocol-overhead figures, this one measures
+// request latency, so the simulated network gets LAN-scale propagation
+// delays that dominate scheduler noise: what the arms then compare is the
+// number of round trips each lookup strategy pays, which is the quantity the
+// cache actually changes.
+func readPathBoot(ctx context.Context, p Params, n int, mutate func(*core.Config)) (*run, error) {
+	r := &run{params: p, keys: workload.NewSequentialKeys(1000, 1000)}
+	cfg := p.config()
+	cfg.Net.MinLatency = p.scaled(0.05)
+	cfg.Net.MaxLatency = p.scaled(0.1)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	r.cluster = core.NewCluster(cfg)
+	if _, err := r.cluster.AddFirstPeer(); err != nil {
+		r.cluster.Shutdown()
+		return nil, err
+	}
+	if err := r.cluster.AddFreePeers(p.FreePeers); err != nil {
+		r.cluster.Shutdown()
+		return nil, err
+	}
+	if err := r.growTo(ctx, n); err != nil {
+		r.cluster.Shutdown()
+		return nil, err
+	}
+	// Quiesce: let stabilization, routing and replication settle.
+	time.Sleep(p.scaled(3 * p.StabPeriodS))
+	return r, nil
+}
+
+// queryIntervals derives queriesPer narrow intervals spread over the
+// inserted keys (spacing 1000, from workload.SequentialKeys). The width is
+// below the key spacing, so a query usually stays within one peer: the arms
+// then measure the owner-lookup strategy, not the scan width.
+func (r *run) queryIntervals(queriesPer int) []keyspace.Interval {
+	out := make([]keyspace.Interval, 0, queriesPer)
+	for q := 0; q < queriesPer; q++ {
+		base := r.inserted[(q*7)%len(r.inserted)]
+		out = append(out, keyspace.ClosedInterval(base, base+900))
+	}
+	return out
+}
+
+// readPathColdCached measures the cold-descent and cached-entry arms on one
+// cluster: the same queries from the same origin, first with the origin's
+// owner-lookup cache cleared before every query, then with it warm.
+func readPathColdCached(ctx context.Context, p Params, n, queriesPer int) (cold, cached time.Duration, err error) {
+	r, err := readPathBoot(ctx, p, n, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer r.cluster.Shutdown()
+	lives := r.cluster.LivePeers()
+	origin := lives[0]
+	ivs := r.queryIntervals(queriesPer)
+
+	coldRec := metrics.NewRecorder("cold")
+	for _, iv := range ivs {
+		origin.Router.Cache().Clear()
+		start := time.Now()
+		if _, _, err := origin.RangeQueryUnjournaled(ctx, iv); err != nil {
+			continue // transient; the mean is over successful queries
+		}
+		coldRec.Observe(time.Since(start))
+	}
+
+	// Warm pass (unmeasured), then the measured cached pass over the same
+	// intervals.
+	for _, iv := range ivs {
+		_, _, _ = origin.RangeQueryUnjournaled(ctx, iv)
+	}
+	cachedRec := metrics.NewRecorder("cached")
+	for _, iv := range ivs {
+		start := time.Now()
+		if _, _, err := origin.RangeQueryUnjournaled(ctx, iv); err != nil {
+			continue
+		}
+		cachedRec.Observe(time.Since(start))
+	}
+	// Medians: query latency has a heavy scheduler-noise tail that the mean
+	// of a small sample inherits; the median is the honest central figure.
+	cs, ws := coldRec.Summarize(), cachedRec.Summarize()
+	if cs.Count == 0 || ws.Count == 0 {
+		return 0, 0, fmt.Errorf("bench: read path arms recorded no successful queries (cold %d, cached %d)", cs.Count, ws.Count)
+	}
+	return cs.P50, ws.P50, nil
+}
+
+// readPathReplica measures the replica-fallback arm on a dedicated cluster:
+// failure detection is slowed so the killed primary is not revived during
+// the window, the cache is warmed (it learns the victim's replica
+// candidates), the victim is killed, and the same queries over its range are
+// served through replica reads.
+func readPathReplica(ctx context.Context, p Params, n, queriesPer int) (time.Duration, error) {
+	r, err := readPathBoot(ctx, p, n, func(cfg *core.Config) {
+		cfg.Ring.PingPeriod = p.scaled(1000 * p.StabPeriodS) // effectively never during the run
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer r.cluster.Shutdown()
+
+	lives := r.cluster.LivePeers()
+	origin := lives[0]
+	var victim *core.Peer
+	maxKey := r.inserted[len(r.inserted)-1]
+	for _, cand := range lives[1:] {
+		if rng, ok := cand.Store.Range(); ok && !rng.IsFull() && rng.Lo >= 1000 && rng.Hi < maxKey {
+			victim = cand
+			break
+		}
+	}
+	if victim == nil {
+		return 0, nil // layout offered no mid-interval victim; skip the arm
+	}
+	vr, _ := victim.Store.Range()
+
+	// Warm the origin's cache over the victim's region, then kill it.
+	span := keyspace.Key(uint64(p.StorageFactor) * 1000)
+	warmIv := keyspace.ClosedInterval(vr.Lo+1, vr.Hi)
+	if _, _, err := origin.RangeQueryUnjournaled(ctx, warmIv); err != nil {
+		return 0, nil
+	}
+	r.cluster.KillPeer(victim.Addr)
+
+	rec := metrics.NewRecorder("replica")
+	for q := 0; q < queriesPer; q++ {
+		lo := vr.Lo + 1 + keyspace.Key(uint64(q)%1000)
+		iv := keyspace.ClosedInterval(lo, lo+span)
+		if iv.Ub > vr.Hi {
+			iv.Ub = vr.Hi
+		}
+		if !iv.Valid() {
+			continue
+		}
+		start := time.Now()
+		if _, _, err := origin.RangeQueryUnjournaled(ctx, iv); err != nil {
+			continue
+		}
+		rec.Observe(time.Since(start))
+	}
+	if origin.ReplicaReads.Load() == 0 {
+		return 0, nil // fallback never fired (e.g. revival won); don't mislabel the series
+	}
+	s := rec.Summarize()
+	if s.Count == 0 {
+		return 0, nil
+	}
+	return s.P50, nil
+}

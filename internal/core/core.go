@@ -31,9 +31,9 @@ import (
 
 	"repro/internal/datastore"
 	"repro/internal/history"
-	"repro/internal/keyspace"
 	"repro/internal/replication"
 	"repro/internal/ring"
+	"repro/internal/routecache"
 	"repro/internal/router"
 	"repro/internal/simnet"
 	"repro/internal/transport"
@@ -50,6 +50,12 @@ type Config struct {
 	QueryAttemptTimeout time.Duration
 	// MaxQueryAttempts bounds retries within the caller's context.
 	MaxQueryAttempts int
+	// ScanDepth bounds how many per-range segment scans a range query keeps
+	// in flight at once (the pipelined read path); 1 degenerates to a
+	// sequential origin-driven walk. The effective depth is additionally
+	// limited by the successor chain advertised with each piece (the ring's
+	// successor list length plus one). Default 4.
+	ScanDepth int
 	// NaiveQueries evaluates range queries with the unlocked application
 	// scan instead of scanRange (the Section 6.2 baseline).
 	NaiveQueries bool
@@ -87,6 +93,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxQueryAttempts <= 0 {
 		c.MaxQueryAttempts = 20
 	}
+	if c.ScanDepth <= 0 {
+		c.ScanDepth = 4
+	}
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
@@ -106,9 +115,9 @@ type Peer struct {
 	log *history.Log
 	cfg Config
 
-	querySeq   atomic.Uint64
-	collMu     sync.Mutex
-	collectors map[uint64]*collector
+	// ReplicaReads counts scan segments this peer answered from a replica
+	// instead of the primary owner (the read path's availability fallback).
+	ReplicaReads atomic.Uint64
 }
 
 // Errors surfaced by index operations.
@@ -118,30 +127,7 @@ var (
 	ErrNoFreePeer  = errors.New("core: free-peer pool is empty")
 )
 
-// handlerRangeQuery is the scan handler id used by range queries.
-const handlerRangeQuery = "core.rangeQuery"
-
-// methodQueryResult delivers a peer's piece of a query result to the origin.
-const methodQueryResult = "idx.queryResult"
-
-// queryParam travels with a scan; it tells every visited peer where to send
-// its piece of the result.
-type queryParam struct {
-	Origin  transport.Addr
-	QueryID uint64
-	Attempt int
-}
-
-type queryResultMsg struct {
-	QueryID uint64
-	Attempt int
-	Piece   keyspace.Interval
-	Items   []datastore.Item
-}
-
 func init() {
-	transport.RegisterMessage(queryParam{})
-	transport.RegisterMessage(queryResultMsg{})
 	transport.RegisterMessage(announceMsg{})
 }
 
@@ -154,12 +140,11 @@ func init() {
 func assemblePeer(tr transport.Transport, addr transport.Addr, cfg Config, log *history.Log, pool datastore.FreePool) (*Peer, error) {
 	mux := transport.NewMux()
 	p := &Peer{
-		Addr:       addr,
-		Mux:        mux,
-		tr:         tr,
-		log:        log,
-		cfg:        cfg,
-		collectors: make(map[uint64]*collector),
+		Addr: addr,
+		Mux:  mux,
+		tr:   tr,
+		log:  log,
+		cfg:  cfg,
 	}
 
 	// The ring callbacks close over the peer struct; the components are
@@ -181,32 +166,6 @@ func assemblePeer(tr transport.Transport, addr transport.Addr, cfg Config, log *
 	p.Rep = replication.New(tr, mux, p.Ring, p.Store, cfg.Replication)
 	p.Router = router.New(tr, mux, p.Ring, p.Store, cfg.Router)
 	p.Store.SetDeps(p.Rep, pool)
-
-	// Range query handler: send this peer's piece of the scan to the origin.
-	p.Store.RegisterHandler(handlerRangeQuery, func(items []datastore.Item, piece keyspace.Interval, param any) any {
-		qp, ok := param.(queryParam)
-		if !ok {
-			return param
-		}
-		tr.Send(addr, qp.Origin, methodQueryResult, queryResultMsg{
-			QueryID: qp.QueryID, Attempt: qp.Attempt, Piece: piece, Items: items,
-		})
-		return param
-	})
-	// Result collection and abort notification at the origin.
-	mux.Handle(methodQueryResult, func(_ transport.Addr, _ string, payload any) (any, error) {
-		msg, ok := payload.(queryResultMsg)
-		if !ok {
-			return nil, fmt.Errorf("core: bad query result %T", payload)
-		}
-		p.deliverResult(msg)
-		return true, nil
-	})
-	p.Store.OnScanAbort(func(param any) {
-		if qp, ok := param.(queryParam); ok {
-			p.abortCollector(qp.QueryID, qp.Attempt)
-		}
-	})
 
 	return p, nil
 }
@@ -231,6 +190,12 @@ type Cluster struct {
 	cfg Config
 	net *simnet.Network
 	log *history.Log
+	// qcache remembers which peer last served the first piece of a range
+	// query, so follow-up queries enter the ring at the owner of their lower
+	// bound instead of at a random peer (zero-hop owner lookup when fresh;
+	// validated at the target when stale). nil when caching is disabled
+	// (Router.CacheSize < 0), so ablation runs are genuinely cache-free.
+	qcache *routecache.Cache
 
 	mu     sync.Mutex
 	peers  map[transport.Addr]*Peer
@@ -247,13 +212,17 @@ type Cluster struct {
 // NewCluster creates an empty cluster.
 func NewCluster(cfg Config) *Cluster {
 	cfg = cfg.withDefaults()
-	return &Cluster{
+	c := &Cluster{
 		cfg:   cfg,
 		net:   simnet.New(cfg.Net),
 		log:   history.NewLog(),
 		peers: make(map[transport.Addr]*Peer),
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 	}
+	if cfg.Router.CacheSize >= 0 {
+		c.qcache = routecache.New(cfg.Router.CacheSize)
+	}
+	return c
 }
 
 // Net exposes the network for failure injection and stats.

@@ -5,19 +5,21 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"sync"
 	"time"
 
 	"repro/internal/datastore"
 	"repro/internal/history"
 	"repro/internal/keyspace"
+	"repro/internal/ring"
+	"repro/internal/transport"
 )
 
 // The P2P Index API (insertItem, deleteItem, findItems as a range query) is
 // implemented on Peer — every operation routes from that peer, exactly what
-// a standalone process does — and re-exposed on Cluster, which picks a
-// random live entry peer per attempt, modelling clients spread across the
-// system.
+// a standalone process does — and re-exposed on Cluster, which picks an
+// entry peer per attempt (the last-known owner of the query's lower bound
+// when the entry cache has one, else a random live peer), modelling clients
+// spread across the system.
 
 // InsertItem stores an item in the index (the P2P Index insertItem API).
 // It routes from a random live entry peer to the owner of the item's search
@@ -95,7 +97,11 @@ func (p *Peer) insertAttempt(ctx context.Context, item datastore.Item) error {
 	if err != nil {
 		return err
 	}
-	return p.Store.InsertAt(ctx, owner, item)
+	if err := p.Store.InsertAt(ctx, owner, item); err != nil {
+		p.invalidateIfDead(owner, err)
+		return err
+	}
+	return nil
 }
 
 // deleteAttempt performs one locate-and-delete from this peer.
@@ -104,102 +110,104 @@ func (p *Peer) deleteAttempt(ctx context.Context, key keyspace.Key) (bool, error
 	if err != nil {
 		return false, err
 	}
-	return p.Store.DeleteAt(ctx, owner, key)
-}
-
-// collector assembles the pieces of one range query attempt.
-type collector struct {
-	mu      sync.Mutex
-	iv      keyspace.Interval
-	attempt int
-	pieces  []history.ScanPiece
-	items   []datastore.Item
-	done    chan struct{}
-	aborted bool
-	closed  bool
-}
-
-func newCollector(iv keyspace.Interval, attempt int) *collector {
-	return &collector{iv: iv, attempt: attempt, done: make(chan struct{})}
-}
-
-// add merges one piece; it signals completion when the pieces cover iv.
-func (col *collector) add(msg queryResultMsg) {
-	col.mu.Lock()
-	defer col.mu.Unlock()
-	if col.closed || msg.Attempt != col.attempt {
-		return
+	found, err := p.Store.DeleteAt(ctx, owner, key)
+	if err != nil {
+		p.invalidateIfDead(owner, err)
+		return false, err
 	}
-	col.pieces = append(col.pieces, history.ScanPiece{Interval: msg.Piece})
-	col.items = append(col.items, msg.Items...)
-	if history.CheckScanCover(col.iv, col.pieces) == nil {
-		col.closed = true
-		close(col.done)
+	return found, nil
+}
+
+// invalidateIfDead drops a peer's cached route only on the fail-stop
+// signature. Handler errors — a busy range lock, a boundary that moved
+// between lookup and operation — come from a live peer whose route may well
+// still be right; the retry's FindOwner re-validates the cached entry at the
+// target and evicts it there if it really went stale.
+func (p *Peer) invalidateIfDead(owner transport.Addr, err error) {
+	if errors.Is(err, transport.ErrUnreachable) {
+		p.Router.InvalidateOwner(owner)
 	}
 }
 
-// abort fails the attempt.
-func (col *collector) abort(attempt int) {
-	col.mu.Lock()
-	defer col.mu.Unlock()
-	if col.closed || attempt != col.attempt {
-		return
-	}
-	col.aborted = true
-	col.closed = true
-	close(col.done)
-}
-
-// deliverResult routes a result piece to the matching collector at the
-// origin peer.
-func (p *Peer) deliverResult(msg queryResultMsg) {
-	p.collMu.Lock()
-	col := p.collectors[msg.QueryID]
-	p.collMu.Unlock()
-	if col != nil {
-		col.add(msg)
-	}
-}
-
-// abortCollector fails the matching collector's current attempt.
-func (p *Peer) abortCollector(queryID uint64, attempt int) {
-	p.collMu.Lock()
-	col := p.collectors[queryID]
-	p.collMu.Unlock()
-	if col != nil {
-		col.abort(attempt)
-	}
-}
-
-// RangeQuery evaluates a range predicate from a random live entry peer. An
+// RangeQuery evaluates a range predicate from an entry peer: the last-known
+// owner of the query's lower bound when the cluster's entry cache has one
+// (so the owner lookup starts zero hops away), else a random live peer. An
 // entry peer can merge away while the query is in flight — its departed
 // transport endpoint then refuses to send, so no retry from that peer can
 // ever succeed — in which case the query re-enters from a fresh live peer,
 // modelling a client reconnecting elsewhere.
 func (c *Cluster) RangeQuery(ctx context.Context, iv keyspace.Interval) ([]datastore.Item, error) {
+	if !iv.Valid() {
+		return nil, fmt.Errorf("core: empty query interval %v", iv)
+	}
 	var lastErr error
 	for entries := 0; entries < 3; entries++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		entry, err := c.randomLive()
+		entry, cached, err := c.entryPeer(iv)
 		if err != nil {
 			return nil, err
 		}
-		items, _, err := c.RangeQueryFrom(ctx, entry, iv)
+		items, stats, err := entry.RangeQueryStats(ctx, iv)
 		if err == nil {
+			c.learnEntry(stats)
 			return items, nil
+		}
+		if cached && c.qcache != nil {
+			c.qcache.Invalidate(entry.Addr)
 		}
 		lastErr = err
 	}
 	return nil, lastErr
 }
 
+// entryPeer picks the peer a cluster-level query enters from: the cached
+// owner of the query's lower bound when it is still a live ring member, else
+// a random live peer. cached reports which path was taken so a failed query
+// can invalidate the entry.
+func (c *Cluster) entryPeer(iv keyspace.Interval) (entry *Peer, cached bool, err error) {
+	if c.qcache == nil {
+		p, err := c.randomLive()
+		return p, false, err
+	}
+	if ent, ok := c.qcache.Lookup(firstKeyOf(iv)); ok {
+		c.mu.Lock()
+		p := c.peers[ent.Addr]
+		c.mu.Unlock()
+		if p != nil && c.net.Alive(p.Addr) {
+			if _, serving := p.Store.Range(); serving {
+				return p, true, nil
+			}
+		}
+		c.qcache.Invalidate(ent.Addr)
+	}
+	p, err := c.randomLive()
+	return p, false, err
+}
+
+// learnEntry records the peer that served the query's first piece as the
+// future entry point for queries over the same region.
+func (c *Cluster) learnEntry(stats QueryStats) {
+	if c.qcache != nil && stats.FirstOwner != "" {
+		c.qcache.Learn(stats.FirstOwnerRange, stats.FirstOwner, nil)
+	}
+}
+
 // QueryStats reports how a range query executed.
 type QueryStats struct {
-	Hops     int           // ring hops of the successful scan (peers visited - 1)
+	Hops     int           // ring hops of the successful scan (pieces visited - 1)
 	Attempts int           // scan attempts including the successful one
 	ScanTime time.Duration // duration of the successful scan, excluding the owner lookup (the Figure 21 metric)
+
+	// FirstOwner identifies the peer that served the interval's first piece,
+	// with FirstOwnerRange its responsibility range at serve time — the
+	// cluster's entry cache feeds on these.
+	FirstOwner      transport.Addr
+	FirstOwnerRange keyspace.Range
+	// ReplicaPieces counts pieces served by a replica instead of the primary
+	// owner (bounded staleness; only unjournaled queries ever fall back).
+	ReplicaPieces int
 }
 
 // RangeQueryFrom evaluates a range predicate issued at the given peer,
@@ -217,7 +225,7 @@ func (c *Cluster) RangeQueryStatsFrom(ctx context.Context, origin *Peer, iv keys
 
 // RangeQueryStats evaluates a range predicate issued at this peer. With
 // NaiveQueries configured it uses the unlocked application-level scan of
-// Section 6.2 instead of scanRange.
+// Section 6.2 instead of the pipelined scan.
 func (p *Peer) RangeQueryStats(ctx context.Context, iv keyspace.Interval) ([]datastore.Item, QueryStats, error) {
 	return p.rangeQueryStats(ctx, iv, true)
 }
@@ -226,7 +234,10 @@ func (p *Peer) RangeQueryStats(ctx context.Context, iv keyspace.Interval) ([]dat
 // the correctness journal. Operational probes (the CI cluster smoke) poll
 // with it while a failure is being recovered: this process's journal never
 // learns of a remote peer's death, so a journaled poll that observes the
-// transient gap would read as a phantom Definition 4 violation.
+// transient gap would read as a phantom Definition 4 violation. Unjournaled
+// queries are also the only ones allowed to fall back to replica reads —
+// the journaled path answers to the Definition 4 audit and therefore always
+// reads primaries.
 func (p *Peer) RangeQueryUnjournaled(ctx context.Context, iv keyspace.Interval) ([]datastore.Item, QueryStats, error) {
 	return p.rangeQueryStats(ctx, iv, false)
 }
@@ -239,7 +250,6 @@ func (p *Peer) rangeQueryStats(ctx context.Context, iv keyspace.Interval, journa
 		return p.naiveRangeQuery(ctx, iv)
 	}
 
-	qid := p.querySeq.Add(1)
 	var logID int
 	var start history.Seq
 	if journal {
@@ -250,7 +260,7 @@ func (p *Peer) rangeQueryStats(ctx context.Context, iv keyspace.Interval, journa
 		if err := ctx.Err(); err != nil {
 			return nil, QueryStats{}, err
 		}
-		items, stats, err := p.runScanAttempt(ctx, iv, qid, attempt)
+		items, stats, err := p.runScanAttempt(ctx, iv, !journal)
 		if err == nil {
 			stats.Attempts = attempt
 			if journal {
@@ -259,57 +269,343 @@ func (p *Peer) rangeQueryStats(ctx context.Context, iv keyspace.Interval, journa
 			return items, stats, nil
 		}
 		lastErr = err
+		time.Sleep(2 * time.Millisecond)
 	}
 	return nil, QueryStats{}, fmt.Errorf("%w: %v", ErrQueryFailed, lastErr)
 }
 
-// runScanAttempt performs one scanRange attempt of a range query.
-func (p *Peer) runScanAttempt(ctx context.Context, iv keyspace.Interval, qid uint64, attempt int) ([]datastore.Item, QueryStats, error) {
-	first, _, err := p.Router.FindOwner(ctx, firstKeyOf(iv))
-	if err != nil {
-		time.Sleep(2 * time.Millisecond)
-		return nil, QueryStats{}, fmt.Errorf("core: owner lookup failed: %w", err)
-	}
+// --- Pipelined scan ---------------------------------------------------------
 
-	col := newCollector(iv, attempt)
-	p.collMu.Lock()
-	p.collectors[qid] = col
-	p.collMu.Unlock()
-	defer func() {
-		p.collMu.Lock()
-		if p.collectors[qid] == col {
-			delete(p.collectors, qid)
+// The read path's scan is origin-driven: instead of the hand-over-hand
+// forwarding of Algorithm 4 (one hop at a time, results pushed back to the
+// origin), the origin asks the owner of the lower bound for its piece AND
+// its successor chain, then keeps up to ScanDepth per-range segment scans in
+// flight via CallAsync, reassembling pieces in key order.
+//
+// Correctness rests on the same rule as the hand-over-hand scan: every
+// segment is validated and snapshotted atomically at its target under the
+// range read lock, so a piece is exactly the target's items for the piece
+// interval at serve time. Pieces must then partition the query interval
+// (checked with history.CheckScanCover, Definition 6); any boundary movement
+// between speculation and service surfaces as a NotOwner rejection or a
+// continuity break, and the scan re-resolves the frontier. An item that is
+// live throughout the query is, at the moment its key's piece is served,
+// stored at the validated owner of that piece — so it is in the result, and
+// Definition 4 holds without a continuous lock chain across peers.
+
+// maxScanSteps bounds one scan attempt against boundary thrash: each step
+// either serves a piece or rebuilds the frontier, so a run this long means
+// the ring is churning faster than the scan can advance and the attempt
+// should fail (and be retried) rather than spin.
+const maxScanSteps = 1024
+
+// segPlan describes one per-range segment scan the origin intends to issue:
+// derived from the owner-lookup cache (the entry segment) or from successor
+// chain metadata (all following segments).
+type segPlan struct {
+	cursor   keyspace.Key     // first key of the segment
+	addr     transport.Addr   // believed owner
+	end      keyspace.Key     // believed last key of the segment (clipped to the query)
+	endKnown bool             // end derived from range metadata (replica fallback needs it)
+	final    bool             // believed to reach the interval's end
+	replicas []transport.Addr // believed replica holders (the owner's successors)
+}
+
+// segCall is an issued segment scan.
+type segCall struct {
+	segPlan
+	pend   *datastore.SegmentPending
+	cancel context.CancelFunc
+}
+
+// planFromRange builds the segment plan for cursor given the believed owner
+// range (from the owner-lookup cache).
+func planFromRange(cursor, last keyspace.Key, rng keyspace.Range, addr transport.Addr, replicas []transport.Addr) segPlan {
+	end, final := rng.ContiguousEnd(cursor, last)
+	return segPlan{cursor: cursor, addr: addr, end: end, endKnown: true, final: final, replicas: replicas}
+}
+
+// plansFromChain derives the segments that follow a peer whose range ends at
+// prevHi, from its successor chain: successor s_i owns (val(s_{i-1}),
+// val(s_i)], so cursors and ends fall out of the advertised values. The
+// replica candidates for each segment are the nodes after its owner in the
+// same chain (a range's replicas live on its successors). Query intervals
+// never wrap, so a chain value that wraps numerically means that successor's
+// range runs through the top of the key space and must cover the rest of
+// the interval.
+func plansFromChain(prevHi, last keyspace.Key, chain []ring.Node) []segPlan {
+	var out []segPlan
+	prev := prevHi
+	for i, n := range chain {
+		if n.IsZero() || prev >= last {
+			break
 		}
-		p.collMu.Unlock()
-	}()
+		cursor := prev + 1
+		pl := segPlan{cursor: cursor, addr: n.Addr, endKnown: true}
+		if n.Val < cursor {
+			// Wrapped successor: owns (prev, MaxKey] at least, which covers
+			// the linear interval's remainder.
+			pl.end, pl.final = last, true
+		} else if n.Val >= last {
+			pl.end, pl.final = last, true
+		} else {
+			pl.end = n.Val
+		}
+		for _, r := range chain[i+1:] {
+			if !r.IsZero() && r.Addr != n.Addr {
+				pl.replicas = append(pl.replicas, r.Addr)
+			}
+		}
+		out = append(out, pl)
+		if pl.final {
+			break
+		}
+		prev = n.Val
+	}
+	return out
+}
+
+// runScanAttempt performs one pipelined scan attempt of a range query.
+// allowReplica enables the per-segment replica-read fallback (unjournaled
+// queries only; see RangeQueryUnjournaled).
+func (p *Peer) runScanAttempt(ctx context.Context, iv keyspace.Interval, allowReplica bool) ([]datastore.Item, QueryStats, error) {
+	first := firstKeyOf(iv)
+	last := lastKeyOf(iv)
+
+	scanCtx, cancelScan := context.WithTimeout(ctx, p.cfg.QueryAttemptTimeout)
+	defer cancelScan()
+
+	// Resolve the entry segment: the owner-lookup cache's unvalidated hint
+	// when present — the segment handler validates ownership at the target,
+	// so a warm query goes straight to the owner in a single round trip —
+	// else a full routed lookup (which itself consults and feeds the cache).
+	var entry segPlan
+	if ent, ok := p.Router.CachedEntry(first); ok {
+		entry = planFromRange(first, last, ent.Range, ent.Addr, ent.Replicas)
+	} else {
+		owner, _, err := p.Router.FindOwner(scanCtx, first)
+		if err != nil {
+			return nil, QueryStats{}, fmt.Errorf("core: owner lookup failed: %w", err)
+		}
+		if ent, ok := p.Router.CachedEntry(first); ok && ent.Addr == owner {
+			// FindOwner just validated the owner and learned its range.
+			entry = planFromRange(first, last, ent.Range, ent.Addr, ent.Replicas)
+		} else {
+			entry = segPlan{cursor: first, addr: owner}
+		}
+	}
 
 	// The scan-time metric starts after the owner lookup, matching the
 	// paper's Figure 21 methodology ("once the first peer with items in the
 	// search range was found").
 	scanStart := time.Now()
-	scanCtx, cancel := context.WithTimeout(ctx, p.cfg.QueryAttemptTimeout)
-	defer cancel()
-	err = p.Store.StartScan(scanCtx, first, iv, handlerRangeQuery, queryParam{
-		Origin: p.Addr, QueryID: qid, Attempt: attempt,
-	})
-	if err != nil {
-		time.Sleep(2 * time.Millisecond)
-		return nil, QueryStats{}, fmt.Errorf("core: scan start rejected: %w", err)
+
+	var (
+		stats    QueryStats
+		pieces   []history.ScanPiece
+		items    []datastore.Item
+		inflight []*segCall
+		plan     []segPlan
+		expected = first
+		complete bool
+	)
+	issue := func(pl segPlan) {
+		cctx, cancel := context.WithCancel(scanCtx)
+		inflight = append(inflight, &segCall{
+			segPlan: pl,
+			pend:    p.Store.ScanSegmentAsync(cctx, pl.addr, iv, pl.cursor),
+			cancel:  cancel,
+		})
+	}
+	discard := func() {
+		for _, c := range inflight {
+			c.cancel()
+		}
+		inflight = inflight[:0]
+		plan = plan[:0]
+	}
+	defer discard()
+
+	issue(entry)
+	for steps := 0; !complete; steps++ {
+		if steps > maxScanSteps {
+			return nil, QueryStats{}, fmt.Errorf("core: scan exceeded %d steps at cursor %d", maxScanSteps, expected)
+		}
+		if err := scanCtx.Err(); err != nil {
+			return nil, QueryStats{}, fmt.Errorf("core: scan attempt timed out: %w", err)
+		}
+
+		// A frontier mismatch means a boundary moved under the speculative
+		// plan (the last piece ended short of — or past — the next issued
+		// cursor): everything downstream is suspect.
+		if len(inflight) > 0 && inflight[0].cursor != expected {
+			discard()
+		}
+		// Keep up to ScanDepth segments in flight.
+		for len(inflight) < p.cfg.ScanDepth && len(plan) > 0 {
+			next := plan[0]
+			plan = plan[1:]
+			issue(next)
+		}
+		if len(inflight) == 0 {
+			// No metadata to speculate from: resolve the frontier's owner
+			// and continue (the post-lookup cache entry restores end/replica
+			// metadata when available).
+			owner, _, err := p.Router.FindOwner(scanCtx, expected)
+			if err != nil {
+				return nil, QueryStats{}, fmt.Errorf("core: frontier lookup at %d failed: %w", expected, err)
+			}
+			if ent, ok := p.Router.CachedEntry(expected); ok && ent.Addr == owner {
+				issue(planFromRange(expected, last, ent.Range, ent.Addr, ent.Replicas))
+			} else {
+				issue(segPlan{cursor: expected, addr: owner})
+			}
+			continue
+		}
+
+		head := inflight[0]
+		inflight = inflight[1:]
+		res, err := head.pend.Result()
+		head.cancel()
+		switch {
+		case err != nil && !errors.Is(err, transport.ErrUnreachable):
+			// A handler error from a live primary — typically ErrLockBusy
+			// while maintenance holds the range write lock. The peer is not
+			// dead and its route is not stale: a bounded-stale replica read
+			// would be wrong here and invalidating the entry would evict a
+			// healthy route, so just fail the attempt and let the retry ask
+			// the same (live) primary again.
+			return nil, QueryStats{}, fmt.Errorf("core: segment at %d via %s rejected: %w", head.cursor, head.addr, err)
+		case err != nil:
+			// The target is unreachable — the fail-stop signature (a dead
+			// peer, or one that stopped answering within the deadline).
+			// Later in-flight segments validate at their own targets, so
+			// only this segment needs saving: try its replica holders
+			// (unjournaled queries only), else fail the attempt.
+			// The owner-lookup cache may know this owner's segment extent
+			// and replica candidates even when the plan did not (an entry
+			// probe, or a chain too short to name successors): consult it
+			// before deciding the entry's fate.
+			if ent, ok := p.Router.CachedEntry(head.cursor); ok && ent.Addr == head.addr {
+				if !head.endKnown {
+					pl := planFromRange(head.cursor, last, ent.Range, ent.Addr, nil)
+					head.end, head.endKnown, head.final = pl.end, true, pl.final
+				}
+				head.replicas = mergeAddrs(head.replicas, ent.Replicas)
+			}
+			if allowReplica && head.endKnown {
+				if ritems, ok := p.replicaSegment(scanCtx, head, last); ok {
+					// The entry that named the dead owner stays cached: it
+					// still carries the replica candidates that just served
+					// this segment, so follow-up queries pay one fast failed
+					// call instead of a doomed full descent. Revival or
+					// rebalance re-learns the region and prunes it.
+					seg := keyspace.Interval{Lb: head.cursor, Ub: minKey(head.end, last)}
+					pieces = append(pieces, history.ScanPiece{Peer: string(head.addr), Interval: seg})
+					items = append(items, ritems...)
+					stats.ReplicaPieces++
+					p.ReplicaReads.Add(1)
+					if head.final || seg.Ub >= last {
+						complete = true
+					} else {
+						expected = seg.Ub + 1
+					}
+					continue
+				}
+			}
+			p.Router.InvalidateOwner(head.addr)
+			return nil, QueryStats{}, fmt.Errorf("core: segment at %d via %s failed: %w", head.cursor, head.addr, err)
+		case res.NotOwner:
+			// The boundary moved: the believed owner disclaims the cursor.
+			// Drop the stale route and every speculative segment derived
+			// from the same metadata; the next iteration re-resolves.
+			p.Router.InvalidateOwner(head.addr)
+			discard()
+			continue
+		}
+
+		// One validated piece, served atomically under the target's range
+		// read lock.
+		if fk := firstKeyOf(res.Piece); fk != head.cursor {
+			return nil, QueryStats{}, fmt.Errorf("core: segment at %d answered misaligned piece %v", head.cursor, res.Piece)
+		}
+		p.Router.Learn(res.Range, head.addr, res.Chain)
+		if len(pieces) == 0 {
+			stats.FirstOwner = head.addr
+			stats.FirstOwnerRange = res.Range
+		}
+		pieces = append(pieces, history.ScanPiece{Peer: string(head.addr), Interval: res.Piece})
+		items = append(items, res.Items...)
+		if res.Done {
+			complete = true
+			continue
+		}
+		pieceEnd := lastKeyOf(res.Piece)
+		if pieceEnd >= last || pieceEnd == keyspace.MaxKey {
+			complete = true
+			continue
+		}
+		expected = pieceEnd + 1
+
+		// This response carries the freshest view of what lies ahead:
+		// re-plan everything beyond the segments already in flight, and
+		// refresh the metadata of the segments already issued — an earlier,
+		// shorter chain may have left them without an end or without replica
+		// candidates (a segment planned at the tail of a chain has no
+		// successors after it to name).
+		fresh := plansFromChain(res.Range.Hi, last, res.Chain)
+		for _, c := range inflight {
+			for _, pl := range fresh {
+				if pl.cursor == c.cursor && pl.addr == c.addr {
+					c.end, c.endKnown, c.final = pl.end, pl.endKnown, pl.final
+					c.replicas = mergeAddrs(c.replicas, pl.replicas)
+				}
+			}
+		}
+		frontier := expected
+		if n := len(inflight); n > 0 {
+			if !inflight[n-1].endKnown {
+				// An end-unknown probe is in flight; let it resolve before
+				// speculating past it.
+				plan = plan[:0]
+				continue
+			}
+			frontier = inflight[n-1].end + 1
+		}
+		plan = plan[:0]
+		for _, pl := range fresh {
+			if pl.cursor == frontier || (len(plan) > 0 && pl.cursor == plan[len(plan)-1].end+1) {
+				plan = append(plan, pl)
+			}
+		}
 	}
 
-	select {
-	case <-col.done:
-		col.mu.Lock()
-		defer col.mu.Unlock()
-		if col.aborted {
-			return nil, QueryStats{}, errors.New("core: scan aborted mid-flight")
-		}
-		items := dedupeItems(col.items)
-		return items, QueryStats{Hops: len(col.pieces) - 1, ScanTime: time.Since(scanStart)}, nil
-	case <-scanCtx.Done():
-		col.abort(attempt)
-		return nil, QueryStats{}, fmt.Errorf("core: scan attempt timed out")
+	if err := history.CheckScanCover(iv, pieces); err != nil {
+		return nil, QueryStats{}, fmt.Errorf("core: scan cover check failed: %w", err)
 	}
+	items = dedupeItems(items)
+	stats.Hops = len(pieces) - 1
+	stats.ScanTime = time.Since(scanStart)
+	return items, stats, nil
+}
+
+// replicaSegment serves one segment from the believed replica holders of its
+// dead primary, in order, reporting whether any of them answered. The
+// answer is bounded-staleness: a replica lags its origin by at most one
+// replication refresh.
+func (p *Peer) replicaSegment(ctx context.Context, head *segCall, last keyspace.Key) ([]datastore.Item, bool) {
+	seg := keyspace.ClosedInterval(head.cursor, minKey(head.end, last))
+	for _, r := range head.replicas {
+		if r == "" || r == head.addr {
+			continue
+		}
+		items, err := p.Rep.ReplicaItems(ctx, r, seg)
+		if err != nil {
+			continue
+		}
+		return items, true
+	}
+	return nil, false
 }
 
 // NaiveQueryStatsFrom evaluates a range predicate with the Section 6.2
@@ -357,6 +653,40 @@ func firstKeyOf(iv keyspace.Interval) keyspace.Key {
 		return iv.Lb + 1
 	}
 	return iv.Lb
+}
+
+// lastKeyOf returns the largest key satisfying iv.
+func lastKeyOf(iv keyspace.Interval) keyspace.Key {
+	if iv.UbOpen {
+		return iv.Ub - 1
+	}
+	return iv.Ub
+}
+
+// mergeAddrs appends the addresses of extra not already present in base,
+// preserving order (existing candidates are tried first).
+func mergeAddrs(base, extra []transport.Addr) []transport.Addr {
+	for _, a := range extra {
+		dup := false
+		for _, b := range base {
+			if a == b {
+				dup = true
+				break
+			}
+		}
+		if !dup && a != "" {
+			base = append(base, a)
+		}
+	}
+	return base
+}
+
+// minKey returns the smaller of two keys.
+func minKey(a, b keyspace.Key) keyspace.Key {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // keysOf projects items to their keys.

@@ -67,6 +67,16 @@ type ProbeStatus struct {
 	QueryCount int    // -1 when no query ran
 	QueryErr   string // query failure, if any
 	Violations int    // -1 unless Audit was requested
+
+	// Read-path counters: the owner-lookup cache of this process's router
+	// (hits/misses/evictions/invalidations and current entry count) and the
+	// number of scan segments served from a replica instead of the primary.
+	CacheHits          uint64
+	CacheMisses        uint64
+	CacheEvictions     uint64
+	CacheInvalidations uint64
+	CacheEntries       int
+	ReplicaReads       uint64
 }
 
 func init() {
@@ -107,6 +117,15 @@ func (s *Standalone) handleProbe(_ transport.Addr, _ string, payload any) (any, 
 	if rng, has := p.Store.Range(); has {
 		resp.HasRange, resp.RangeLo, resp.RangeHi = true, rng.Lo, rng.Hi
 	}
+	if cache := p.Router.Cache(); cache != nil {
+		st := cache.Stats()
+		resp.CacheHits = st.Hits
+		resp.CacheMisses = st.Misses
+		resp.CacheEvictions = st.Evictions
+		resp.CacheInvalidations = st.Invalidations
+		resp.CacheEntries = st.Size
+	}
+	resp.ReplicaReads = p.ReplicaReads.Load()
 	if err := s.RejoinErr(); err != nil {
 		resp.RejoinErr = err.Error()
 	}

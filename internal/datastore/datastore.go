@@ -118,14 +118,15 @@ func (c Config) withDefaults() Config {
 
 // RPC method names.
 const (
-	methodScan       = "ds.scan"
-	methodScanAbort  = "ds.scanAbort"
-	methodInsert     = "ds.insertItem"
-	methodDelete     = "ds.deleteItem"
-	methodLocalItems = "ds.localItems"
-	methodNaiveStep  = "ds.naiveStep"
-	methodRebalance  = "ds.rebalance"
-	methodMergeIn    = "ds.mergeIn"
+	methodScan        = "ds.scan"
+	methodScanSegment = "ds.scanSegment"
+	methodScanAbort   = "ds.scanAbort"
+	methodInsert      = "ds.insertItem"
+	methodDelete      = "ds.deleteItem"
+	methodLocalItems  = "ds.localItems"
+	methodNaiveStep   = "ds.naiveStep"
+	methodRebalance   = "ds.rebalance"
+	methodMergeIn     = "ds.mergeIn"
 )
 
 // Errors surfaced by Data Store operations.
@@ -191,6 +192,7 @@ func New(net transport.Transport, mux *transport.Mux, rp *ring.Peer, log *histor
 		stopCh:    make(chan struct{}),
 	}
 	mux.Handle(methodScan, s.handleScan)
+	mux.Handle(methodScanSegment, s.handleScanSegment)
 	mux.Handle(methodScanAbort, s.handleScanAbort)
 	mux.Handle(methodInsert, s.handleInsert)
 	mux.Handle(methodDelete, s.handleDelete)
@@ -438,6 +440,14 @@ func (s *Store) DeleteAt(ctx context.Context, addr transport.Addr, key keyspace.
 }
 
 // --- scanRange --------------------------------------------------------------
+//
+// The hand-over-hand scan below is the paper's protocol verbatim (Section
+// 4.3.2, Algorithms 3–5) and the reference implementation its correctness
+// theorems are stated against; the datastore test suite exercises it
+// directly. The production query path in package core uses the pipelined
+// segment scan further down (handleScanSegment), which trades the continuous
+// lock chain for per-segment validation plus an origin-side cover check —
+// see the "Read path" section of ARCHITECTURE.md for the argument.
 
 // scanMsg drives one scan along the ring.
 type scanMsg struct {
@@ -593,6 +603,105 @@ func (s *Store) handleScanAbort(_ transport.Addr, _ string, payload any) (any, e
 	return true, nil
 }
 
+// --- Pipelined segment scan (read path) -------------------------------------
+
+// segmentReq asks the peer owning Cursor for its contiguous piece of the
+// query interval: one origin-driven step of the pipelined scan. Unlike the
+// hand-over-hand scanMsg, the origin drives every step itself and keeps
+// several segments in flight; correctness still rests on the same rule as
+// Algorithm 5 — the target validates that it owns the continuation point
+// under its range read lock, so a stale route hint is rejected here instead
+// of producing a wrong piece.
+type segmentReq struct {
+	Iv     keyspace.Interval
+	Cursor keyspace.Key
+}
+
+// SegmentResult is one served piece plus the metadata the origin needs to
+// keep its pipeline full: the serving peer's responsibility range (for the
+// owner-lookup cache) and its successor chain — the owners of the following
+// segments, which double as the replica candidates for this peer's items
+// (replicas live on a range's ring successors).
+type SegmentResult struct {
+	NotOwner bool              // cursor not in this peer's range; nothing served
+	Piece    keyspace.Interval // the contiguous sub-interval served, starting at the cursor
+	Items    []Item            // this peer's items in Piece, sorted by key
+	Done     bool              // Piece reaches the interval's end
+	Range    keyspace.Range    // the serving peer's responsibility range
+	Chain    []ring.Node       // the serving peer's ring successors
+}
+
+// handleScanSegment serves one piece of a pipelined scan. The piece is
+// assembled atomically under the range read lock — ownership of the cursor
+// is validated and the items snapshotted before any boundary can move — so
+// every piece is internally consistent and the origin's cover check
+// (Definition 6) composes them into a correct result.
+func (s *Store) handleScanSegment(_ transport.Addr, _ string, payload any) (any, error) {
+	req, ok := payload.(segmentReq)
+	if !ok {
+		return nil, fmt.Errorf("datastore: bad segment payload %T", payload)
+	}
+	if !req.Iv.Valid() || !req.Iv.Contains(req.Cursor) {
+		return nil, fmt.Errorf("datastore: bad segment cursor %d for %v", req.Cursor, req.Iv)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.CallTimeout)
+	defer cancel()
+	if err := s.rangeLock.RLock(ctx); err != nil {
+		s.ScanAborts.Add(1)
+		return nil, ErrLockBusy
+	}
+	s.mu.Lock()
+	if !s.hasRange || !s.rng.Contains(req.Cursor) {
+		s.mu.Unlock()
+		s.rangeLock.RUnlock()
+		s.ScanAborts.Add(1)
+		return SegmentResult{NotOwner: true}, nil
+	}
+	rng := s.rng
+	pieceEnd, done := contiguousEnd(rng, req.Cursor, lastKey(req.Iv))
+	piece := keyspace.Interval{Lb: req.Cursor, Ub: pieceEnd}
+	var pieceItems []Item
+	for k, it := range s.items {
+		if piece.Contains(k) {
+			pieceItems = append(pieceItems, it)
+		}
+	}
+	s.mu.Unlock()
+	s.rangeLock.RUnlock()
+	sort.Slice(pieceItems, func(i, j int) bool { return pieceItems[i].Key < pieceItems[j].Key })
+	return SegmentResult{
+		Piece: piece,
+		Items: pieceItems,
+		Done:  done,
+		Range: rng,
+		Chain: s.ring.Successors(),
+	}, nil
+}
+
+// SegmentPending is the future of one in-flight segment scan.
+type SegmentPending struct{ p *transport.Pending }
+
+// Result blocks for the segment's outcome.
+func (sp *SegmentPending) Result() (SegmentResult, error) {
+	resp, err := sp.p.Result()
+	if err != nil {
+		return SegmentResult{}, err
+	}
+	res, ok := resp.(SegmentResult)
+	if !ok {
+		return SegmentResult{}, fmt.Errorf("datastore: bad segment response %T", resp)
+	}
+	return res, nil
+}
+
+// ScanSegmentAsync asks the peer at addr for its piece of iv starting at
+// cursor, without blocking: the read path keeps several of these in flight.
+// Responses are unbounded on every transport (they chunk when oversized), so
+// a large piece streams back without caller involvement.
+func (s *Store) ScanSegmentAsync(ctx context.Context, addr transport.Addr, iv keyspace.Interval, cursor keyspace.Key) *SegmentPending {
+	return &SegmentPending{p: transport.CallAsync(s.net, ctx, s.Addr(), addr, methodScanSegment, segmentReq{Iv: iv, Cursor: cursor})}
+}
+
 // --- Naive application-level scan (Section 6.2 baseline) -------------------
 
 // naiveStepReq asks a peer for its items in the interval plus its view of
@@ -680,26 +789,10 @@ func (s *Store) NaiveScan(ctx context.Context, firstPeer transport.Addr, iv keys
 	}
 }
 
-// contiguousEnd returns the last key of the contiguous segment of rng that
-// starts at cursor, clipped to last (the end of the linear query interval),
-// and whether the query is fully covered by that segment. cursor must be
-// contained in rng.
+// contiguousEnd is keyspace.Range.ContiguousEnd, kept as a local name for
+// the scan call sites.
 func contiguousEnd(rng keyspace.Range, cursor, last keyspace.Key) (keyspace.Key, bool) {
-	if rng.IsFull() {
-		return last, true
-	}
-	if rng.Lo < rng.Hi || cursor <= rng.Hi {
-		// Non-wrapped range, or the cursor sits in the low segment [0, hi]
-		// of a wrapped one: ownership is contiguous up to rng.Hi.
-		if last <= rng.Hi {
-			return last, true
-		}
-		return rng.Hi, false
-	}
-	// Wrapped range with the cursor in the high segment (lo, MaxKey]: every
-	// key from cursor through MaxKey is owned, and the query is linear, so
-	// it ends within this segment.
-	return last, true
+	return rng.ContiguousEnd(cursor, last)
 }
 
 // firstKey returns the smallest key satisfying iv (which must be valid).

@@ -12,6 +12,8 @@ func init() {
 	transport.RegisterMessage(deleteReq{})
 	transport.RegisterMessage(deleteResp{})
 	transport.RegisterMessage(scanMsg{})
+	transport.RegisterMessage(segmentReq{})
+	transport.RegisterMessage(SegmentResult{})
 	transport.RegisterMessage(abortMsg{})
 	transport.RegisterMessage(naiveStepReq{})
 	transport.RegisterMessage(naiveStepResp{})

@@ -88,6 +88,30 @@ func (r Range) SplitAt(m Key) (low, high Range, ok bool) {
 // departing predecessor whose range began at newLo (a merge, Section 2.3).
 func (r Range) ExtendDown(newLo Key) Range { return Range{Lo: newLo, Hi: r.Hi} }
 
+// ContiguousEnd returns the last key of the contiguous segment of r that
+// starts at cursor, clipped to last (the end of a linear, non-wrapping query
+// interval), and whether the query is fully covered by that segment. cursor
+// must be contained in r. Scans use it to compute the piece a peer serves;
+// the read path uses it to plan speculative segments from cached or
+// advertised range metadata.
+func (r Range) ContiguousEnd(cursor, last Key) (Key, bool) {
+	if r.IsFull() {
+		return last, true
+	}
+	if r.Lo < r.Hi || cursor <= r.Hi {
+		// Non-wrapped range, or the cursor sits in the low segment [0, hi]
+		// of a wrapped one: ownership is contiguous up to r.Hi.
+		if last <= r.Hi {
+			return last, true
+		}
+		return r.Hi, false
+	}
+	// Wrapped range with the cursor in the high segment (lo, MaxKey]: every
+	// key from cursor through MaxKey is owned, and the query is linear, so
+	// it ends within this segment.
+	return last, true
+}
+
 // String renders the range in the paper's (lo, hi] notation.
 func (r Range) String() string {
 	if r.IsFull() {

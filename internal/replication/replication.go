@@ -16,7 +16,9 @@ package replication
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/datastore"
@@ -29,6 +31,7 @@ import (
 const (
 	methodPush = "rep.push"
 	methodPull = "rep.pull"
+	methodScan = "rep.scan"
 )
 
 // Config controls replication behaviour.
@@ -71,6 +74,10 @@ type Manager struct {
 	mu       sync.Mutex
 	replicas map[keyspace.Key]datastore.Item
 
+	// ReplicaServes counts replica-read requests answered by this peer (the
+	// read path's availability fallback).
+	ReplicaServes atomic.Uint64
+
 	kick    chan struct{}
 	lifeMu  sync.Mutex // guards started/stopped transitions vs wg
 	started bool
@@ -92,6 +99,7 @@ func New(net transport.Transport, mux *transport.Mux, rp *ring.Peer, ds *datasto
 	}
 	mux.Handle(methodPush, m.handlePush)
 	mux.Handle(methodPull, m.handlePull)
+	mux.Handle(methodScan, m.handleReplicaScan)
 	return m
 }
 
@@ -216,6 +224,66 @@ func (m *Manager) handlePull(_ transport.Addr, _ string, payload any) (any, erro
 		}
 	}
 	return out, nil
+}
+
+// replicaScanReq asks a peer for every item it can see inside the interval —
+// held replicas plus its own Data Store items. It is the read path's
+// availability fallback: when a segment's primary owner is unreachable, the
+// origin retries the segment against the owner's successors, which hold its
+// replicas. The answer is bounded-staleness by construction — a replica
+// lags its origin by at most one replication refresh (RefreshPeriod plus a
+// push in flight) — so journaled Definition 4 queries never use it; only
+// unjournaled operational reads fall back here.
+type replicaScanReq struct {
+	Iv keyspace.Interval
+}
+
+func (m *Manager) handleReplicaScan(_ transport.Addr, _ string, payload any) (any, error) {
+	req, ok := payload.(replicaScanReq)
+	if !ok {
+		return nil, fmt.Errorf("replication: bad replica scan payload %T", payload)
+	}
+	if !req.Iv.Valid() {
+		return nil, fmt.Errorf("replication: empty replica scan interval %v", req.Iv)
+	}
+	m.ReplicaServes.Add(1)
+	seen := make(map[keyspace.Key]datastore.Item)
+	m.mu.Lock()
+	for k, it := range m.replicas {
+		if req.Iv.Contains(k) {
+			seen[k] = it
+		}
+	}
+	m.mu.Unlock()
+	// Own items win over held replicas: they are this peer's authoritative
+	// state for any key it currently serves.
+	for _, it := range m.ds.LocalItems() {
+		if req.Iv.Contains(it.Key) {
+			seen[it.Key] = it
+		}
+	}
+	out := make([]datastore.Item, 0, len(seen))
+	for _, it := range seen {
+		out = append(out, it)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// ReplicaItems fetches the items in iv visible at the replica holder addr —
+// the caller side of the replica-read fallback. Responses are unbounded on
+// every transport (oversized answers chunk back), so whole segments return
+// from one call.
+func (m *Manager) ReplicaItems(ctx context.Context, addr transport.Addr, iv keyspace.Interval) ([]datastore.Item, error) {
+	resp, err := m.net.Call(ctx, m.ring.Self().Addr, addr, methodScan, replicaScanReq{Iv: iv})
+	if err != nil {
+		return nil, err
+	}
+	items, ok := resp.([]datastore.Item)
+	if !ok {
+		return nil, fmt.Errorf("replication: bad replica scan response %T", resp)
+	}
+	return items, nil
 }
 
 // RefreshOnce pushes this peer's items to its first k JOINED successors.

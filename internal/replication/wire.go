@@ -7,4 +7,5 @@ import "repro/internal/transport"
 func init() {
 	transport.RegisterMessage(pushMsg{})
 	transport.RegisterMessage(pullReq{})
+	transport.RegisterMessage(replicaScanReq{})
 }

@@ -1,0 +1,221 @@
+// Package routecache implements the owner-lookup cache of the read path: a
+// bounded LRU of entries mapping a peer's responsibility range to its
+// address (plus the replica candidates advertised alongside it), learned
+// from every successful lookup, scan hop and query reply.
+//
+// The cache is deliberately allowed to go stale. The paper's framework
+// decides ownership by the target's Data Store range (Section 4.2 step (a)),
+// so a cached address is only ever a hint: callers validate at the target —
+// the router's nextHop ownership probe, or the scan-segment handler's cursor
+// check — and call Invalidate when the hint turned out wrong. A stale entry
+// therefore costs extra hops, never a wrong answer: the same stale-pointer
+// tolerance the Content Router's doubling pointers already rely on, applied
+// to cached routing state to shortcut the cold O(log n) descent.
+//
+// Counter semantics: a Hit is "the cache produced a candidate", counted at
+// Lookup time; a candidate later proven stale additionally counts an
+// Invalidation (and is evicted). The effective hit rate is therefore
+// (Hits - Invalidations) / (Hits + Misses).
+package routecache
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/keyspace"
+	"repro/internal/metrics"
+	"repro/internal/transport"
+)
+
+// DefaultCapacity bounds the cache when the caller does not choose a size.
+// Entries are one per peer, so this comfortably covers rings far larger than
+// the benched clusters while keeping the linear candidate scan trivial.
+const DefaultCapacity = 128
+
+// Entry is one cached ownership fact: the peer at Addr was last seen serving
+// Range, with Replicas holding copies of its items (its ring successors at
+// learn time — the fallback targets for replica reads).
+type Entry struct {
+	Range    keyspace.Range
+	Addr     transport.Addr
+	Replicas []transport.Addr
+}
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	Hits          uint64
+	Misses        uint64
+	Evictions     uint64
+	Invalidations uint64
+	Size          int
+}
+
+// Cache is a bounded LRU of ownership entries, safe for concurrent use.
+type Cache struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // most recently used first; values are *Entry
+	byAddr map[transport.Addr]*list.Element
+
+	hits          metrics.Counter
+	misses        metrics.Counter
+	evictions     metrics.Counter
+	invalidations metrics.Counter
+}
+
+// New returns an empty cache bounded to capacity entries (DefaultCapacity
+// when capacity <= 0).
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{
+		cap:    capacity,
+		ll:     list.New(),
+		byAddr: make(map[transport.Addr]*list.Element),
+	}
+}
+
+// Lookup returns the most recently used entry whose range contains key. The
+// returned entry is a hint: the caller must validate ownership at the target
+// and Invalidate on a stale answer. Overlapping stale entries are possible;
+// preferring the most recently used one favours the freshest information.
+func (c *Cache) Lookup(key keyspace.Key) (Entry, bool) {
+	c.mu.Lock()
+	for e := c.ll.Front(); e != nil; e = e.Next() {
+		ent := e.Value.(*Entry)
+		if ent.Range.Contains(key) {
+			c.ll.MoveToFront(e)
+			out := *ent
+			// Snapshot the replica list: callers append to it (merging
+			// fresher chain metadata) and must never alias the cached
+			// backing array.
+			out.Replicas = append([]transport.Addr(nil), ent.Replicas...)
+			c.mu.Unlock()
+			c.hits.Inc()
+			return out, true
+		}
+	}
+	c.mu.Unlock()
+	c.misses.Inc()
+	return Entry{}, false
+}
+
+// Learn records that addr currently serves rng, with replicas holding copies
+// of its items. A peer owns exactly one range, so the entry keyed by addr is
+// replaced; an empty addr is ignored. A nil replicas leaves any previously
+// learned candidates in place (lookup paths that only confirm ownership do
+// not erase the richer fact a scan reply taught us).
+//
+// Responsibility ranges partition the key space at any instant, so any OTHER
+// cached entry overlapping the fact just learned is provably stale and is
+// evicted: the cache converges toward a consistent partition approximation
+// instead of accumulating shadowed garbage that Lookup would never surface
+// (and therefore never get the chance to invalidate).
+func (c *Cache) Learn(rng keyspace.Range, addr transport.Addr, replicas []transport.Addr) {
+	if addr == "" {
+		return
+	}
+	c.mu.Lock()
+	var evicted int
+	for e := c.ll.Front(); e != nil; {
+		next := e.Next()
+		ent := e.Value.(*Entry)
+		if ent.Addr != addr && rangesOverlap(ent.Range, rng) {
+			delete(c.byAddr, ent.Addr)
+			c.ll.Remove(e)
+			evicted++
+		}
+		e = next
+	}
+	if e, ok := c.byAddr[addr]; ok {
+		ent := e.Value.(*Entry)
+		ent.Range = rng
+		if replicas != nil {
+			ent.Replicas = append([]transport.Addr(nil), replicas...)
+		}
+		c.ll.MoveToFront(e)
+	} else {
+		ent := &Entry{Range: rng, Addr: addr}
+		if replicas != nil {
+			ent.Replicas = append([]transport.Addr(nil), replicas...)
+		}
+		c.byAddr[addr] = c.ll.PushFront(ent)
+		for c.ll.Len() > c.cap {
+			back := c.ll.Back()
+			delete(c.byAddr, back.Value.(*Entry).Addr)
+			c.ll.Remove(back)
+			evicted++
+		}
+	}
+	c.mu.Unlock()
+	if evicted > 0 {
+		c.evictions.Add(uint64(evicted))
+	}
+}
+
+// rangesOverlap reports whether two circular ranges share any key. A range
+// contains its own Hi, so two ranges overlap exactly when either contains
+// the other's upper bound (full ranges contain everything).
+func rangesOverlap(a, b keyspace.Range) bool {
+	return a.Contains(b.Hi) || b.Contains(a.Hi)
+}
+
+// Invalidate drops the entry for addr — the target disclaimed ownership, or
+// is unreachable. Unknown addresses are a no-op.
+func (c *Cache) Invalidate(addr transport.Addr) {
+	c.mu.Lock()
+	e, ok := c.byAddr[addr]
+	if ok {
+		delete(c.byAddr, addr)
+		c.ll.Remove(e)
+	}
+	c.mu.Unlock()
+	if ok {
+		c.invalidations.Inc()
+	}
+}
+
+// Clear drops every entry, keeping the counters (the bench's cold arm resets
+// state between queries without losing the run's statistics).
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	c.ll.Init()
+	c.byAddr = make(map[transport.Addr]*list.Element)
+	c.mu.Unlock()
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Entries returns a snapshot of the cached entries, most recently used
+// first, for tests and operational introspection.
+func (c *Cache) Entries() []Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Entry, 0, c.ll.Len())
+	for e := c.ll.Front(); e != nil; e = e.Next() {
+		ent := *e.Value.(*Entry)
+		ent.Replicas = append([]transport.Addr(nil), ent.Replicas...)
+		out = append(out, ent)
+	}
+	return out
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	size := c.ll.Len()
+	c.mu.Unlock()
+	return Stats{
+		Hits:          c.hits.Value(),
+		Misses:        c.misses.Value(),
+		Evictions:     c.evictions.Value(),
+		Invalidations: c.invalidations.Value(),
+		Size:          size,
+	}
+}

@@ -1,0 +1,139 @@
+package routecache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/keyspace"
+	"repro/internal/transport"
+)
+
+func TestLearnPrunesOverlappingStaleEntries(t *testing.T) {
+	c := New(8)
+	c.Learn(keyspace.NewRange(0, 100), "a", nil)
+	// Ranges partition the key space, so a fresher overlapping fact proves
+	// the older entry stale: learning (0,50] -> b must evict (0,100] -> a.
+	c.Learn(keyspace.NewRange(0, 50), "b", nil)
+	ent, ok := c.Lookup(40)
+	if !ok || ent.Addr != "b" {
+		t.Fatalf("Lookup(40) = %+v, %v; want fresh entry b", ent, ok)
+	}
+	if _, ok := c.Lookup(80); ok {
+		t.Fatal("stale overlapping entry a survived a fresher Learn")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1 (the pruned stale entry)", st.Evictions)
+	}
+	// Disjoint facts coexist.
+	c.Learn(keyspace.NewRange(50, 100), "a", nil)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 disjoint entries", c.Len())
+	}
+}
+
+func TestLearnReplacesPerAddr(t *testing.T) {
+	c := New(8)
+	c.Learn(keyspace.NewRange(0, 100), "a", []transport.Addr{"r1"})
+	c.Learn(keyspace.NewRange(0, 60), "a", nil) // split shrank a's range
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (one entry per peer)", c.Len())
+	}
+	if _, ok := c.Lookup(80); ok {
+		t.Fatal("Lookup(80) hit after a's range shrank to (0,60]")
+	}
+	ent, ok := c.Lookup(50)
+	if !ok || ent.Addr != "a" {
+		t.Fatalf("Lookup(50) = %+v, %v", ent, ok)
+	}
+	// nil replicas on relearn kept the previously learned candidates.
+	if len(ent.Replicas) != 1 || ent.Replicas[0] != "r1" {
+		t.Fatalf("Replicas = %v, want [r1] preserved", ent.Replicas)
+	}
+}
+
+func TestEvictionIsLRUAndCounted(t *testing.T) {
+	c := New(2)
+	c.Learn(keyspace.NewRange(0, 10), "a", nil)
+	c.Learn(keyspace.NewRange(10, 20), "b", nil)
+	c.Lookup(5) // touch a: b becomes the LRU victim
+	c.Learn(keyspace.NewRange(20, 30), "c", nil)
+	if _, ok := c.Lookup(15); ok {
+		t.Fatal("entry b survived past capacity")
+	}
+	if _, ok := c.Lookup(5); !ok {
+		t.Fatal("recently used entry a was evicted")
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Size != 2 {
+		t.Fatalf("Stats = %+v, want 1 eviction at size 2", st)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(8)
+	c.Learn(keyspace.NewRange(0, 100), "a", nil)
+	c.Invalidate("a")
+	c.Invalidate("unknown") // no-op, not counted
+	if _, ok := c.Lookup(50); ok {
+		t.Fatal("Lookup hit after Invalidate")
+	}
+	st := c.Stats()
+	if st.Invalidations != 1 {
+		t.Fatalf("Invalidations = %d, want 1", st.Invalidations)
+	}
+	if st.Hits != 0 || st.Misses != 1 {
+		t.Fatalf("Hits/Misses = %d/%d, want 0/1", st.Hits, st.Misses)
+	}
+}
+
+func TestClearKeepsCounters(t *testing.T) {
+	c := New(8)
+	c.Learn(keyspace.NewRange(0, 100), "a", nil)
+	c.Lookup(50)
+	c.Clear()
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after Clear", c.Len())
+	}
+	if st := c.Stats(); st.Hits != 1 {
+		t.Fatalf("Clear dropped counters: %+v", st)
+	}
+}
+
+func TestWrappedRangeLookup(t *testing.T) {
+	c := New(8)
+	c.Learn(keyspace.NewRange(keyspace.MaxKey-10, 10), "wrap", nil)
+	for _, k := range []keyspace.Key{keyspace.MaxKey, 0, 5} {
+		if ent, ok := c.Lookup(k); !ok || ent.Addr != "wrap" {
+			t.Fatalf("Lookup(%d) = %+v, %v", k, ent, ok)
+		}
+	}
+	if _, ok := c.Lookup(500); ok {
+		t.Fatal("Lookup(500) hit a wrapped range that excludes it")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	c := New(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				lo := keyspace.Key((g*200 + i) % 1000)
+				addr := transport.Addr(fmt.Sprintf("p%d", (g+i)%16))
+				c.Learn(keyspace.NewRange(lo, lo+50), addr, nil)
+				c.Lookup(lo + 25)
+				if i%17 == 0 {
+					c.Invalidate(addr)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 32 {
+		t.Fatalf("Len = %d exceeds capacity", c.Len())
+	}
+	c.Stats()
+	c.Entries()
+}

@@ -16,6 +16,13 @@
 // or non-progressing hop falls back to the plain ring successor; in the
 // worst case the lookup degrades to the linear scan the paper's framework
 // always supports. LinearFindOwner exposes that baseline directly.
+//
+// On top of the descent sits the owner-lookup cache (internal/routecache):
+// every successful lookup learns the owner's range, and FindOwner consults
+// the cache before descending. Because ownership is validated at the target,
+// a cached entry is only a hint — a stale one costs a probe (which doubles
+// as the first descent hop), never a wrong answer — so warm lookups resolve
+// in one validated hop instead of the cold O(log n) descent.
 package router
 
 import (
@@ -28,6 +35,7 @@ import (
 	"repro/internal/datastore"
 	"repro/internal/keyspace"
 	"repro/internal/ring"
+	"repro/internal/routecache"
 	"repro/internal/transport"
 )
 
@@ -50,6 +58,9 @@ type Config struct {
 	MaxHops int
 	// DisableAutoRefresh turns the maintenance loop off for tests.
 	DisableAutoRefresh bool
+	// CacheSize bounds the owner-lookup cache in entries; 0 selects
+	// routecache.DefaultCapacity and a negative value disables the cache.
+	CacheSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -76,12 +87,17 @@ var (
 
 // Router is one peer's Content Router.
 type Router struct {
-	cfg  Config
-	net  transport.Transport
-	ring *ring.Peer
-	ds   *datastore.Store
+	cfg   Config
+	net   transport.Transport
+	ring  *ring.Peer
+	ds    *datastore.Store
+	cache *routecache.Cache // nil when disabled
 
-	mu     sync.Mutex
+	// mu guards levels only. It is a read/write lock held strictly around
+	// in-memory pointer access — never across an RPC — so a slow refresh
+	// round trip can never stall the concurrent lookups and nextHop handlers
+	// that read the hierarchy.
+	mu     sync.RWMutex
 	levels []ring.Node // levels[l] ≈ peer 2^l positions ahead; zero = unset
 
 	lifeMu  sync.Mutex // guards started/stopped transitions vs wg
@@ -99,6 +115,9 @@ func New(net transport.Transport, mux *transport.Mux, rp *ring.Peer, ds *datasto
 		ring:   rp,
 		ds:     ds,
 		stopCh: make(chan struct{}),
+	}
+	if r.cfg.CacheSize >= 0 {
+		r.cache = routecache.New(r.cfg.CacheSize)
 	}
 	r.levels = make([]ring.Node, r.cfg.MaxLevels)
 	mux.Handle(methodNextHop, r.handleNextHop)
@@ -178,9 +197,9 @@ func (r *Router) RefreshOnce() {
 		return
 	}
 	for l := 0; l+1 < r.cfg.MaxLevels; l++ {
-		r.mu.Lock()
+		r.mu.RLock()
 		cur := r.levels[l]
-		r.mu.Unlock()
+		r.mu.RUnlock()
 		if cur.IsZero() || cur.Addr == self.Addr {
 			// The hierarchy has wrapped the whole ring; clear higher levels.
 			r.mu.Lock()
@@ -225,8 +244,8 @@ func (r *Router) handleLevelAt(_ transport.Addr, _ string, payload any) (any, er
 	if !ok {
 		return nil, fmt.Errorf("router: bad level payload %T", payload)
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	if l < 0 || l >= len(r.levels) {
 		return ring.Node{}, nil
 	}
@@ -234,9 +253,15 @@ func (r *Router) handleLevelAt(_ transport.Addr, _ string, payload any) (any, er
 }
 
 // nextHopResp is the answer to "where should a lookup for key go next?".
+// When the answering peer owns the key it also reports its responsibility
+// range and its successor chain, so the caller can prime the owner-lookup
+// cache (the successors are where the owner's replicas live — the fallback
+// targets for replica reads).
 type nextHopResp struct {
-	Owner bool      // this peer owns the key
-	Next  ring.Node // otherwise: the farthest known peer not passing the key
+	Owner bool           // this peer owns the key
+	Range keyspace.Range // when Owner: the peer's responsibility range
+	Chain []ring.Node    // when Owner: the peer's ring successors
+	Next  ring.Node      // otherwise: the farthest known peer not passing the key
 	Valid bool
 }
 
@@ -247,7 +272,7 @@ func (r *Router) handleNextHop(_ transport.Addr, _ string, payload any) (any, er
 		return nil, fmt.Errorf("router: bad key payload %T", payload)
 	}
 	if rng, has := r.ds.Range(); has && rng.Contains(key) {
-		return nextHopResp{Owner: true}, nil
+		return nextHopResp{Owner: true, Range: rng, Chain: r.ring.Successors()}, nil
 	}
 	self := r.ring.Self()
 	best := ring.Node{}
@@ -264,11 +289,11 @@ func (r *Router) handleNextHop(_ transport.Addr, _ string, payload any) (any, er
 			best = n
 		}
 	}
-	r.mu.Lock()
+	r.mu.RLock()
 	for _, n := range r.levels {
 		consider(n)
 	}
-	r.mu.Unlock()
+	r.mu.RUnlock()
 	for _, n := range r.ring.Successors() {
 		consider(n)
 	}
@@ -290,6 +315,11 @@ func (r *Router) handleNextHop(_ transport.Addr, _ string, payload any) (any, er
 // the greedy descent from this peer. Ownership is decided by the target's
 // own range, so stale pointer values cost extra hops, never wrong answers.
 // It returns the owner's address and the number of hops taken.
+//
+// The owner-lookup cache is consulted first: a cached candidate is probed
+// directly, and because the probe is the same nextHop ownership test the
+// descent uses, a stale entry's answer seeds the descent instead of being
+// wasted — the cache can only save hops, never change the result.
 func (r *Router) FindOwner(ctx context.Context, key keyspace.Key) (transport.Addr, int, error) {
 	self := r.ring.Self()
 	if rng, has := r.ds.Range(); has && rng.Contains(key) {
@@ -297,6 +327,28 @@ func (r *Router) FindOwner(ctx context.Context, key keyspace.Key) (transport.Add
 	}
 	cur := self.Addr
 	hops := 0
+	if r.cache != nil {
+		if ent, ok := r.cache.Lookup(key); ok && ent.Addr != self.Addr {
+			callCtx, cancel := context.WithTimeout(ctx, r.cfg.CallTimeout)
+			resp, err := r.net.Call(callCtx, self.Addr, ent.Addr, methodNextHop, key)
+			cancel()
+			hops++
+			if nh, ok := resp.(nextHopResp); err == nil && ok {
+				if nh.Owner {
+					r.cache.Learn(nh.Range, ent.Addr, nodeAddrs(nh.Chain))
+					return ent.Addr, hops, nil
+				}
+				r.cache.Invalidate(ent.Addr)
+				if nh.Valid {
+					// Stale hint, but its greedy suggestion is still toward
+					// the key: continue the descent from there.
+					cur = nh.Next.Addr
+				}
+			} else {
+				r.cache.Invalidate(ent.Addr)
+			}
+		}
+	}
 	for hops < r.cfg.MaxHops {
 		callCtx, cancel := context.WithTimeout(ctx, r.cfg.CallTimeout)
 		resp, err := r.net.Call(callCtx, self.Addr, cur, methodNextHop, key)
@@ -316,6 +368,9 @@ func (r *Router) FindOwner(ctx context.Context, key keyspace.Key) (transport.Add
 			return "", hops, fmt.Errorf("router: bad nextHop response %T", resp)
 		}
 		if nh.Owner {
+			if r.cache != nil && cur != self.Addr {
+				r.cache.Learn(nh.Range, cur, nodeAddrs(nh.Chain))
+			}
 			return cur, hops, nil
 		}
 		if !nh.Valid {
@@ -370,6 +425,9 @@ func (r *Router) LinearFindOwner(ctx context.Context, key keyspace.Key) (transpo
 		}
 		if nh.Owner {
 			cancel()
+			if r.cache != nil && cur != self.Addr {
+				r.cache.Learn(nh.Range, cur, nodeAddrs(nh.Chain))
+			}
 			return cur, hops, nil
 		}
 		// Ignore the greedy suggestion; step to the successor. We reuse the
@@ -383,6 +441,56 @@ func (r *Router) LinearFindOwner(ctx context.Context, key keyspace.Key) (transpo
 		hops++
 	}
 	return "", hops, ErrTooManyHops
+}
+
+// Cache exposes the owner-lookup cache for stats and operational probes; it
+// is nil when the cache is disabled (Config.CacheSize < 0).
+func (r *Router) Cache() *routecache.Cache { return r.cache }
+
+// CachedEntry returns the unvalidated cached ownership entry covering key.
+// It is the fast path for callers that validate ownership at the target
+// themselves — the pipelined scan's segment handler rejects a cursor it does
+// not own, so the scan can skip FindOwner's probe entirely and go straight
+// to the hinted peer.
+func (r *Router) CachedEntry(key keyspace.Key) (routecache.Entry, bool) {
+	if r.cache == nil {
+		return routecache.Entry{}, false
+	}
+	return r.cache.Lookup(key)
+}
+
+// Learn records an ownership fact observed outside the router — a scan hop
+// or a query reply — in the owner-lookup cache. chain is the owner's
+// successor list (its replica holders); nil leaves previously learned
+// candidates in place.
+func (r *Router) Learn(rng keyspace.Range, addr transport.Addr, chain []ring.Node) {
+	if r.cache == nil || addr == r.ring.Self().Addr {
+		return
+	}
+	r.cache.Learn(rng, addr, nodeAddrs(chain))
+}
+
+// InvalidateOwner drops addr's cached ownership entry — the peer disclaimed
+// ownership or stopped answering.
+func (r *Router) InvalidateOwner(addr transport.Addr) {
+	if r.cache != nil {
+		r.cache.Invalidate(addr)
+	}
+}
+
+// nodeAddrs projects ring nodes to their addresses (nil in, nil out, so the
+// cache's "preserve previous replicas" rule still applies).
+func nodeAddrs(nodes []ring.Node) []transport.Addr {
+	if nodes == nil {
+		return nil
+	}
+	out := make([]transport.Addr, 0, len(nodes))
+	for _, n := range nodes {
+		if !n.IsZero() {
+			out = append(out, n.Addr)
+		}
+	}
+	return out
 }
 
 // succAnswer resolves a pipelined successor fetch; a nil pending means the

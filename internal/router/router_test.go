@@ -13,6 +13,7 @@ import (
 	"repro/internal/keyspace"
 	"repro/internal/ring"
 	"repro/internal/simnet"
+	"repro/internal/transport"
 )
 
 // rtHarness builds an n-peer ring with evenly spaced ranges and routers.
@@ -26,6 +27,13 @@ type rtHarness struct {
 }
 
 func newRTHarness(t *testing.T, n int, cfg Config) *rtHarness {
+	return newRTHarnessNet(t, n, cfg, nil)
+}
+
+// newRTHarnessNet builds the harness with the routers talking through
+// wrap(simnet) when wrap is non-nil (the other components stay on the raw
+// network), so tests can intercept router RPCs.
+func newRTHarnessNet(t *testing.T, n int, cfg Config, wrap func(transport.Transport) transport.Transport) *rtHarness {
 	t.Helper()
 	h := &rtHarness{t: t, net: simnet.New(simnet.Config{DeadCallDelay: time.Millisecond, Seed: 11})}
 	log := history.NewLog()
@@ -52,7 +60,11 @@ func newRTHarness(t *testing.T, n int, cfg Config) *rtHarness {
 			DisableMaintenance: true,
 			CallTimeout:        40 * time.Millisecond,
 		})
-		rt := New(h.net, mux, rp, st, cfg)
+		var rtNet transport.Transport = h.net
+		if wrap != nil {
+			rtNet = wrap(h.net)
+		}
+		rt := New(rtNet, mux, rp, st, cfg)
 		if err := h.net.Register(addr, mux.Dispatch); err != nil {
 			t.Fatal(err)
 		}

@@ -73,6 +73,15 @@ echo "== wait until both joiners serve a range and the full load is queryable"
 echo "== churn: fail-stop one serving peer ($P_B)"
 kill -9 "$PID_B"
 
+echo "== query-heavy phase: range queries during churn (cold then cache-warmed)"
+# Each probe runs a full range query at the bootstrap while the failure is
+# being recovered: the first queries descend cold, later ones enter at the
+# cached owners, and stale entries for the killed peer must be detected at
+# the target and evicted — never returned as wrong results.
+for i in $(seq 1 6); do
+  "$BIN" -probe "$P_BOOT" -expect "$ITEMS" -probe-ub "$UB" -wait "$WAIT"
+done
+
 echo "== recovery: replication must revive the lost range"
 "$BIN" -probe "$P_BOOT" -expect "$ITEMS" -probe-ub "$UB" -wait "$WAIT"
 
@@ -82,7 +91,10 @@ PIDS+=($!)
 "$BIN" -probe "$P_REJOIN" -serving -wait "$WAIT"
 
 echo "== final audit: journaled full query + Definition 4 check at the bootstrap"
-"$BIN" -probe "$P_BOOT" -expect "$ITEMS" -probe-ub "$UB" -audit -wait "$WAIT"
+# -min-cache-hits gates the read path: the query-heavy phase above must have
+# produced owner-lookup cache hits at the bootstrap (the counter travels in
+# the probe status).
+"$BIN" -probe "$P_BOOT" -expect "$ITEMS" -probe-ub "$UB" -min-cache-hits 1 -audit -wait "$WAIT"
 
 STATUS=0
 echo "== cluster smoke PASSED"
