@@ -50,6 +50,7 @@ func main() {
 	serving := flag.Bool("serving", false, "with -probe: require the peer to be JOINED and serving a range")
 	minPool := flag.Int("min-pool", -1, "with -probe: require at least this many pooled free peers")
 	minCacheHits := flag.Int64("min-cache-hits", -1, "with -probe: require the process's owner-lookup cache to report at least this many hits")
+	minEpoch := flag.Int64("min-epoch", -1, "with -probe: require the peer's ownership epoch to be at least this (epochs are monotonic per range, so this asserts progress across churn)")
 	audit := flag.Bool("audit", false, "with -probe: journal the final query and require a clean Definition 4 audit")
 	wait := flag.Duration("wait", 0, "with -probe: keep retrying until satisfied or this timeout elapses")
 	probeUB := flag.Uint64("probe-ub", uint64(keyspace.MaxKey), "with -probe -expect: upper bound of the probed query interval")
@@ -61,6 +62,7 @@ func main() {
 			serving:      *serving,
 			minPool:      *minPool,
 			minCacheHits: *minCacheHits,
+			minEpoch:     *minEpoch,
 			audit:        *audit,
 			wait:         *wait,
 			ub:           keyspace.Key(*probeUB),
@@ -188,6 +190,8 @@ func main() {
 	fmt.Printf("   live peers %d, free peers %d, items %d\n", st.LivePeers, st.FreePeers, st.Items)
 	fmt.Printf("   splits %d, merges %d, redistributes %d, scan aborts (retried) %d\n",
 		st.Splits, st.Merges, st.Redistributes, st.ScanAborts)
+	fmt.Printf("   stale-epoch rejects %d, step-downs %d\n",
+		st.StaleEpochRejects, st.StepDowns)
 }
 
 func waitSettled(c *core.Cluster) {

@@ -134,6 +134,7 @@ type probeOpts struct {
 	serving      bool          // require JOINED with a range
 	minPool      int           // required free-pool size; <0 = don't care
 	minCacheHits int64         // required owner-lookup cache hits; <0 = don't care
+	minEpoch     int64         // required ownership epoch; <0 = don't care
 	audit        bool          // final journaled query + Definition 4 audit
 	wait         time.Duration // keep retrying until satisfied or this elapses
 	ub           keyspace.Key  // query interval upper bound
@@ -201,13 +202,16 @@ func probeSatisfied(st core.ProbeStatus, o probeOpts) bool {
 	if o.minCacheHits >= 0 && st.CacheHits < uint64(o.minCacheHits) {
 		return false
 	}
+	if o.minEpoch >= 0 && st.Epoch < uint64(o.minEpoch) {
+		return false
+	}
 	return st.RejoinErr == ""
 }
 
 // renderStatus formats a probe status for the job log.
 func renderStatus(st core.ProbeStatus) string {
-	out := fmt.Sprintf("state=%s val=%d items=%d replicas=%d free-pool=%d cache-hits=%d/%d (entries=%d) replica-reads=%d",
-		st.State, st.Val, st.Items, st.Replicas, st.FreePool, st.CacheHits, st.CacheHits+st.CacheMisses, st.CacheEntries, st.ReplicaReads)
+	out := fmt.Sprintf("state=%s val=%d epoch=%d items=%d replicas=%d free-pool=%d cache-hits=%d/%d (entries=%d) replica-reads=%d stale-epoch-rejects=%d stale-chain-refusals=%d step-downs=%d",
+		st.State, st.Val, st.Epoch, st.Items, st.Replicas, st.FreePool, st.CacheHits, st.CacheHits+st.CacheMisses, st.CacheEntries, st.ReplicaReads, st.StaleEpochRejects, st.StaleChainRefusals, st.StepDowns)
 	if st.QueryErr != "" {
 		out += fmt.Sprintf(" query-err=%q", st.QueryErr)
 	} else if st.QueryCount >= 0 {

@@ -320,6 +320,8 @@ func (fp *freePool) Release(addr transport.Addr) {
 		c.departedStats.Merges += old.Store.Merges.Load()
 		c.departedStats.Redistributes += old.Store.Redistributes.Load()
 		c.departedStats.ScanAborts += old.Store.ScanAborts.Load()
+		c.departedStats.StaleEpochRejects += old.Store.StaleEpochRejects.Load()
+		c.departedStats.StepDowns += old.Store.StepDowns.Load()
 	}
 	c.mu.Unlock()
 	if old != nil {
@@ -402,13 +404,15 @@ func (c *Cluster) Shutdown() {
 
 // Stats aggregates system-wide state and maintenance counters.
 type Stats struct {
-	LivePeers     int    // peers currently serving a range
-	FreePeers     int    // peers parked in the free pool
-	Items         int    // items across all live Data Stores
-	Splits        uint64 // Data Store splits executed
-	Merges        uint64 // merges executed (peers that departed)
-	Redistributes uint64 // boundary redistributions executed
-	ScanAborts    uint64 // scan attempts aborted (retried transparently)
+	LivePeers         int    // peers currently serving a range
+	FreePeers         int    // peers parked in the free pool
+	Items             int    // items across all live Data Stores
+	Splits            uint64 // Data Store splits executed
+	Merges            uint64 // merges executed (peers that departed)
+	Redistributes     uint64 // boundary redistributions executed
+	ScanAborts        uint64 // scan attempts aborted (retried transparently)
+	StaleEpochRejects uint64 // requests rejected by the ownership-epoch fence
+	StepDowns         uint64 // deposed peers that resigned their range
 }
 
 // Stats returns a snapshot of the aggregate counters.
@@ -422,6 +426,8 @@ func (c *Cluster) Stats() Stats {
 		st.Merges += p.Store.Merges.Load()
 		st.Redistributes += p.Store.Redistributes.Load()
 		st.ScanAborts += p.Store.ScanAborts.Load()
+		st.StaleEpochRejects += p.Store.StaleEpochRejects.Load()
+		st.StepDowns += p.Store.StepDowns.Load()
 	}
 	for _, p := range c.LivePeers() {
 		st.LivePeers++

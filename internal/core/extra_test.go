@@ -111,8 +111,8 @@ func TestClusterStats(t *testing.T) {
 // failures interleaved for several seconds of wall time.
 //
 // This test used to flake with a Definition 4 "item live throughout the
-// query is missing from the result" violation. The root cause was not a
-// protocol bug but two journal-ordering races in the test harness:
+// query is missing from the result" violation, from three distinct causes,
+// all since fixed:
 //
 //  1. Data Store mutations were journaled after releasing the store mutex,
 //     while scan piece snapshots are taken under it. A delete could be
@@ -126,6 +126,16 @@ func TestClusterStats(t *testing.T) {
 //     a dead peer "live" forever. Fixed in history.BuildLiveness: a failed
 //     peer is failed permanently (fail-stop, identifiers never reused), so
 //     later events attributing items to it are void.
+//  3. Under heavy load the ring's failure detector could false-positive on
+//     a live peer: its successor revived the range while the original
+//     owner kept serving, the two claims overlapped indefinitely, and a
+//     mutation landing on only one side left a permanent phantom journal
+//     holder. Fixed by ownership epochs: the revival claims the range at a
+//     strictly higher epoch, the deposed incarnation's next replication
+//     push meets that claim and it steps down (journaled), so the overlap
+//     lasts at most one replication refresh and the journal stays a
+//     faithful physical record. TestEpochFencesFalsePositiveSuspicion
+//     reproduces that scenario deterministically via simnet's SuspectFault.
 func TestSoakMixedWorkload(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test skipped in -short mode")

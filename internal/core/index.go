@@ -91,14 +91,26 @@ func retryRouted(ctx context.Context, attempts int, op func() error) error {
 	return fmt.Errorf("core: routed operation failed after retries: %w", lastErr)
 }
 
+// ownerEpoch returns the ownership epoch the route cache attributes to
+// owner for key, or 0 (unfenced) when the cache has no matching entry.
+// Mutations are stamped with it so a deposed incarnation of the owner
+// rejects them with ErrStaleEpoch instead of accepting a write it no longer
+// has the right to serve.
+func (p *Peer) ownerEpoch(key keyspace.Key, owner transport.Addr) uint64 {
+	if ent, ok := p.Router.CachedEntry(key); ok && ent.Addr == owner {
+		return ent.Epoch
+	}
+	return 0
+}
+
 // insertAttempt performs one locate-and-insert from this peer.
 func (p *Peer) insertAttempt(ctx context.Context, item datastore.Item) error {
 	owner, _, err := p.Router.FindOwner(ctx, item.Key)
 	if err != nil {
 		return err
 	}
-	if err := p.Store.InsertAt(ctx, owner, item); err != nil {
-		p.invalidateIfDead(owner, err)
+	if err := p.Store.InsertAtFenced(ctx, owner, item, p.ownerEpoch(item.Key, owner)); err != nil {
+		p.invalidateIfStale(owner, err)
 		return err
 	}
 	return nil
@@ -110,21 +122,22 @@ func (p *Peer) deleteAttempt(ctx context.Context, key keyspace.Key) (bool, error
 	if err != nil {
 		return false, err
 	}
-	found, err := p.Store.DeleteAt(ctx, owner, key)
+	found, err := p.Store.DeleteAtFenced(ctx, owner, key, p.ownerEpoch(key, owner))
 	if err != nil {
-		p.invalidateIfDead(owner, err)
+		p.invalidateIfStale(owner, err)
 		return false, err
 	}
 	return found, nil
 }
 
-// invalidateIfDead drops a peer's cached route only on the fail-stop
-// signature. Handler errors — a busy range lock, a boundary that moved
+// invalidateIfStale drops a peer's cached route on the fail-stop signature
+// or on an epoch-fence rejection (the route's incarnation is provably
+// wrong). Other handler errors — a busy range lock, a boundary that moved
 // between lookup and operation — come from a live peer whose route may well
 // still be right; the retry's FindOwner re-validates the cached entry at the
 // target and evicts it there if it really went stale.
-func (p *Peer) invalidateIfDead(owner transport.Addr, err error) {
-	if errors.Is(err, transport.ErrUnreachable) {
+func (p *Peer) invalidateIfStale(owner transport.Addr, err error) {
+	if errors.Is(err, transport.ErrUnreachable) || errors.Is(err, datastore.ErrStaleEpoch) {
 		p.Router.InvalidateOwner(owner)
 	}
 }
@@ -190,7 +203,7 @@ func (c *Cluster) entryPeer(iv keyspace.Interval) (entry *Peer, cached bool, err
 // future entry point for queries over the same region.
 func (c *Cluster) learnEntry(stats QueryStats) {
 	if c.qcache != nil && stats.FirstOwner != "" {
-		c.qcache.Learn(stats.FirstOwnerRange, stats.FirstOwner, nil)
+		c.qcache.Learn(stats.FirstOwnerRange, stats.FirstOwner, stats.FirstOwnerEpoch, nil)
 	}
 }
 
@@ -201,13 +214,18 @@ type QueryStats struct {
 	ScanTime time.Duration // duration of the successful scan, excluding the owner lookup (the Figure 21 metric)
 
 	// FirstOwner identifies the peer that served the interval's first piece,
-	// with FirstOwnerRange its responsibility range at serve time — the
-	// cluster's entry cache feeds on these.
+	// with FirstOwnerRange its responsibility range and FirstOwnerEpoch its
+	// ownership epoch at serve time — the cluster's entry cache feeds on
+	// these.
 	FirstOwner      transport.Addr
 	FirstOwnerRange keyspace.Range
+	FirstOwnerEpoch uint64
 	// ReplicaPieces counts pieces served by a replica instead of the primary
 	// owner (bounded staleness; only unjournaled queries ever fall back).
 	ReplicaPieces int
+	// StaleEpochHints counts segments answered with a stale-epoch verdict
+	// (the hint cost one probe and was re-resolved — never a wrong answer).
+	StaleEpochHints int
 }
 
 // RangeQueryFrom evaluates a range predicate issued at the given peer,
@@ -305,6 +323,7 @@ const maxScanSteps = 1024
 type segPlan struct {
 	cursor   keyspace.Key     // first key of the segment
 	addr     transport.Addr   // believed owner
+	epoch    uint64           // believed ownership epoch (0 = unfenced speculation)
 	end      keyspace.Key     // believed last key of the segment (clipped to the query)
 	endKnown bool             // end derived from range metadata (replica fallback needs it)
 	final    bool             // believed to reach the interval's end
@@ -319,10 +338,10 @@ type segCall struct {
 }
 
 // planFromRange builds the segment plan for cursor given the believed owner
-// range (from the owner-lookup cache).
-func planFromRange(cursor, last keyspace.Key, rng keyspace.Range, addr transport.Addr, replicas []transport.Addr) segPlan {
+// range and epoch (from the owner-lookup cache).
+func planFromRange(cursor, last keyspace.Key, rng keyspace.Range, addr transport.Addr, epoch uint64, replicas []transport.Addr) segPlan {
 	end, final := rng.ContiguousEnd(cursor, last)
-	return segPlan{cursor: cursor, addr: addr, end: end, endKnown: true, final: final, replicas: replicas}
+	return segPlan{cursor: cursor, addr: addr, epoch: epoch, end: end, endKnown: true, final: final, replicas: replicas}
 }
 
 // plansFromChain derives the segments that follow a peer whose range ends at
@@ -381,7 +400,7 @@ func (p *Peer) runScanAttempt(ctx context.Context, iv keyspace.Interval, allowRe
 	// else a full routed lookup (which itself consults and feeds the cache).
 	var entry segPlan
 	if ent, ok := p.Router.CachedEntry(first); ok {
-		entry = planFromRange(first, last, ent.Range, ent.Addr, ent.Replicas)
+		entry = planFromRange(first, last, ent.Range, ent.Addr, ent.Epoch, ent.Replicas)
 	} else {
 		owner, _, err := p.Router.FindOwner(scanCtx, first)
 		if err != nil {
@@ -389,7 +408,7 @@ func (p *Peer) runScanAttempt(ctx context.Context, iv keyspace.Interval, allowRe
 		}
 		if ent, ok := p.Router.CachedEntry(first); ok && ent.Addr == owner {
 			// FindOwner just validated the owner and learned its range.
-			entry = planFromRange(first, last, ent.Range, ent.Addr, ent.Replicas)
+			entry = planFromRange(first, last, ent.Range, ent.Addr, ent.Epoch, ent.Replicas)
 		} else {
 			entry = segPlan{cursor: first, addr: owner}
 		}
@@ -413,7 +432,7 @@ func (p *Peer) runScanAttempt(ctx context.Context, iv keyspace.Interval, allowRe
 		cctx, cancel := context.WithCancel(scanCtx)
 		inflight = append(inflight, &segCall{
 			segPlan: pl,
-			pend:    p.Store.ScanSegmentAsync(cctx, pl.addr, iv, pl.cursor),
+			pend:    p.Store.ScanSegmentAsync(cctx, pl.addr, iv, pl.cursor, pl.epoch),
 			cancel:  cancel,
 		})
 	}
@@ -456,7 +475,7 @@ func (p *Peer) runScanAttempt(ctx context.Context, iv keyspace.Interval, allowRe
 				return nil, QueryStats{}, fmt.Errorf("core: frontier lookup at %d failed: %w", expected, err)
 			}
 			if ent, ok := p.Router.CachedEntry(expected); ok && ent.Addr == owner {
-				issue(planFromRange(expected, last, ent.Range, ent.Addr, ent.Replicas))
+				issue(planFromRange(expected, last, ent.Range, ent.Addr, ent.Epoch, ent.Replicas))
 			} else {
 				issue(segPlan{cursor: expected, addr: owner})
 			}
@@ -488,8 +507,11 @@ func (p *Peer) runScanAttempt(ctx context.Context, iv keyspace.Interval, allowRe
 			// before deciding the entry's fate.
 			if ent, ok := p.Router.CachedEntry(head.cursor); ok && ent.Addr == head.addr {
 				if !head.endKnown {
-					pl := planFromRange(head.cursor, last, ent.Range, ent.Addr, nil)
+					pl := planFromRange(head.cursor, last, ent.Range, ent.Addr, ent.Epoch, nil)
 					head.end, head.endKnown, head.final = pl.end, true, pl.final
+				}
+				if head.epoch == 0 {
+					head.epoch = ent.Epoch
 				}
 				head.replicas = mergeAddrs(head.replicas, ent.Replicas)
 			}
@@ -522,6 +544,15 @@ func (p *Peer) runScanAttempt(ctx context.Context, iv keyspace.Interval, allowRe
 			p.Router.InvalidateOwner(head.addr)
 			discard()
 			continue
+		case res.StaleEpoch:
+			// The owner is right but the incarnation is not: our cached
+			// epoch does not match the serving one (a hand-off or revival
+			// happened since we learned it). Exactly like a stale route,
+			// this costs one probe and a re-resolve — never a wrong answer.
+			stats.StaleEpochHints++
+			p.Router.InvalidateOwner(head.addr)
+			discard()
+			continue
 		}
 
 		// One validated piece, served atomically under the target's range
@@ -529,10 +560,11 @@ func (p *Peer) runScanAttempt(ctx context.Context, iv keyspace.Interval, allowRe
 		if fk := firstKeyOf(res.Piece); fk != head.cursor {
 			return nil, QueryStats{}, fmt.Errorf("core: segment at %d answered misaligned piece %v", head.cursor, res.Piece)
 		}
-		p.Router.Learn(res.Range, head.addr, res.Chain)
+		p.Router.Learn(res.Range, head.addr, res.Epoch, res.Chain)
 		if len(pieces) == 0 {
 			stats.FirstOwner = head.addr
 			stats.FirstOwnerRange = res.Range
+			stats.FirstOwnerEpoch = res.Epoch
 		}
 		pieces = append(pieces, history.ScanPiece{Peer: string(head.addr), Interval: res.Piece})
 		items = append(items, res.Items...)
@@ -592,15 +624,23 @@ func (p *Peer) runScanAttempt(ctx context.Context, iv keyspace.Interval, allowRe
 // replicaSegment serves one segment from the believed replica holders of its
 // dead primary, in order, reporting whether any of them answered. The
 // answer is bounded-staleness: a replica lags its origin by at most one
-// replication refresh.
+// replication refresh. Requests carry the believed primary's ownership
+// epoch: a holder that refuses with ErrStaleEpoch has seen a higher epoch
+// asserted over the segment — the whole chain we are consulting belongs to a
+// deposed incarnation, so the fallback is abandoned (and the route dropped)
+// rather than tried against further holders of the same stale chain.
 func (p *Peer) replicaSegment(ctx context.Context, head *segCall, last keyspace.Key) ([]datastore.Item, bool) {
 	seg := keyspace.ClosedInterval(head.cursor, minKey(head.end, last))
 	for _, r := range head.replicas {
 		if r == "" || r == head.addr {
 			continue
 		}
-		items, err := p.Rep.ReplicaItems(ctx, r, seg)
+		items, err := p.Rep.ReplicaItems(ctx, r, seg, head.epoch)
 		if err != nil {
+			if errors.Is(err, datastore.ErrStaleEpoch) {
+				p.Router.InvalidateOwner(head.addr)
+				return nil, false
+			}
 			continue
 		}
 		return items, true

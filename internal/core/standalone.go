@@ -77,6 +77,14 @@ type ProbeStatus struct {
 	CacheInvalidations uint64
 	CacheEntries       int
 	ReplicaReads       uint64
+
+	// Ownership-epoch state: the current range's epoch (0 when not serving),
+	// the number of requests this peer rejected with ErrStaleEpoch, replica
+	// reads it refused for a deposed chain, and depositions it underwent.
+	Epoch              uint64
+	StaleEpochRejects  uint64
+	StaleChainRefusals uint64
+	StepDowns          uint64
 }
 
 func init() {
@@ -114,9 +122,13 @@ func (s *Standalone) handleProbe(_ transport.Addr, _ string, payload any) (any, 
 		QueryCount: -1,
 		Violations: -1,
 	}
-	if rng, has := p.Store.Range(); has {
+	if rng, epoch, has := p.Store.RangeEpoch(); has {
 		resp.HasRange, resp.RangeLo, resp.RangeHi = true, rng.Lo, rng.Hi
+		resp.Epoch = epoch
 	}
+	resp.StaleEpochRejects = p.Store.StaleEpochRejects.Load()
+	resp.StaleChainRefusals = p.Rep.StaleChainRefusals.Load()
+	resp.StepDowns = p.Store.StepDowns.Load()
 	if cache := p.Router.Cache(); cache != nil {
 		st := cache.Stats()
 		resp.CacheHits = st.Hits

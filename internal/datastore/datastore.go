@@ -63,8 +63,15 @@ type Replicator interface {
 	// this peer absorbs a failed predecessor's range.
 	Revive(r keyspace.Range) []Item
 	// PullRange fetches replicas in r from ring successors, used when this
-	// peer was adopted as an orphan and holds nothing locally.
-	PullRange(ctx context.Context, r keyspace.Range) []Item
+	// peer was adopted as an orphan and holds nothing locally. The second
+	// result is the highest ownership epoch any contacted holder had seen
+	// advertised for r, so the adopter can claim the range above it.
+	PullRange(ctx context.Context, r keyspace.Range) ([]Item, uint64)
+	// MaxAdvertisedEpoch reports the highest ownership epoch this peer has
+	// seen advertised (via replication pushes) for any range overlapping r;
+	// 0 when none. Failure revival claims the revived range above it, so the
+	// revived incarnation provably fences the one it replaces.
+	MaxAdvertisedEpoch(r keyspace.Range) uint64
 }
 
 // FreePool hands out free peers for splits and takes back merged peers
@@ -138,6 +145,12 @@ var (
 	ErrMaintBusy  = errors.New("datastore: maintenance already in progress")
 	ErrNotInRing  = errors.New("datastore: peer is not serving a ring range")
 	ErrWrongState = errors.New("datastore: unexpected rebalance state")
+	// ErrStaleEpoch rejects a request stamped with an ownership epoch other
+	// than the serving peer's current one: the requester's view of who owns
+	// the range (or which incarnation of the owner) is stale. It is
+	// registered as a wire error, so errors.Is recognizes it across the TCP
+	// transport as well as in-process.
+	ErrStaleEpoch = errors.New("datastore: stale ownership epoch")
 )
 
 // Store is one peer's Data Store.
@@ -154,6 +167,7 @@ type Store struct {
 	mu       sync.Mutex // guards the fields below
 	hasRange bool
 	rng      keyspace.Range
+	epoch    uint64 // ownership epoch of rng; bumped on every range change
 	items    map[keyspace.Key]Item
 
 	handlersMu sync.Mutex
@@ -175,6 +189,12 @@ type Store struct {
 	Merges        atomic.Uint64
 	Redistributes atomic.Uint64
 	ScanAborts    atomic.Uint64
+	// StaleEpochRejects counts requests rejected with ErrStaleEpoch (or the
+	// segment scan's StaleEpoch verdict): fencing doing its job.
+	StaleEpochRejects atomic.Uint64
+	// StepDowns counts depositions: this peer learned a higher-epoch owner
+	// had claimed its range and resigned (see StepDown).
+	StepDowns atomic.Uint64
 }
 
 // New constructs a Data Store for one peer and registers its RPC handlers on
@@ -273,6 +293,59 @@ func (s *Store) Range() (keyspace.Range, bool) {
 	return s.rng, s.hasRange
 }
 
+// RangeEpoch returns the peer's responsibility range together with its
+// ownership epoch, read atomically: the pair is what routing layers cache
+// and what fenced requests are validated against.
+func (s *Store) RangeEpoch() (keyspace.Range, uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rng, s.epoch, s.hasRange
+}
+
+// Epoch returns the current ownership epoch (0 before the peer ever claimed
+// a range, or after it stepped down).
+func (s *Store) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// claimLocked installs a new ownership incarnation — range plus bumped
+// epoch — and journals the transition. Callers hold s.mu and must have
+// computed epoch according to the fencing rule (strictly above every claim
+// the new one overlaps).
+func (s *Store) claimLocked(rng keyspace.Range, epoch uint64) {
+	s.hasRange = true
+	s.rng = rng
+	s.epoch = epoch
+	if s.log != nil {
+		s.log.Claimed(string(s.ring.Self().Addr), rng, epoch)
+	}
+}
+
+// ReclaimAbove re-claims this peer's current range at an epoch strictly
+// above the given conflicting one, returning the resulting epoch (0 when the
+// peer serves no range). It resolves an epoch collision the normal bump
+// rule cannot order: a failure revival derives its fencing epoch from
+// best-effort replication adverts, so a suspect whose latest bump never
+// reached the revivor can survive at an epoch equal to (or above) the
+// revived claim — two live incarnations the comparison alone cannot rank.
+// The observer of the conflict (the revivor answering the suspect's push)
+// re-claims above the conflicting epoch, restoring a strict order so the
+// other side's StepDown guard accepts the deposition.
+func (s *Store) ReclaimAbove(conflict uint64) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.hasRange {
+		return 0
+	}
+	if s.epoch > conflict {
+		return s.epoch // already strictly ahead (a concurrent bump won)
+	}
+	s.claimLocked(s.rng, conflict+1)
+	return s.epoch
+}
+
 // LocalItems returns a sorted snapshot of the peer's items (getLocalItems).
 func (s *Store) LocalItems() []Item {
 	s.mu.Lock()
@@ -303,7 +376,8 @@ func (s *Store) sortedItemsLocked() []Item {
 // SetRangeForTesting overrides the peer's responsibility range. Only tests
 // (including other packages' tests that need a hand-crafted layout) may use
 // this; production range changes go through splits, merges, redistributions
-// and failure revival.
+// and failure revival. The epoch is left untouched (0 unless the test also
+// calls SetEpochForTesting), so hand-built layouts serve unfenced.
 func (s *Store) SetRangeForTesting(r keyspace.Range) {
 	s.mu.Lock()
 	s.hasRange = true
@@ -311,13 +385,25 @@ func (s *Store) SetRangeForTesting(r keyspace.Range) {
 	s.mu.Unlock()
 }
 
-// InitFirstPeer assigns this peer the full key space; it must be the ring's
-// first member (initFirstPeer in the appendix Data Store API).
+// SetEpochForTesting overrides the ownership epoch; tests use it to stage
+// fencing scenarios without running the full membership protocols.
+func (s *Store) SetEpochForTesting(epoch uint64) {
+	s.mu.Lock()
+	s.epoch = epoch
+	s.mu.Unlock()
+}
+
+// InitFirstPeer assigns this peer the full key space at epoch 1; it must be
+// the ring's first member (initFirstPeer in the appendix Data Store API).
+// Idempotent: the ring's joined callback and the explicit bootstrap path
+// both call it, and only the first claims (a duplicate claim at the same
+// epoch would read as a fencing failure in the journal's epoch audit).
 func (s *Store) InitFirstPeer() {
 	self := s.ring.Self()
 	s.mu.Lock()
-	s.hasRange = true
-	s.rng = keyspace.FullRange(self.Val)
+	if !s.hasRange {
+		s.claimLocked(keyspace.FullRange(self.Val), 1)
+	}
 	s.mu.Unlock()
 }
 
@@ -338,9 +424,32 @@ func (s *Store) kickMaintenance() {
 
 // --- Item operations -------------------------------------------------------
 
-type insertReq struct{ Item Item }
-type deleteReq struct{ Key keyspace.Key }
+// Mutation requests carry the ownership epoch the requester believes current
+// (from the owner-lookup cache); 0 means unfenced — the requester has no
+// epoch information and relies on the owns-check alone. A non-zero epoch
+// other than the serving peer's current one is rejected with ErrStaleEpoch:
+// either the requester's route is stale (lower epoch — refetch), or the
+// serving peer itself has been deposed by a higher incarnation the requester
+// already knows about (higher epoch — this peer must not accept writes for a
+// range it provably no longer owns).
+type insertReq struct {
+	Item  Item
+	Epoch uint64
+}
+type deleteReq struct {
+	Key   keyspace.Key
+	Epoch uint64
+}
 type deleteResp struct{ Found bool }
+
+// checkEpochLocked applies the fencing rule. Callers hold s.mu.
+func (s *Store) checkEpochLocked(reqEpoch uint64) error {
+	if reqEpoch != 0 && reqEpoch != s.epoch {
+		s.StaleEpochRejects.Add(1)
+		return fmt.Errorf("%w: request epoch %d, serving epoch %d", ErrStaleEpoch, reqEpoch, s.epoch)
+	}
+	return nil
+}
 
 // handleInsert stores an item this peer owns (the owner side of insertItem).
 func (s *Store) handleInsert(_ transport.Addr, _ string, payload any) (any, error) {
@@ -360,6 +469,10 @@ func (s *Store) handleInsert(_ transport.Addr, _ string, payload any) (any, erro
 	if !s.hasRange || !s.rng.Contains(req.Item.Key) {
 		s.mu.Unlock()
 		return nil, ErrNotOwner
+	}
+	if err := s.checkEpochLocked(req.Epoch); err != nil {
+		s.mu.Unlock()
+		return nil, err
 	}
 	s.items[req.Item.Key] = req.Item
 	// Journal before releasing s.mu: scan piece snapshots are taken under
@@ -396,6 +509,10 @@ func (s *Store) handleDelete(_ transport.Addr, _ string, payload any) (any, erro
 		s.mu.Unlock()
 		return nil, ErrNotOwner
 	}
+	if err := s.checkEpochLocked(req.Epoch); err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
 	_, found := s.items[req.Key]
 	if found {
 		delete(s.items, req.Key)
@@ -420,15 +537,28 @@ func (s *Store) handleLocalItems(_ transport.Addr, _ string, _ any) (any, error)
 }
 
 // InsertAt asks the peer at addr to store item, returning ErrNotOwner if it
-// does not own the key (the caller re-routes).
+// does not own the key (the caller re-routes). The request is unfenced; use
+// InsertAtFenced when the believed ownership epoch is known.
 func (s *Store) InsertAt(ctx context.Context, addr transport.Addr, item Item) error {
-	_, err := s.net.Call(ctx, s.Addr(), addr, methodInsert, insertReq{Item: item})
+	return s.InsertAtFenced(ctx, addr, item, 0)
+}
+
+// InsertAtFenced is InsertAt with the request stamped with the ownership
+// epoch the caller believes current (0 = unfenced). A mismatch fails with
+// ErrStaleEpoch and the caller must refetch its route.
+func (s *Store) InsertAtFenced(ctx context.Context, addr transport.Addr, item Item, epoch uint64) error {
+	_, err := s.net.Call(ctx, s.Addr(), addr, methodInsert, insertReq{Item: item, Epoch: epoch})
 	return err
 }
 
-// DeleteAt asks the peer at addr to delete key.
+// DeleteAt asks the peer at addr to delete key (unfenced; see DeleteAtFenced).
 func (s *Store) DeleteAt(ctx context.Context, addr transport.Addr, key keyspace.Key) (bool, error) {
-	resp, err := s.net.Call(ctx, s.Addr(), addr, methodDelete, deleteReq{Key: key})
+	return s.DeleteAtFenced(ctx, addr, key, 0)
+}
+
+// DeleteAtFenced is DeleteAt stamped with the believed ownership epoch.
+func (s *Store) DeleteAtFenced(ctx context.Context, addr transport.Addr, key keyspace.Key, epoch uint64) (bool, error) {
+	resp, err := s.net.Call(ctx, s.Addr(), addr, methodDelete, deleteReq{Key: key, Epoch: epoch})
 	if err != nil {
 		return false, err
 	}
@@ -615,6 +745,10 @@ func (s *Store) handleScanAbort(_ transport.Addr, _ string, payload any) (any, e
 type segmentReq struct {
 	Iv     keyspace.Interval
 	Cursor keyspace.Key
+	// Epoch is the ownership epoch the origin believes current for the
+	// cursor's owner (from its route cache); 0 = unfenced. A mismatch is
+	// answered with StaleEpoch instead of a wrong-incarnation piece.
+	Epoch uint64
 }
 
 // SegmentResult is one served piece plus the metadata the origin needs to
@@ -623,12 +757,14 @@ type segmentReq struct {
 // segments, which double as the replica candidates for this peer's items
 // (replicas live on a range's ring successors).
 type SegmentResult struct {
-	NotOwner bool              // cursor not in this peer's range; nothing served
-	Piece    keyspace.Interval // the contiguous sub-interval served, starting at the cursor
-	Items    []Item            // this peer's items in Piece, sorted by key
-	Done     bool              // Piece reaches the interval's end
-	Range    keyspace.Range    // the serving peer's responsibility range
-	Chain    []ring.Node       // the serving peer's ring successors
+	NotOwner   bool              // cursor not in this peer's range; nothing served
+	StaleEpoch bool              // request epoch does not match the serving epoch; nothing served
+	Piece      keyspace.Interval // the contiguous sub-interval served, starting at the cursor
+	Items      []Item            // this peer's items in Piece, sorted by key
+	Done       bool              // Piece reaches the interval's end
+	Range      keyspace.Range    // the serving peer's responsibility range
+	Epoch      uint64            // ownership epoch of Range at serve time
+	Chain      []ring.Node       // the serving peer's ring successors
 }
 
 // handleScanSegment serves one piece of a pipelined scan. The piece is
@@ -657,7 +793,15 @@ func (s *Store) handleScanSegment(_ transport.Addr, _ string, payload any) (any,
 		s.ScanAborts.Add(1)
 		return SegmentResult{NotOwner: true}, nil
 	}
+	if req.Epoch != 0 && req.Epoch != s.epoch {
+		epoch := s.epoch
+		s.mu.Unlock()
+		s.rangeLock.RUnlock()
+		s.StaleEpochRejects.Add(1)
+		return SegmentResult{StaleEpoch: true, Epoch: epoch}, nil
+	}
 	rng := s.rng
+	epoch := s.epoch
 	pieceEnd, done := contiguousEnd(rng, req.Cursor, lastKey(req.Iv))
 	piece := keyspace.Interval{Lb: req.Cursor, Ub: pieceEnd}
 	var pieceItems []Item
@@ -674,6 +818,7 @@ func (s *Store) handleScanSegment(_ transport.Addr, _ string, payload any) (any,
 		Items: pieceItems,
 		Done:  done,
 		Range: rng,
+		Epoch: epoch,
 		Chain: s.ring.Successors(),
 	}, nil
 }
@@ -696,10 +841,11 @@ func (sp *SegmentPending) Result() (SegmentResult, error) {
 
 // ScanSegmentAsync asks the peer at addr for its piece of iv starting at
 // cursor, without blocking: the read path keeps several of these in flight.
+// epoch stamps the request with the believed ownership epoch (0 = unfenced).
 // Responses are unbounded on every transport (they chunk when oversized), so
 // a large piece streams back without caller involvement.
-func (s *Store) ScanSegmentAsync(ctx context.Context, addr transport.Addr, iv keyspace.Interval, cursor keyspace.Key) *SegmentPending {
-	return &SegmentPending{p: transport.CallAsync(s.net, ctx, s.Addr(), addr, methodScanSegment, segmentReq{Iv: iv, Cursor: cursor})}
+func (s *Store) ScanSegmentAsync(ctx context.Context, addr transport.Addr, iv keyspace.Interval, cursor keyspace.Key, epoch uint64) *SegmentPending {
+	return &SegmentPending{p: transport.CallAsync(s.net, ctx, s.Addr(), addr, methodScanSegment, segmentReq{Iv: iv, Cursor: cursor, Epoch: epoch})}
 }
 
 // --- Naive application-level scan (Section 6.2 baseline) -------------------

@@ -58,7 +58,8 @@ func (f *fakeRep) Revive(r keyspace.Range) []Item {
 	}
 	return out
 }
-func (f *fakeRep) PullRange(context.Context, keyspace.Range) []Item { return nil }
+func (f *fakeRep) PullRange(context.Context, keyspace.Range) ([]Item, uint64) { return nil, 0 }
+func (f *fakeRep) MaxAdvertisedEpoch(keyspace.Range) uint64                   { return 0 }
 
 func newHarness(t *testing.T, dsCfg Config, rCfg ring.Config) *harness {
 	t.Helper()

@@ -11,12 +11,15 @@ import (
 )
 
 // joinData is the payload carried by the ring's INSERT/INSERTED events
-// during a split: the carved-off range and items for the new peer. Ok
+// during a split: the carved-off range and items for the new peer, plus the
+// ownership epoch the new peer claims it at (strictly above the splitter's
+// pre-split epoch, so the hand-off fences the old incarnation). Ok
 // distinguishes a real hand-off from a failed carve (a zero Range would
 // otherwise read as the full ring).
 type joinData struct {
 	Ok    bool
 	Range keyspace.Range
+	Epoch uint64
 	Items []Item
 }
 
@@ -150,6 +153,10 @@ func (s *Store) PrepareJoinData(joining ring.Node) any {
 		s.mu.Unlock()
 		return joinData{}
 	}
+	// Both halves are new ownership incarnations at epoch+1: each strictly
+	// supersedes the pre-split claim over the keys it keeps, so requests
+	// fenced with the old epoch fail fast instead of racing the boundary.
+	newEpoch := s.epoch + 1
 	var moved []Item
 	for k, it := range s.items {
 		if high.Contains(k) {
@@ -160,13 +167,13 @@ func (s *Store) PrepareJoinData(joining ring.Node) any {
 			}
 		}
 	}
-	s.rng = low
+	s.claimLocked(low, newEpoch)
 	s.mu.Unlock()
 
 	if s.rep != nil {
 		s.rep.ItemsChanged()
 	}
-	return joinData{Ok: true, Range: high, Items: moved}
+	return joinData{Ok: true, Range: high, Epoch: newEpoch, Items: moved}
 }
 
 // OnJoined is the ring INSERTED event at the joining peer: install the
@@ -176,8 +183,7 @@ func (s *Store) PrepareJoinData(joining ring.Node) any {
 func (s *Store) OnJoined(self ring.Node, pred ring.Node, data any) {
 	if jd, ok := data.(joinData); ok && jd.Ok {
 		s.mu.Lock()
-		s.hasRange = true
-		s.rng = jd.Range
+		s.claimLocked(jd.Range, jd.Epoch)
 		for _, it := range jd.Items {
 			s.items[it.Key] = it
 		}
@@ -190,7 +196,10 @@ func (s *Store) OnJoined(self ring.Node, pred ring.Node, data any) {
 	}
 	if data == nil && pred.Addr != "" && pred.Addr != self.Addr {
 		// Orphan adoption: we own (pred.val, self.val] but hold nothing.
-		// Revive the range from our successors' replica stores.
+		// Revive the range from our successors' replica stores. The epoch
+		// stays 0 (unfenced) until the pull reports the highest epoch any
+		// replica holder saw advertised for the range; only then can we
+		// claim an incarnation that provably supersedes the lost one.
 		r := keyspace.NewRange(pred.Val, self.Val)
 		s.mu.Lock()
 		s.hasRange = true
@@ -200,7 +209,12 @@ func (s *Store) OnJoined(self ring.Node, pred ring.Node, data any) {
 			go func() {
 				ctx, cancel := context.WithTimeout(context.Background(), s.cfg.MaintenanceTimeout)
 				defer cancel()
-				items := s.rep.PullRange(ctx, r)
+				items, maxAdv := s.rep.PullRange(ctx, r)
+				s.mu.Lock()
+				if s.hasRange && s.rng == r && s.epoch == 0 {
+					s.claimLocked(r, maxAdv+1)
+				}
+				s.mu.Unlock()
 				s.adoptRevived(r, items)
 			}()
 		}
@@ -265,7 +279,33 @@ func (s *Store) OnPredChanged(newPred, prev ring.Node, predFailed bool) {
 		return
 	}
 	revive := keyspace.NewRange(newPred.Val, s.rng.Lo)
-	s.rng = s.rng.ExtendDown(newPred.Val)
+	s.mu.Unlock()
+
+	// Fence the incarnation we replace: the revived claim's epoch must
+	// strictly exceed both our own and anything the failed predecessor ever
+	// advertised for the revived region (its replication pushes carried its
+	// epoch). If the failure verdict was a false positive — the predecessor
+	// is alive and still serving — this is what deposes it: its next push
+	// meets a higher-epoch claim and it steps down instead of splitting the
+	// range's history in two (the dual-claim window).
+	var adv uint64
+	if s.rep != nil {
+		adv = s.rep.MaxAdvertisedEpoch(revive)
+	}
+
+	s.mu.Lock()
+	// Re-validate under the lock: a racing hand-off may have moved the
+	// boundary while we consulted the replica store.
+	if !s.hasRange || newPred.Val == s.rng.Lo || !keyspace.Between(s.rng.Lo, newPred.Val, s.rng.Hi) {
+		s.mu.Unlock()
+		return
+	}
+	revive = keyspace.NewRange(newPred.Val, s.rng.Lo)
+	epoch := s.epoch
+	if adv > epoch {
+		epoch = adv
+	}
+	s.claimLocked(s.rng.ExtendDown(newPred.Val), epoch+1)
 	s.mu.Unlock()
 
 	if s.rep != nil {
@@ -285,12 +325,14 @@ type rebalanceResp struct {
 	Redistribute bool
 	Items        []Item       // for redistribute: the successor's lowest items
 	NewBoundary  keyspace.Key // the underflowing peer's new upper bound / value
+	Epoch        uint64       // for redistribute: the successor's post-shrink epoch
 	Merge        bool         // the underflowing peer should merge into us
 }
 
 type mergeInReq struct {
 	From  ring.Node
 	Range keyspace.Range
+	Epoch uint64 // the merging peer's ownership epoch at hand-off
 	Items []Item
 }
 
@@ -406,7 +448,11 @@ func (s *Store) handleRebalance(from transport.Addr, _ string, payload any) (any
 			s.log.Moved(selfAddr, string(from), it.Key)
 		}
 	}
-	s.rng = keyspace.NewRange(boundary, s.rng.Hi)
+	// The shrunken range is a new incarnation; the predecessor claims the
+	// carved region above our new epoch (applyRedistribute), so the moved
+	// keys' epoch history stays strictly increasing.
+	newEpoch := s.epoch + 1
+	s.claimLocked(keyspace.NewRange(boundary, s.rng.Hi), newEpoch)
 	s.mu.Unlock()
 
 	if s.rep != nil {
@@ -415,7 +461,7 @@ func (s *Store) handleRebalance(from transport.Addr, _ string, payload any) (any
 	s.Redistributes.Add(1)
 	out := make([]Item, len(moved))
 	copy(out, moved)
-	return rebalanceResp{Redistribute: true, Items: out, NewBoundary: boundary}, nil
+	return rebalanceResp{Redistribute: true, Items: out, NewBoundary: boundary, Epoch: newEpoch}, nil
 }
 
 // applyRedistribute extends this peer's range and value up to the new
@@ -430,7 +476,13 @@ func (s *Store) applyRedistribute(ctx context.Context, rb rebalanceResp) error {
 		s.mu.Unlock()
 		return ErrNoRange
 	}
-	s.rng = keyspace.NewRange(s.rng.Lo, rb.NewBoundary)
+	// Claim the extended range strictly above both our own epoch and the
+	// successor's post-shrink one: the carved keys' history stays monotonic.
+	epoch := s.epoch
+	if rb.Epoch > epoch {
+		epoch = rb.Epoch
+	}
+	s.claimLocked(keyspace.NewRange(s.rng.Lo, rb.NewBoundary), epoch+1)
 	for _, it := range rb.Items {
 		s.items[it.Key] = it
 	}
@@ -471,6 +523,7 @@ func (s *Store) mergeIntoSuccessor(ctx context.Context, succ ring.Node) error {
 	}
 	s.mu.Lock()
 	rng := s.rng
+	epoch := s.epoch
 	items := make([]Item, 0, len(s.items))
 	for _, it := range s.items {
 		items = append(items, it)
@@ -487,7 +540,7 @@ func (s *Store) mergeIntoSuccessor(ctx context.Context, succ ring.Node) error {
 	// in chunks and the successor applies it atomically at commit, so a
 	// transfer interrupted mid-stream leaves the successor unchanged and the
 	// items safely back here via the error path below.
-	_, err := transport.CallBulk(s.net, ctx, self.Addr, succ.Addr, methodMergeIn, mergeInReq{From: self, Range: rng, Items: items})
+	_, err := transport.CallBulk(s.net, ctx, self.Addr, succ.Addr, methodMergeIn, mergeInReq{From: self, Range: rng, Epoch: epoch, Items: items})
 	if err != nil {
 		// The successor is gone; put the state back and let the ring heal.
 		s.mu.Lock()
@@ -514,6 +567,62 @@ func (s *Store) mergeIntoSuccessor(ctx context.Context, succ ring.Node) error {
 	return nil
 }
 
+// --- Deposition --------------------------------------------------------------
+
+// StepDown resigns this peer's range ownership: a peer holding a claim over
+// our range with the strictly higher epoch winnerEpoch has been observed (a
+// replication push answered "deposed"), which proves the ring's failure
+// detector declared us dead and a successor revived our range while we were
+// still serving — the dual-claim window. The epoch orders the two
+// incarnations, and the lower one must yield: we drain in-flight scans under
+// the range write lock, drop the range and items (journaled as removals —
+// exactly the effect a real fail-stop would have had; anything we held is
+// already replicated up to the usual replication lag, and our unreplicated
+// window mutations die with us, as they would in a genuine crash), and
+// depart to the free pool under a spent identity, the same recycling path a
+// merged-away peer takes. The process re-enters as a fresh free peer.
+func (s *Store) StepDown(winnerEpoch uint64) {
+	if !s.maintMu.TryLock() {
+		return // mid-split/merge; the next deposed push reply retries
+	}
+	defer s.maintMu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.MaintenanceTimeout)
+	defer cancel()
+	if err := s.rangeLock.Lock(ctx); err != nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.hasRange || winnerEpoch <= s.epoch {
+		// Raced a legitimate hand-off, or the verdict is stale: only a
+		// strictly higher incarnation can depose us.
+		s.mu.Unlock()
+		s.rangeLock.Unlock()
+		return
+	}
+	self := string(s.ring.Self().Addr)
+	for k := range s.items {
+		if s.log != nil {
+			s.log.Removed(self, k)
+		}
+	}
+	s.items = make(map[keyspace.Key]Item)
+	s.hasRange = false
+	s.epoch = 0
+	s.mu.Unlock()
+	s.rangeLock.Unlock()
+	s.StepDowns.Add(1)
+
+	// Identity spent: depart without any leave protocol — the suspicion that
+	// deposed us already excised this peer from every successor list, so
+	// there is no predecessor left to acknowledge a graceful leave.
+	addr := s.Addr()
+	s.ring.Depart()
+	s.signalStop()
+	if s.pool != nil {
+		s.pool.Release(addr)
+	}
+}
+
 // handleMergeIn absorbs a merging predecessor's range and items.
 func (s *Store) handleMergeIn(_ transport.Addr, _ string, payload any) (any, error) {
 	req, ok := payload.(mergeInReq)
@@ -531,7 +640,12 @@ func (s *Store) handleMergeIn(_ transport.Addr, _ string, payload any) (any, err
 		s.mu.Unlock()
 		return nil, ErrWrongState
 	}
-	s.rng = s.rng.ExtendDown(req.Range.Lo)
+	// Claim the absorbed range strictly above both incarnations it unifies.
+	epoch := s.epoch
+	if req.Epoch > epoch {
+		epoch = req.Epoch
+	}
+	s.claimLocked(s.rng.ExtendDown(req.Range.Lo), epoch+1)
 	self := string(s.ring.Self().Addr)
 	for _, it := range req.Items {
 		s.items[it.Key] = it

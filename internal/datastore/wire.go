@@ -21,4 +21,7 @@ func init() {
 	transport.RegisterMessage(rebalanceResp{})
 	transport.RegisterMessage(mergeInReq{})
 	transport.RegisterMessage(joinData{})
+	// The stale-epoch rejection must keep its errors.Is identity across a
+	// real network hop (its text is matched on the dial side).
+	transport.RegisterWireError(ErrStaleEpoch)
 }

@@ -1,0 +1,74 @@
+package history
+
+import (
+	"testing"
+
+	"repro/internal/keyspace"
+)
+
+// CheckClaims accepts the canonical epoch lifecycles (bootstrap, split,
+// merge, revival) and flags a claim that fails to supersede what it
+// overlaps.
+func TestCheckClaims(t *testing.T) {
+	l := NewLog()
+	l.Claimed("p1", keyspace.FullRange(0), 1)        // bootstrap
+	l.Claimed("p1", keyspace.NewRange(1000, 500), 2) // split: keeps the wrap-around low half
+	l.Claimed("p2", keyspace.NewRange(500, 1000), 2) // split: new peer takes the high half
+	l.Claimed("p2", keyspace.NewRange(500, 1000), 3) // p2 re-claims (e.g. redistribute shrink)
+	l.Claimed("p3", keyspace.NewRange(500, 1000), 4) // p3 revives p2's range above its adverts
+	if v := CheckClaims(l.Events()); len(v) != 0 {
+		t.Fatalf("clean lifecycle flagged: %v", v)
+	}
+
+	// A revival that failed to fence (same epoch as the claim it overlaps).
+	l.Claimed("p4", keyspace.NewRange(400, 700), 4)
+	v := CheckClaims(l.Events())
+	if len(v) != 1 || v[0].Peer != "p4" {
+		t.Fatalf("non-superseding claim violations = %v, want one for p4", v)
+	}
+}
+
+// CheckAddAttribution flags the dual-claim phantom: an add performed by a
+// peer whose claim over the key was already superseded by another peer's
+// higher-epoch claim.
+func TestCheckAddAttribution(t *testing.T) {
+	l := NewLog()
+	l.Claimed("old", keyspace.NewRange(0, 1000), 3)
+	l.Added("old", 100) // fine: un-superseded owner
+	l.Claimed("new", keyspace.NewRange(0, 1000), 4)
+	l.Added("new", 200) // fine: the superseding owner
+	if v := CheckAddAttribution(l.Events()); len(v) != 0 {
+		t.Fatalf("clean attribution flagged: %v", v)
+	}
+
+	l.Added("old", 300) // the phantom: a deposed incarnation still accepting
+	v := CheckAddAttribution(l.Events())
+	if len(v) != 1 || v[0].Peer != "old" || v[0].Key != 300 {
+		t.Fatalf("attribution violations = %v, want one for old/300", v)
+	}
+
+	// Adds outside every claim (hand-built test layouts) never flag.
+	l2 := NewLog()
+	l2.Added("x", 1)
+	if v := CheckAddAttribution(l2.Events()); len(v) != 0 {
+		t.Fatalf("claim-free journal flagged: %v", v)
+	}
+}
+
+// Claims are ignored by the liveness reconstruction: the journal stays a
+// faithful physical record and the epoch audit sits on top.
+func TestClaimsDoNotAffectLiveness(t *testing.T) {
+	l := NewLog()
+	l.Claimed("p1", keyspace.FullRange(0), 1)
+	l.Added("p1", 10)
+	l.Claimed("p2", keyspace.FullRange(0), 2)
+	lv := BuildLiveness(l.Events())
+	if !lv.LiveAtSomePoint(10, 0, Seq(^uint64(0))) {
+		t.Fatal("item vanished because of a claim event")
+	}
+	// The add predates the supersession and p2's claim fences correctly, so
+	// the combined epoch audit is clean.
+	if v := l.CheckEpochAudit(); len(v) != 0 {
+		t.Fatalf("epoch audit findings: %v", v)
+	}
+}

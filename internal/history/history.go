@@ -40,12 +40,17 @@ type EventKind uint8
 
 // Event kinds. Moved is a single atomic event for an item transfer between
 // peers (split/merge/redistribute/revival), so liveness never shows a false
-// gap or false overlap mid-transfer.
+// gap or false overlap mid-transfer. RangeClaimed is an ownership-epoch
+// transition: the peer claims (Lo, Hi] at Epoch — journaled at every epoch
+// bump site (bootstrap, split, merge, redistribute, failure revival, orphan
+// adoption) so the audit can attribute each mutation to exactly one
+// ownership incarnation.
 const (
 	ItemAdded EventKind = iota
 	ItemRemoved
 	ItemMoved
 	PeerFailed
+	RangeClaimed
 )
 
 func (k EventKind) String() string {
@@ -58,6 +63,8 @@ func (k EventKind) String() string {
 		return "move"
 	case PeerFailed:
 		return "fail"
+	case RangeClaimed:
+		return "claim"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}
@@ -70,6 +77,10 @@ type Event struct {
 	Key  keyspace.Key
 	Peer string // peer performing / holding the item (destination for ItemMoved)
 	From string // source peer for ItemMoved; empty otherwise
+
+	// RangeClaimed only: the claimed range and its ownership epoch.
+	Lo, Hi keyspace.Key
+	Epoch  uint64
 }
 
 // QueryRecord captures one range query execution for later checking.
@@ -133,6 +144,17 @@ func (l *Log) Failed(peer string) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.events = append(l.events, Event{Seq: l.next(), Kind: PeerFailed, Peer: peer})
+}
+
+// Claimed journals an ownership-epoch transition: peer now serves the range
+// r at the given epoch. Claims do not affect liveness (items move only via
+// Added/Removed/Moved/Failed); they exist so the audit can attribute each
+// mutation to exactly one ownership incarnation and check that epochs fence
+// correctly (CheckClaims / CheckAddAttribution).
+func (l *Log) Claimed(peer string, r keyspace.Range, epoch uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, Event{Seq: l.next(), Kind: RangeClaimed, Peer: peer, Lo: r.Lo, Hi: r.Hi, Epoch: epoch})
 }
 
 // BeginQuery opens a query record and returns its id and start point.

@@ -74,6 +74,13 @@ func (r Range) Size() uint64 {
 	return uint64(r.Hi - r.Lo)
 }
 
+// Overlaps reports whether two circular ranges share any key. A range
+// contains its own Hi, so two ranges overlap exactly when either contains the
+// other's upper bound (full ranges contain everything).
+func (r Range) Overlaps(o Range) bool {
+	return r.Contains(o.Hi) || o.Contains(r.Hi)
+}
+
 // SplitAt divides r at key m into low = (Lo, m] and high = (m, Hi].
 // m must lie strictly inside the range (Contains(m) and m != Hi); otherwise
 // SplitAt reports ok == false.

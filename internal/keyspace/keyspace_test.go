@@ -342,3 +342,27 @@ func TestIntervalString(t *testing.T) {
 		}
 	}
 }
+
+func TestRangeOverlaps(t *testing.T) {
+	cases := []struct {
+		a, b Range
+		want bool
+	}{
+		{NewRange(0, 100), NewRange(50, 150), true},               // partial overlap
+		{NewRange(0, 100), NewRange(100, 200), false},             // adjacent: (100, 200] excludes 100
+		{NewRange(0, 100), NewRange(200, 300), false},             // disjoint
+		{NewRange(0, 100), NewRange(0, 100), true},                // identical
+		{NewRange(0, 100), NewRange(20, 80), true},                // containment
+		{FullRange(0), NewRange(5, 10), true},                     // full ring overlaps all
+		{NewRange(MaxKey-10, 10), NewRange(5, 20), true},          // wrap vs low segment
+		{NewRange(MaxKey-10, 10), NewRange(20, MaxKey-20), false}, // wrap vs middle
+	}
+	for _, c := range cases {
+		if got := c.a.Overlaps(c.b); got != c.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Overlaps(c.a); got != c.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}

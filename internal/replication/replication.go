@@ -63,6 +63,16 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// advert is the ownership assertion carried by a replication push: the
+// origin last claimed Range at Epoch. The replica manager remembers the
+// latest advert per origin; they are what lets a successor revive a failed
+// predecessor's range at a provably higher epoch, and what lets a replica
+// holder refuse to serve for a deposed primary.
+type advert struct {
+	Range keyspace.Range
+	Epoch uint64
+}
+
 // Manager is one peer's Replication Manager. It implements
 // datastore.Replicator.
 type Manager struct {
@@ -73,10 +83,15 @@ type Manager struct {
 
 	mu       sync.Mutex
 	replicas map[keyspace.Key]datastore.Item
+	adverts  map[transport.Addr]advert // latest epoch advert per origin
 
 	// ReplicaServes counts replica-read requests answered by this peer (the
 	// read path's availability fallback).
 	ReplicaServes atomic.Uint64
+	// StaleChainRefusals counts replica reads refused because the believed
+	// primary's epoch was superseded by a later advert (fencing on the
+	// availability fallback).
+	StaleChainRefusals atomic.Uint64
 
 	kick    chan struct{}
 	lifeMu  sync.Mutex // guards started/stopped transitions vs wg
@@ -94,6 +109,7 @@ func New(net transport.Transport, mux *transport.Mux, rp *ring.Peer, ds *datasto
 		ring:     rp,
 		ds:       ds,
 		replicas: make(map[keyspace.Key]datastore.Item),
+		adverts:  make(map[transport.Addr]advert),
 		kick:     make(chan struct{}, 1),
 		stopCh:   make(chan struct{}),
 	}
@@ -171,24 +187,95 @@ func (m *Manager) HeldReplicas() []datastore.Item {
 }
 
 // pushMsg replicates the origin's full item set for its range; the receiver
-// reconciles its replica store within that range.
+// reconciles its replica store within that range. Epoch is the origin's
+// ownership epoch for Range — its incarnation's fencing token; 0 marks a
+// push that asserts no ownership (the raw held-replica merges of
+// BeforeLeave) and is installed without any epoch bookkeeping.
 type pushMsg struct {
 	From  ring.Node
 	Range keyspace.Range
+	Epoch uint64
 	Items []datastore.Item
 }
 
-// handlePush installs replicas, dropping stale ones within the pushed range.
+// pushResp acknowledges a push. Deposed tells the pusher its ownership
+// incarnation has been superseded: the receiving peer's own range claim
+// covers the pushed range at the strictly higher Epoch. The pusher must stop
+// serving (datastore.StepDown) — this reply is how a live peer that the
+// failure detector wrongly declared dead learns its range was revived out
+// from under it.
+type pushResp struct {
+	Deposed bool
+	Epoch   uint64
+}
+
+// handlePush installs replicas, dropping stale ones within the pushed range,
+// and answers the epoch question: a push from a deposed incarnation is
+// refused (and reported as such) instead of being recorded as if the origin
+// still owned the range.
 func (m *Manager) handlePush(_ transport.Addr, _ string, payload any) (any, error) {
 	msg, ok := payload.(pushMsg)
 	if !ok {
 		return nil, fmt.Errorf("replication: bad push payload %T", payload)
+	}
+	if msg.Epoch != 0 {
+		// Deposition check against our own primary claim: overlapping claims
+		// by two live peers are a dual-ownership anomaly, and the epochs
+		// decide who yields. Strictly higher than the pusher: its
+		// incarnation was superseded (we revived its range after a failure
+		// verdict) — refuse and tell it. Tied: a collision the comparison
+		// cannot order (a revival whose advert-derived epoch failed to
+		// clear a bump the suspect never managed to push); re-claim
+		// strictly above the conflict so exactly one incarnation survives.
+		// Strictly lower: the pusher is the provably-ahead owner and WE are
+		// the stale claimant — step down (asynchronously; StepDown drains
+		// scans and departs, which must not block the push handler) rather
+		// than depose a legitimate higher incarnation.
+		if rng, epoch, ok := m.ds.RangeEpoch(); ok && rng.Overlaps(msg.Range) && msg.From.Addr != m.ring.Self().Addr {
+			switch {
+			case epoch > msg.Epoch:
+				return pushResp{Deposed: true, Epoch: epoch}, nil
+			case epoch == msg.Epoch:
+				if reclaimed := m.ds.ReclaimAbove(msg.Epoch); reclaimed > msg.Epoch {
+					return pushResp{Deposed: true, Epoch: reclaimed}, nil
+				}
+			default:
+				go m.ds.StepDown(msg.Epoch)
+			}
+		}
+		// Deposition check against third-party adverts: if a DIFFERENT
+		// origin has advertised an overlapping range at a strictly higher
+		// epoch, this pusher is deposed even though we are a mere replica
+		// holder — installing its push would clobber the winner's fresher
+		// replicas and resurrect the superseded incarnation's view.
+		m.mu.Lock()
+		for from, a := range m.adverts {
+			if from != msg.From.Addr && a.Range.Overlaps(msg.Range) && a.Epoch > msg.Epoch {
+				epoch := a.Epoch
+				m.mu.Unlock()
+				return pushResp{Deposed: true, Epoch: epoch}, nil
+			}
+		}
+		m.mu.Unlock()
 	}
 	keep := make(map[keyspace.Key]bool, len(msg.Items))
 	for _, it := range msg.Items {
 		keep[it.Key] = true
 	}
 	m.mu.Lock()
+	if msg.Epoch != 0 {
+		// Record the origin's advert; adverts from superseded incarnations
+		// of the same region are pruned so the table tracks the freshest
+		// view of each range's ownership.
+		for from, a := range m.adverts {
+			if from != msg.From.Addr && a.Range.Overlaps(msg.Range) && a.Epoch < msg.Epoch {
+				delete(m.adverts, from)
+			}
+		}
+		if prev, ok := m.adverts[msg.From.Addr]; !ok || msg.Epoch >= prev.Epoch {
+			m.adverts[msg.From.Addr] = advert{Range: msg.Range, Epoch: msg.Epoch}
+		}
+	}
 	for k := range m.replicas {
 		if msg.Range.Contains(k) && !keep[k] {
 			delete(m.replicas, k)
@@ -198,32 +285,57 @@ func (m *Manager) handlePush(_ transport.Addr, _ string, payload any) (any, erro
 		m.replicas[it.Key] = it
 	}
 	m.mu.Unlock()
-	return true, nil
+	return pushResp{}, nil
+}
+
+// MaxAdvertisedEpoch implements datastore.Replicator: the highest ownership
+// epoch any origin has advertised (via pushes) for a range overlapping r.
+func (m *Manager) MaxAdvertisedEpoch(r keyspace.Range) uint64 {
+	var max uint64
+	m.mu.Lock()
+	for _, a := range m.adverts {
+		if a.Range.Overlaps(r) && a.Epoch > max {
+			max = a.Epoch
+		}
+	}
+	m.mu.Unlock()
+	return max
 }
 
 // pullReq asks a peer for every replica (and own item) it holds in a range;
 // used by orphaned peers reconstructing a range they now own.
 type pullReq struct{ Range keyspace.Range }
 
+// pullResp carries the pulled items plus the highest ownership epoch the
+// answering peer has seen asserted for the range (adverts it holds and its
+// own primary claim), so the puller can claim its new incarnation above it.
+type pullResp struct {
+	Items    []datastore.Item
+	MaxEpoch uint64
+}
+
 func (m *Manager) handlePull(_ transport.Addr, _ string, payload any) (any, error) {
 	req, ok := payload.(pullReq)
 	if !ok {
 		return nil, fmt.Errorf("replication: bad pull payload %T", payload)
 	}
-	var out []datastore.Item
+	resp := pullResp{MaxEpoch: m.MaxAdvertisedEpoch(req.Range)}
 	m.mu.Lock()
 	for k, it := range m.replicas {
 		if req.Range.Contains(k) {
-			out = append(out, it)
+			resp.Items = append(resp.Items, it)
 		}
 	}
 	m.mu.Unlock()
 	for _, it := range m.ds.LocalItems() {
 		if req.Range.Contains(it.Key) {
-			out = append(out, it)
+			resp.Items = append(resp.Items, it)
 		}
 	}
-	return out, nil
+	if rng, epoch, ok := m.ds.RangeEpoch(); ok && rng.Overlaps(req.Range) && epoch > resp.MaxEpoch {
+		resp.MaxEpoch = epoch
+	}
+	return resp, nil
 }
 
 // replicaScanReq asks a peer for every item it can see inside the interval —
@@ -236,6 +348,31 @@ func (m *Manager) handlePull(_ transport.Addr, _ string, payload any) (any, erro
 // unjournaled operational reads fall back here.
 type replicaScanReq struct {
 	Iv keyspace.Interval
+	// Epoch is the ownership epoch of the primary the requester believes it
+	// is falling back from; 0 = unfenced. A replica holder that has seen a
+	// strictly higher epoch asserted over the interval refuses with
+	// ErrStaleEpoch: the believed primary's whole chain is deposed, and
+	// serving its stale replica set would resurrect a superseded
+	// incarnation's view.
+	Epoch uint64
+}
+
+// staleChainEpochLocked reports the highest epoch this peer has seen
+// asserted over any part of iv — adverts plus its own primary claim.
+// Callers hold m.mu.
+func (m *Manager) staleChainEpochLocked(iv keyspace.Interval) uint64 {
+	var max uint64
+	for _, a := range m.adverts {
+		if _, ok := iv.ClipToRange(a.Range); ok && a.Epoch > max {
+			max = a.Epoch
+		}
+	}
+	if rng, epoch, ok := m.ds.RangeEpoch(); ok && epoch > max {
+		if _, overlaps := iv.ClipToRange(rng); overlaps {
+			max = epoch
+		}
+	}
+	return max
 }
 
 func (m *Manager) handleReplicaScan(_ transport.Addr, _ string, payload any) (any, error) {
@@ -245,6 +382,16 @@ func (m *Manager) handleReplicaScan(_ transport.Addr, _ string, payload any) (an
 	}
 	if !req.Iv.Valid() {
 		return nil, fmt.Errorf("replication: empty replica scan interval %v", req.Iv)
+	}
+	if req.Epoch != 0 {
+		m.mu.Lock()
+		seen := m.staleChainEpochLocked(req.Iv)
+		m.mu.Unlock()
+		if seen > req.Epoch {
+			m.StaleChainRefusals.Add(1)
+			return nil, fmt.Errorf("%w: replica read for primary epoch %d, epoch %d observed over %v",
+				datastore.ErrStaleEpoch, req.Epoch, seen, req.Iv)
+		}
 	}
 	m.ReplicaServes.Add(1)
 	seen := make(map[keyspace.Key]datastore.Item)
@@ -271,11 +418,14 @@ func (m *Manager) handleReplicaScan(_ transport.Addr, _ string, payload any) (an
 }
 
 // ReplicaItems fetches the items in iv visible at the replica holder addr —
-// the caller side of the replica-read fallback. Responses are unbounded on
-// every transport (oversized answers chunk back), so whole segments return
-// from one call.
-func (m *Manager) ReplicaItems(ctx context.Context, addr transport.Addr, iv keyspace.Interval) ([]datastore.Item, error) {
-	resp, err := m.net.Call(ctx, m.ring.Self().Addr, addr, methodScan, replicaScanReq{Iv: iv})
+// the caller side of the replica-read fallback. epoch stamps the request
+// with the believed primary's ownership epoch (0 = unfenced): a holder that
+// has seen a higher epoch asserted over the interval refuses with
+// ErrStaleEpoch rather than serve for a deposed chain. Responses are
+// unbounded on every transport (oversized answers chunk back), so whole
+// segments return from one call.
+func (m *Manager) ReplicaItems(ctx context.Context, addr transport.Addr, iv keyspace.Interval, epoch uint64) ([]datastore.Item, error) {
+	resp, err := m.net.Call(ctx, m.ring.Self().Addr, addr, methodScan, replicaScanReq{Iv: iv, Epoch: epoch})
 	if err != nil {
 		return nil, err
 	}
@@ -293,8 +443,15 @@ func (m *Manager) ReplicaItems(ctx context.Context, addr transport.Addr, iv keys
 // the factor grows. Pushes are bulk calls: a range whose encoding exceeds
 // the transport frame size streams across in chunks and commits atomically
 // at each replica.
+//
+// Each push advertises this peer's ownership epoch, and the replies carry
+// the verdict: a successor whose own claim covers our range at a strictly
+// higher epoch answers Deposed — proof that the failure detector wrongly
+// declared us dead and our range was revived while we kept serving. The
+// losing incarnation (us) must then step down; this reply path is what
+// bounds the dual-claim window to one replication refresh.
 func (m *Manager) RefreshOnce() {
-	rng, ok := m.ds.Range()
+	rng, epoch, ok := m.ds.RangeEpoch()
 	if !ok {
 		return
 	}
@@ -304,15 +461,25 @@ func (m *Manager) RefreshOnce() {
 	if len(succs) > m.cfg.Factor {
 		succs = succs[:m.cfg.Factor]
 	}
-	msg := pushMsg{From: self, Range: rng, Items: items}
+	msg := pushMsg{From: self, Range: rng, Epoch: epoch, Items: items}
 	ctx, cancel := context.WithTimeout(context.Background(), m.cfg.CallTimeout)
 	defer cancel()
 	pends := make([]*transport.Pending, 0, len(succs))
 	for _, succ := range succs {
 		pends = append(pends, transport.CallBulkAsync(m.net, ctx, self.Addr, succ.Addr, methodPush, msg))
 	}
+	var deposedBy uint64
 	for _, p := range pends {
-		_, _ = p.Result()
+		resp, err := p.Result()
+		if err != nil {
+			continue
+		}
+		if pr, ok := resp.(pushResp); ok && pr.Deposed && pr.Epoch > deposedBy {
+			deposedBy = pr.Epoch
+		}
+	}
+	if deposedBy > 0 {
+		m.ds.StepDown(deposedBy)
 	}
 }
 
@@ -325,7 +492,7 @@ func (m *Manager) BeforeLeave(ctx context.Context) error {
 	if m.cfg.Naive {
 		return nil
 	}
-	rng, ok := m.ds.Range()
+	rng, epoch, ok := m.ds.RangeEpoch()
 	if !ok {
 		return nil
 	}
@@ -337,7 +504,7 @@ func (m *Manager) BeforeLeave(ctx context.Context) error {
 
 	// Own items one extra hop: k+1 successors instead of k. The pushes are
 	// independent, so they run as one pipelined burst.
-	own := pushMsg{From: self, Range: rng, Items: m.ds.LocalItems()}
+	own := pushMsg{From: self, Range: rng, Epoch: epoch, Items: m.ds.LocalItems()}
 	limit := m.cfg.Factor + 1
 	if limit > len(succs) {
 		limit = len(succs)
@@ -386,8 +553,9 @@ func (m *Manager) Revive(r keyspace.Range) []datastore.Item {
 // successors (used by orphaned peers that hold nothing locally). The pulls
 // fan out concurrently as bulk calls — the answers are whole ranges, so they
 // stream back chunked when they outgrow a frame — and the union of whatever
-// arrives is the result.
-func (m *Manager) PullRange(ctx context.Context, r keyspace.Range) []datastore.Item {
+// arrives is the result, together with the highest ownership epoch any
+// holder had seen asserted for r (so the puller claims above it).
+func (m *Manager) PullRange(ctx context.Context, r keyspace.Range) ([]datastore.Item, uint64) {
 	seen := make(map[keyspace.Key]datastore.Item)
 	self := m.ring.Self()
 	succs := m.ring.Successors()
@@ -395,16 +563,20 @@ func (m *Manager) PullRange(ctx context.Context, r keyspace.Range) []datastore.I
 	for _, succ := range succs {
 		pends = append(pends, transport.CallBulkAsync(m.net, ctx, self.Addr, succ.Addr, methodPull, pullReq{Range: r}))
 	}
+	var maxEpoch uint64
 	for _, p := range pends {
 		resp, err := p.Result()
 		if err != nil {
 			continue
 		}
-		items, ok := resp.([]datastore.Item)
+		pr, ok := resp.(pullResp)
 		if !ok {
 			continue
 		}
-		for _, it := range items {
+		if pr.MaxEpoch > maxEpoch {
+			maxEpoch = pr.MaxEpoch
+		}
+		for _, it := range pr.Items {
 			seen[it.Key] = it
 		}
 	}
@@ -412,5 +584,5 @@ func (m *Manager) PullRange(ctx context.Context, r keyspace.Range) []datastore.I
 	for _, it := range seen {
 		out = append(out, it)
 	}
-	return out
+	return out, maxEpoch
 }

@@ -318,7 +318,7 @@ func TestPullRangeCollectsFromSuccessors(t *testing.T) {
 	_ = stores
 	waitRep(t, 5*time.Second, "successors", func() bool { return len(rings[1].Successors()) >= 2 })
 
-	got := mgrs[1].PullRange(ctx, keyspace.NewRange(100, 200))
+	got, _ := mgrs[1].PullRange(ctx, keyspace.NewRange(100, 200))
 	if len(got) != 1 || got[0].Key != 150 {
 		t.Errorf("PullRange = %v, want one item with key 150", got)
 	}

@@ -72,12 +72,12 @@ func TestPushStreamsOversizedRangeStrict(t *testing.T) {
 	if err != nil {
 		t.Fatalf("oversized pull: %v", err)
 	}
-	pulled, ok := resp.([]datastore.Item)
+	pulled, ok := resp.(pullResp)
 	if !ok {
 		t.Fatalf("pull response type %T", resp)
 	}
-	if len(pulled) != items {
-		t.Fatalf("pulled %d items, want %d", len(pulled), items)
+	if len(pulled.Items) != items {
+		t.Fatalf("pulled %d items, want %d", len(pulled.Items), items)
 	}
 }
 
@@ -197,8 +197,8 @@ func TestPushOversizedRangeOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatalf("oversized push over TCP: %v", err)
 	}
-	if ok, _ := resp.(bool); !ok {
-		t.Fatalf("push response = %v, want true", resp)
+	if pr, ok := resp.(pushResp); !ok || pr.Deposed {
+		t.Fatalf("push response = %v, want an accepting pushResp", resp)
 	}
 	if got := rcv.ReplicaCount(); got != items {
 		t.Fatalf("replica count = %d, want %d", got, items)
@@ -216,14 +216,14 @@ func TestPushOversizedRangeOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatalf("oversized pull over TCP: %v", err)
 	}
-	pulled, ok := resp.([]datastore.Item)
+	pulled, ok := resp.(pullResp)
 	if !ok {
 		t.Fatalf("pull response type %T", resp)
 	}
-	if len(pulled) != items {
-		t.Fatalf("pulled %d items, want %d", len(pulled), items)
+	if len(pulled.Items) != items {
+		t.Fatalf("pulled %d items, want %d", len(pulled.Items), items)
 	}
-	for _, it := range pulled {
+	for _, it := range pulled.Items {
 		if len(it.Payload) != len(payload) {
 			t.Fatalf("pulled item %d truncated to %d bytes", it.Key, len(it.Payload))
 		}

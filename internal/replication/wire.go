@@ -6,6 +6,8 @@ import "repro/internal/transport"
 // datastore and keyspace owners.
 func init() {
 	transport.RegisterMessage(pushMsg{})
+	transport.RegisterMessage(pushResp{})
 	transport.RegisterMessage(pullReq{})
+	transport.RegisterMessage(pullResp{})
 	transport.RegisterMessage(replicaScanReq{})
 }

@@ -129,6 +129,18 @@ var (
 
 // Callbacks connect the ring to higher layers. All callbacks are optional
 // (nil fields are skipped) and are invoked without ring locks held.
+//
+// These events are also the ownership-epoch bump sites of the Data Store:
+// every membership change the ring raises becomes a new ownership
+// incarnation above it (PrepareJoinData/OnJoined carry a split's bumped
+// epoch in the opaque payload; OnPredChanged with predFailed set triggers
+// failure revival, whose claim must strictly supersede everything the
+// failed predecessor ever advertised). The ring itself stays range-agnostic
+// — exactly the Section 3 encapsulation — but its failure detector is the
+// component whose false positives the epochs exist to fence: a suspicion
+// raised against a live peer revives its range at a higher epoch, and the
+// deposed incarnation later steps down instead of splitting the range's
+// history in two (see ARCHITECTURE.md, "Ownership epochs").
 type Callbacks struct {
 	// PrepareJoinData is the framework's INSERT event, raised on the
 	// inserting peer when the joining peer is about to transition to JOINED

@@ -12,6 +12,13 @@
 // tolerance the Content Router's doubling pointers already rely on, applied
 // to cached routing state to shortcut the cold O(log n) descent.
 //
+// Entries carry the owner's ownership epoch (the fencing token of the range
+// index): requests issued from a cached entry are stamped with it, so a
+// deposed incarnation answers ErrStaleEpoch instead of serving, and Learn
+// refuses to let an observation with a lower epoch clobber a fresher
+// overlapping entry — "invalidate on any higher-epoch observation, never
+// regress to a lower one".
+//
 // Counter semantics: a Hit is "the cache produced a candidate", counted at
 // Lookup time; a candidate later proven stale additionally counts an
 // Invalidation (and is evicted). The effective hit rate is therefore
@@ -33,11 +40,14 @@ import (
 const DefaultCapacity = 128
 
 // Entry is one cached ownership fact: the peer at Addr was last seen serving
-// Range, with Replicas holding copies of its items (its ring successors at
-// learn time — the fallback targets for replica reads).
+// Range at ownership Epoch, with Replicas holding copies of its items (its
+// ring successors at learn time — the fallback targets for replica reads).
+// Epoch 0 means the fact carried no epoch (hand-built tests); such entries
+// are served but never shield against fresher observations.
 type Entry struct {
 	Range    keyspace.Range
 	Addr     transport.Addr
+	Epoch    uint64
 	Replicas []transport.Addr
 }
 
@@ -101,27 +111,49 @@ func (c *Cache) Lookup(key keyspace.Key) (Entry, bool) {
 	return Entry{}, false
 }
 
-// Learn records that addr currently serves rng, with replicas holding copies
-// of its items. A peer owns exactly one range, so the entry keyed by addr is
-// replaced; an empty addr is ignored. A nil replicas leaves any previously
-// learned candidates in place (lookup paths that only confirm ownership do
-// not erase the richer fact a scan reply taught us).
+// Learn records that addr currently serves rng at ownership epoch (0 = no
+// epoch information), with replicas holding copies of its items. A peer owns
+// exactly one range, so the entry keyed by addr is replaced; an empty addr
+// is ignored. A nil replicas leaves any previously learned candidates in
+// place (lookup paths that only confirm ownership do not erase the richer
+// fact a scan reply taught us).
 //
 // Responsibility ranges partition the key space at any instant, so any OTHER
 // cached entry overlapping the fact just learned is provably stale and is
 // evicted: the cache converges toward a consistent partition approximation
 // instead of accumulating shadowed garbage that Lookup would never surface
 // (and therefore never get the chance to invalidate).
-func (c *Cache) Learn(rng keyspace.Range, addr transport.Addr, replicas []transport.Addr) {
+//
+// Epochs order conflicting observations: a fact carrying a LOWER epoch than
+// an overlapping cached entry is the one that is stale — an old observation
+// arriving late, or a deposed incarnation still answering — and is dropped
+// instead of clobbering the fresher entry. Any higher-epoch observation
+// invalidates the overlapping lower-epoch entries as usual.
+func (c *Cache) Learn(rng keyspace.Range, addr transport.Addr, epoch uint64, replicas []transport.Addr) {
 	if addr == "" {
 		return
 	}
 	c.mu.Lock()
+	// Reject facts provably staler than what the cache already holds.
+	if epoch != 0 {
+		for e := c.ll.Front(); e != nil; e = e.Next() {
+			ent := e.Value.(*Entry)
+			if ent.Addr != addr && ent.Epoch > epoch && ent.Range.Overlaps(rng) {
+				c.mu.Unlock()
+				return
+			}
+		}
+	}
+	if e, ok := c.byAddr[addr]; ok && epoch != 0 && e.Value.(*Entry).Epoch > epoch {
+		// A newer incarnation of the same peer is already cached.
+		c.mu.Unlock()
+		return
+	}
 	var evicted int
 	for e := c.ll.Front(); e != nil; {
 		next := e.Next()
 		ent := e.Value.(*Entry)
-		if ent.Addr != addr && rangesOverlap(ent.Range, rng) {
+		if ent.Addr != addr && ent.Range.Overlaps(rng) {
 			delete(c.byAddr, ent.Addr)
 			c.ll.Remove(e)
 			evicted++
@@ -131,12 +163,15 @@ func (c *Cache) Learn(rng keyspace.Range, addr transport.Addr, replicas []transp
 	if e, ok := c.byAddr[addr]; ok {
 		ent := e.Value.(*Entry)
 		ent.Range = rng
+		if epoch != 0 {
+			ent.Epoch = epoch
+		}
 		if replicas != nil {
 			ent.Replicas = append([]transport.Addr(nil), replicas...)
 		}
 		c.ll.MoveToFront(e)
 	} else {
-		ent := &Entry{Range: rng, Addr: addr}
+		ent := &Entry{Range: rng, Addr: addr, Epoch: epoch}
 		if replicas != nil {
 			ent.Replicas = append([]transport.Addr(nil), replicas...)
 		}
@@ -152,13 +187,6 @@ func (c *Cache) Learn(rng keyspace.Range, addr transport.Addr, replicas []transp
 	if evicted > 0 {
 		c.evictions.Add(uint64(evicted))
 	}
-}
-
-// rangesOverlap reports whether two circular ranges share any key. A range
-// contains its own Hi, so two ranges overlap exactly when either contains
-// the other's upper bound (full ranges contain everything).
-func rangesOverlap(a, b keyspace.Range) bool {
-	return a.Contains(b.Hi) || b.Contains(a.Hi)
 }
 
 // Invalidate drops the entry for addr — the target disclaimed ownership, or

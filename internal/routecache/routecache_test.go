@@ -11,10 +11,10 @@ import (
 
 func TestLearnPrunesOverlappingStaleEntries(t *testing.T) {
 	c := New(8)
-	c.Learn(keyspace.NewRange(0, 100), "a", nil)
+	c.Learn(keyspace.NewRange(0, 100), "a", 0, nil)
 	// Ranges partition the key space, so a fresher overlapping fact proves
 	// the older entry stale: learning (0,50] -> b must evict (0,100] -> a.
-	c.Learn(keyspace.NewRange(0, 50), "b", nil)
+	c.Learn(keyspace.NewRange(0, 50), "b", 0, nil)
 	ent, ok := c.Lookup(40)
 	if !ok || ent.Addr != "b" {
 		t.Fatalf("Lookup(40) = %+v, %v; want fresh entry b", ent, ok)
@@ -26,7 +26,7 @@ func TestLearnPrunesOverlappingStaleEntries(t *testing.T) {
 		t.Fatalf("Evictions = %d, want 1 (the pruned stale entry)", st.Evictions)
 	}
 	// Disjoint facts coexist.
-	c.Learn(keyspace.NewRange(50, 100), "a", nil)
+	c.Learn(keyspace.NewRange(50, 100), "a", 0, nil)
 	if c.Len() != 2 {
 		t.Fatalf("Len = %d, want 2 disjoint entries", c.Len())
 	}
@@ -34,8 +34,8 @@ func TestLearnPrunesOverlappingStaleEntries(t *testing.T) {
 
 func TestLearnReplacesPerAddr(t *testing.T) {
 	c := New(8)
-	c.Learn(keyspace.NewRange(0, 100), "a", []transport.Addr{"r1"})
-	c.Learn(keyspace.NewRange(0, 60), "a", nil) // split shrank a's range
+	c.Learn(keyspace.NewRange(0, 100), "a", 0, []transport.Addr{"r1"})
+	c.Learn(keyspace.NewRange(0, 60), "a", 0, nil) // split shrank a's range
 	if c.Len() != 1 {
 		t.Fatalf("Len = %d, want 1 (one entry per peer)", c.Len())
 	}
@@ -54,10 +54,10 @@ func TestLearnReplacesPerAddr(t *testing.T) {
 
 func TestEvictionIsLRUAndCounted(t *testing.T) {
 	c := New(2)
-	c.Learn(keyspace.NewRange(0, 10), "a", nil)
-	c.Learn(keyspace.NewRange(10, 20), "b", nil)
+	c.Learn(keyspace.NewRange(0, 10), "a", 0, nil)
+	c.Learn(keyspace.NewRange(10, 20), "b", 0, nil)
 	c.Lookup(5) // touch a: b becomes the LRU victim
-	c.Learn(keyspace.NewRange(20, 30), "c", nil)
+	c.Learn(keyspace.NewRange(20, 30), "c", 0, nil)
 	if _, ok := c.Lookup(15); ok {
 		t.Fatal("entry b survived past capacity")
 	}
@@ -71,7 +71,7 @@ func TestEvictionIsLRUAndCounted(t *testing.T) {
 
 func TestInvalidate(t *testing.T) {
 	c := New(8)
-	c.Learn(keyspace.NewRange(0, 100), "a", nil)
+	c.Learn(keyspace.NewRange(0, 100), "a", 0, nil)
 	c.Invalidate("a")
 	c.Invalidate("unknown") // no-op, not counted
 	if _, ok := c.Lookup(50); ok {
@@ -88,7 +88,7 @@ func TestInvalidate(t *testing.T) {
 
 func TestClearKeepsCounters(t *testing.T) {
 	c := New(8)
-	c.Learn(keyspace.NewRange(0, 100), "a", nil)
+	c.Learn(keyspace.NewRange(0, 100), "a", 0, nil)
 	c.Lookup(50)
 	c.Clear()
 	if c.Len() != 0 {
@@ -101,7 +101,7 @@ func TestClearKeepsCounters(t *testing.T) {
 
 func TestWrappedRangeLookup(t *testing.T) {
 	c := New(8)
-	c.Learn(keyspace.NewRange(keyspace.MaxKey-10, 10), "wrap", nil)
+	c.Learn(keyspace.NewRange(keyspace.MaxKey-10, 10), "wrap", 0, nil)
 	for _, k := range []keyspace.Key{keyspace.MaxKey, 0, 5} {
 		if ent, ok := c.Lookup(k); !ok || ent.Addr != "wrap" {
 			t.Fatalf("Lookup(%d) = %+v, %v", k, ent, ok)
@@ -122,7 +122,7 @@ func TestConcurrentUse(t *testing.T) {
 			for i := 0; i < 200; i++ {
 				lo := keyspace.Key((g*200 + i) % 1000)
 				addr := transport.Addr(fmt.Sprintf("p%d", (g+i)%16))
-				c.Learn(keyspace.NewRange(lo, lo+50), addr, nil)
+				c.Learn(keyspace.NewRange(lo, lo+50), addr, 0, nil)
 				c.Lookup(lo + 25)
 				if i%17 == 0 {
 					c.Invalidate(addr)
@@ -136,4 +136,62 @@ func TestConcurrentUse(t *testing.T) {
 	}
 	c.Stats()
 	c.Entries()
+}
+
+// Epoch rules: a higher-epoch observation invalidates overlapping
+// lower-epoch entries, and a lower-epoch observation arriving late is
+// dropped instead of clobbering the fresher entry — the cache never
+// regresses to a deposed incarnation.
+func TestLearnEpochOrdering(t *testing.T) {
+	c := New(8)
+	c.Learn(keyspace.NewRange(0, 100), "winner", 5, []transport.Addr{"r1"})
+
+	// A deposed incarnation's observation arrives late: overlapping range,
+	// lower epoch. It must not displace the fresher entry.
+	c.Learn(keyspace.NewRange(0, 100), "loser", 3, nil)
+	ent, ok := c.Lookup(50)
+	if !ok || ent.Addr != "winner" || ent.Epoch != 5 {
+		t.Fatalf("Lookup after stale learn = %+v, %v; want winner@5", ent, ok)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after rejected stale learn, want 1", c.Len())
+	}
+
+	// A strictly higher epoch supersedes: the old entry is evicted.
+	c.Learn(keyspace.NewRange(0, 100), "next", 6, nil)
+	ent, ok = c.Lookup(50)
+	if !ok || ent.Addr != "next" || ent.Epoch != 6 {
+		t.Fatalf("Lookup after higher-epoch learn = %+v, %v; want next@6", ent, ok)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after supersession, want 1 (winner evicted)", c.Len())
+	}
+}
+
+// Same-peer epoch rules: an epoch-less confirmation keeps the known epoch,
+// a stale self-observation is rejected, and a newer incarnation updates.
+func TestLearnSameAddrEpochs(t *testing.T) {
+	c := New(8)
+	c.Learn(keyspace.NewRange(0, 100), "a", 4, []transport.Addr{"r1"})
+
+	c.Learn(keyspace.NewRange(0, 100), "a", 0, nil) // ownership-only confirmation
+	ent, _ := c.Lookup(50)
+	if ent.Epoch != 4 || len(ent.Replicas) != 1 {
+		t.Fatalf("epoch-less confirmation entry = %+v, want epoch 4 with replicas kept", ent)
+	}
+
+	c.Learn(keyspace.NewRange(0, 60), "a", 2, nil) // out-of-order stale observation
+	ent, _ = c.Lookup(80)
+	if ent.Addr != "a" || ent.Epoch != 4 {
+		t.Fatalf("stale self-learn was applied: %+v", ent)
+	}
+
+	c.Learn(keyspace.NewRange(0, 60), "a", 7, nil) // genuine newer incarnation
+	if _, ok := c.Lookup(80); ok {
+		t.Fatal("key outside the newer incarnation's range still cached")
+	}
+	ent, _ = c.Lookup(50)
+	if ent.Epoch != 7 {
+		t.Fatalf("entry epoch = %d, want 7", ent.Epoch)
+	}
 }

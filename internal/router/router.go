@@ -254,12 +254,14 @@ func (r *Router) handleLevelAt(_ transport.Addr, _ string, payload any) (any, er
 
 // nextHopResp is the answer to "where should a lookup for key go next?".
 // When the answering peer owns the key it also reports its responsibility
-// range and its successor chain, so the caller can prime the owner-lookup
-// cache (the successors are where the owner's replicas live — the fallback
-// targets for replica reads).
+// range, its ownership epoch (the fencing token mutations and scans are
+// stamped with) and its successor chain, so the caller can prime the
+// owner-lookup cache (the successors are where the owner's replicas live —
+// the fallback targets for replica reads).
 type nextHopResp struct {
 	Owner bool           // this peer owns the key
 	Range keyspace.Range // when Owner: the peer's responsibility range
+	Epoch uint64         // when Owner: the range's ownership epoch
 	Chain []ring.Node    // when Owner: the peer's ring successors
 	Next  ring.Node      // otherwise: the farthest known peer not passing the key
 	Valid bool
@@ -271,8 +273,8 @@ func (r *Router) handleNextHop(_ transport.Addr, _ string, payload any) (any, er
 	if !ok {
 		return nil, fmt.Errorf("router: bad key payload %T", payload)
 	}
-	if rng, has := r.ds.Range(); has && rng.Contains(key) {
-		return nextHopResp{Owner: true, Range: rng, Chain: r.ring.Successors()}, nil
+	if rng, epoch, has := r.ds.RangeEpoch(); has && rng.Contains(key) {
+		return nextHopResp{Owner: true, Range: rng, Epoch: epoch, Chain: r.ring.Successors()}, nil
 	}
 	self := r.ring.Self()
 	best := ring.Node{}
@@ -335,7 +337,7 @@ func (r *Router) FindOwner(ctx context.Context, key keyspace.Key) (transport.Add
 			hops++
 			if nh, ok := resp.(nextHopResp); err == nil && ok {
 				if nh.Owner {
-					r.cache.Learn(nh.Range, ent.Addr, nodeAddrs(nh.Chain))
+					r.cache.Learn(nh.Range, ent.Addr, nh.Epoch, nodeAddrs(nh.Chain))
 					return ent.Addr, hops, nil
 				}
 				r.cache.Invalidate(ent.Addr)
@@ -369,7 +371,7 @@ func (r *Router) FindOwner(ctx context.Context, key keyspace.Key) (transport.Add
 		}
 		if nh.Owner {
 			if r.cache != nil && cur != self.Addr {
-				r.cache.Learn(nh.Range, cur, nodeAddrs(nh.Chain))
+				r.cache.Learn(nh.Range, cur, nh.Epoch, nodeAddrs(nh.Chain))
 			}
 			return cur, hops, nil
 		}
@@ -426,7 +428,7 @@ func (r *Router) LinearFindOwner(ctx context.Context, key keyspace.Key) (transpo
 		if nh.Owner {
 			cancel()
 			if r.cache != nil && cur != self.Addr {
-				r.cache.Learn(nh.Range, cur, nodeAddrs(nh.Chain))
+				r.cache.Learn(nh.Range, cur, nh.Epoch, nodeAddrs(nh.Chain))
 			}
 			return cur, hops, nil
 		}
@@ -460,14 +462,15 @@ func (r *Router) CachedEntry(key keyspace.Key) (routecache.Entry, bool) {
 }
 
 // Learn records an ownership fact observed outside the router — a scan hop
-// or a query reply — in the owner-lookup cache. chain is the owner's
-// successor list (its replica holders); nil leaves previously learned
-// candidates in place.
-func (r *Router) Learn(rng keyspace.Range, addr transport.Addr, chain []ring.Node) {
+// or a query reply — in the owner-lookup cache. epoch is the fact's
+// ownership epoch (0 = unknown); the cache refuses to regress an overlapping
+// entry to a lower epoch. chain is the owner's successor list (its replica
+// holders); nil leaves previously learned candidates in place.
+func (r *Router) Learn(rng keyspace.Range, addr transport.Addr, epoch uint64, chain []ring.Node) {
 	if r.cache == nil || addr == r.ring.Self().Addr {
 		return
 	}
-	r.cache.Learn(rng, addr, nodeAddrs(chain))
+	r.cache.Learn(rng, addr, epoch, nodeAddrs(chain))
 }
 
 // InvalidateOwner drops addr's cached ownership entry — the peer disclaimed

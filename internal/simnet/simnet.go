@@ -83,6 +83,16 @@ type Config struct {
 	// never runs. seq is the zero-based chunk sequence number within the
 	// transfer.
 	ChunkFault func(to Addr, method string, seq int) bool
+	// SuspectFault, when set, is consulted for every Call and Send (fault
+	// injection): returning true makes the destination appear failed for
+	// that one message — the caller blocks for DeadCallDelay and reports
+	// ErrUnreachable (a Send is silently dropped) — while the destination
+	// stays alive and keeps serving everyone else. This is deterministic
+	// false-positive failure detection: aim it at ring.ping traffic toward a
+	// live peer and the ring's failure detector wrongly declares that peer
+	// dead while its datastore keeps serving, reproducing the dual-claim
+	// ownership window that epoch fencing exists to close.
+	SuspectFault func(from, to Addr, method string) bool
 }
 
 // DefaultConfig returns timing suited to millisecond-scale experiments.
@@ -102,6 +112,7 @@ type Stats struct {
 	Streams        uint64 // chunked transfers opened
 	Chunks         uint64 // chunk frames carried by streamed transfers
 	ChunkDrops     uint64 // chunk frames dropped by fault injection
+	SuspectDrops   uint64 // calls/sends dropped by SuspectFault injection
 	Failures       uint64 // calls/sends that could not be delivered
 	StrictFailures uint64 // messages rejected by the codec in strict mode
 	ByMethod       map[string]uint64
@@ -124,6 +135,7 @@ type Network struct {
 	streams        atomic.Uint64
 	chunks         atomic.Uint64
 	chunkDrops     atomic.Uint64
+	suspectDrops   atomic.Uint64
 	failures       atomic.Uint64
 	strictFailures atomic.Uint64
 
@@ -241,6 +253,7 @@ func (n *Network) Stats() Stats {
 		Streams:        n.streams.Load(),
 		Chunks:         n.chunks.Load(),
 		ChunkDrops:     n.chunkDrops.Load(),
+		SuspectDrops:   n.suspectDrops.Load(),
 		Failures:       n.failures.Load(),
 		StrictFailures: n.strictFailures.Load(),
 		ByMethod:       by,
@@ -383,6 +396,16 @@ func (n *Network) Call(ctx context.Context, from, to Addr, method string, payloa
 	if err := sleep(ctx, n.latency()); err != nil {
 		n.failures.Add(1)
 		return nil, err
+	}
+	if f := n.cfg.SuspectFault; f != nil && f(from, to, method) {
+		// Injected false positive: the destination is alive, but this caller
+		// observes exactly what a fail-stop looks like.
+		n.suspectDrops.Add(1)
+		n.failures.Add(1)
+		if err := sleep(ctx, n.cfg.DeadCallDelay); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: %s (suspect fault)", ErrUnreachable, to)
 	}
 	ep, ok := n.lookup(to)
 	if !ok {
@@ -587,6 +610,11 @@ func (n *Network) Send(from, to Addr, method string, payload any) {
 	go func() {
 		if d := n.latency(); d > 0 {
 			time.Sleep(d)
+		}
+		if f := n.cfg.SuspectFault; f != nil && f(from, to, method) {
+			n.suspectDrops.Add(1)
+			n.failures.Add(1)
+			return
 		}
 		ep, ok := n.lookup(to)
 		if !ok {

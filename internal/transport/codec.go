@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"strings"
 	"sync"
 )
 
@@ -57,6 +58,51 @@ func RegisteredMessages() []any {
 	out := make([]any, len(registered))
 	copy(out, registered)
 	return out
+}
+
+var (
+	wireErrMu  sync.Mutex
+	wireErrors []error // sentinel errors recoverable from remote error text
+)
+
+// RegisterWireError registers a sentinel error that protocol handlers return
+// across the wire. A handler error cannot keep its concrete Go identity over
+// a real network hop — it arrives as message text — so transports that carry
+// handler errors as text (the TCP transport's RemoteError) consult this
+// registry: a remote error whose text contains a registered sentinel's text
+// matches that sentinel under errors.Is. Register only sentinels whose text
+// is distinctive enough to act as an identity (the package-prefixed
+// "datastore: ..." convention is).
+func RegisterWireError(sentinel error) {
+	if sentinel == nil || sentinel.Error() == "" {
+		panic("transport: cannot register a nil or empty wire error")
+	}
+	wireErrMu.Lock()
+	defer wireErrMu.Unlock()
+	for _, prev := range wireErrors {
+		if prev == sentinel {
+			return
+		}
+	}
+	wireErrors = append(wireErrors, sentinel)
+}
+
+// MatchWireError reports whether msg — the text of a handler error that
+// crossed the wire — carries a registered sentinel, and target is that
+// sentinel. Transports use it to implement errors.Is on their remote error
+// types, so callers can errors.Is(err, sentinel) regardless of substrate.
+func MatchWireError(msg string, target error) bool {
+	if target == nil {
+		return false
+	}
+	wireErrMu.Lock()
+	defer wireErrMu.Unlock()
+	for _, s := range wireErrors {
+		if s == target {
+			return strings.Contains(msg, s.Error())
+		}
+	}
+	return false
 }
 
 // Encode serializes a payload (which may be nil) into a self-describing byte

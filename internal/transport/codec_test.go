@@ -2,6 +2,7 @@ package transport_test
 
 import (
 	"bytes"
+	"errors"
 	"reflect"
 	"testing"
 
@@ -98,5 +99,25 @@ func TestFrameRejectsOversizedLength(t *testing.T) {
 	buf := bytes.NewBuffer([]byte{0xFF, 0xFF, 0xFF, 0xFF})
 	if _, err := transport.ReadFrame(buf); err == nil {
 		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestWireErrorRegistry(t *testing.T) {
+	sentinel := errors.New("codectest: fenced off")
+	other := errors.New("codectest: never registered")
+	transport.RegisterWireError(sentinel)
+	transport.RegisterWireError(sentinel) // duplicate registration is a no-op
+
+	if !transport.MatchWireError("handler failed: codectest: fenced off (epoch 3)", sentinel) {
+		t.Error("registered sentinel not matched in remote text")
+	}
+	if transport.MatchWireError("handler failed: codectest: fenced off", other) {
+		t.Error("unregistered sentinel matched")
+	}
+	if transport.MatchWireError("some unrelated failure", sentinel) {
+		t.Error("sentinel matched text that does not contain it")
+	}
+	if transport.MatchWireError("anything", nil) {
+		t.Error("nil target matched")
 	}
 }

@@ -475,9 +475,18 @@ func (t *Transport) respond(w *batchWriter, id uint64, resp any, herr error) {
 // RemoteError is a handler error that crossed the wire. The concrete error
 // type cannot survive serialization, so callers get the message text;
 // transport-level failures keep their sentinel identity (ErrUnreachable).
+// Sentinels registered with transport.RegisterWireError are recovered from
+// the text, so errors.Is(err, sentinel) works across the wire for typed
+// protocol errors like the datastore's stale-epoch rejection.
 type RemoteError struct{ Msg string }
 
 func (e *RemoteError) Error() string { return e.Msg }
+
+// Is matches registered wire sentinels by their text, giving remote handler
+// errors the same errors.Is identity they have on an in-process transport.
+func (e *RemoteError) Is(target error) bool {
+	return transport.MatchWireError(e.Msg, target)
+}
 
 // Call implements transport.Transport. The exchange is bounded by ctx, or by
 // Config.CallTimeout when ctx carries no deadline.

@@ -45,6 +45,17 @@ trap cleanup EXIT
 echo "== build pepperd"
 go build -o "$BIN" ./cmd/pepperd
 
+# probe_epoch runs a probe, echoes its output, and captures the target's
+# current ownership epoch from the status line (epoch=N). The epoch is the
+# range-ownership fencing token: it must only ever move forward at a given
+# peer, and every membership change (split, merge, revival) bumps it.
+probe_epoch() {
+  local out
+  out=$("$BIN" "$@")
+  echo "$out" >&2
+  echo "$out" | sed -n 's/.*[[:space:]]epoch=\([0-9][0-9]*\).*/\1/p' | head -1
+}
+
 echo "== start bootstrap at $P_BOOT ($ITEMS items, $PAYLOAD-byte payloads)"
 "$BIN" -listen "$P_BOOT" -items "$ITEMS" -payload "$PAYLOAD" >"$WORK/boot.log" 2>&1 &
 PIDS+=($!)
@@ -55,7 +66,8 @@ PIDS+=($!)
 # checker would flag the item as never-live; see ROADMAP on journal
 # shipping).
 "$BIN" -probe "$P_BOOT" -serving -wait 30s
-"$BIN" -probe "$P_BOOT" -expect "$ITEMS" -probe-ub "$UB" -wait "$WAIT"
+EPOCH_LOADED=$(probe_epoch -probe "$P_BOOT" -expect "$ITEMS" -probe-ub "$UB" -wait "$WAIT")
+echo "== bootstrap epoch after load: ${EPOCH_LOADED:?probe printed no epoch}"
 
 echo "== start two free peers ($P_A, $P_B); splits draw them into the ring"
 "$BIN" -listen "$P_A" -join "$P_BOOT" >"$WORK/peer-a.log" 2>&1 &
@@ -66,9 +78,12 @@ PID_B=$!
 PIDS+=("$PID_B")
 
 echo "== wait until both joiners serve a range and the full load is queryable"
-"$BIN" -probe "$P_A" -serving -wait "$WAIT"
-"$BIN" -probe "$P_B" -serving -wait "$WAIT"
-"$BIN" -probe "$P_BOOT" -expect "$ITEMS" -probe-ub "$UB" -wait "$WAIT"
+"$BIN" -probe "$P_A" -serving -min-epoch 1 -wait "$WAIT"
+"$BIN" -probe "$P_B" -serving -min-epoch 1 -wait "$WAIT"
+# The splits that drew the joiners in are epoch bumps at the bootstrap:
+# its epoch must have moved strictly past the post-load value.
+EPOCH_SPLIT=$(probe_epoch -probe "$P_BOOT" -expect "$ITEMS" -probe-ub "$UB" -min-epoch $((EPOCH_LOADED + 1)) -wait "$WAIT")
+echo "== bootstrap epoch after splits: ${EPOCH_SPLIT:?probe printed no epoch}"
 
 echo "== churn: fail-stop one serving peer ($P_B)"
 kill -9 "$PID_B"
@@ -88,13 +103,15 @@ echo "== recovery: replication must revive the lost range"
 echo "== rejoin: a fresh process re-enters and the pending split draws it in"
 "$BIN" -listen "$P_REJOIN" -join "$P_BOOT" >"$WORK/peer-rejoin.log" 2>&1 &
 PIDS+=($!)
-"$BIN" -probe "$P_REJOIN" -serving -wait "$WAIT"
+"$BIN" -probe "$P_REJOIN" -serving -min-epoch 1 -wait "$WAIT"
 
 echo "== final audit: journaled full query + Definition 4 check at the bootstrap"
 # -min-cache-hits gates the read path: the query-heavy phase above must have
 # produced owner-lookup cache hits at the bootstrap (the counter travels in
-# the probe status).
-"$BIN" -probe "$P_BOOT" -expect "$ITEMS" -probe-ub "$UB" -min-cache-hits 1 -audit -wait "$WAIT"
+# the probe status). -min-epoch gates the ownership-epoch fence: across the
+# whole kill/recover/rejoin cycle the bootstrap's epoch must never have
+# regressed below its post-split value (epochs are monotonic per range).
+"$BIN" -probe "$P_BOOT" -expect "$ITEMS" -probe-ub "$UB" -min-cache-hits 1 -min-epoch "$EPOCH_SPLIT" -audit -wait "$WAIT"
 
 STATUS=0
 echo "== cluster smoke PASSED"
