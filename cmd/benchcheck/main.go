@@ -16,10 +16,21 @@
 // cached-entry range queries must be at least the given factor faster than
 // cold-descent queries. The replica-fallback series is informational.
 //
+// With -tail-warm-min > 0 the open-loop tail-latency figure (benchrunner
+// -tail) is gated within the PR run: at the highest benched arrival rate,
+// the cold-cache (descent per op) p50 must be at least the given factor
+// slower than the warm-cache p50 — i.e. the route cache must still be
+// earning its keep. With -tail-max-ratio > 0 the PR's warm p95/p50 ratio
+// (tail amplification, self-normalized so it is hardware-independent) is
+// compared against the baseline's at the highest common arrival rate, and
+// the gate fails when the PR amplification exceeds the baseline's by more
+// than that factor.
+//
 // Usage:
 //
 //	benchcheck -pr BENCH_pr.json -main BENCH_main.json [-threshold 0.25]
-//	           [-readpath-min 2.0] [-allow-missing]
+//	           [-readpath-min 2.0] [-tail-warm-min 2.0] [-tail-max-ratio 3.0]
+//	           [-allow-missing]
 package main
 
 import (
@@ -52,6 +63,8 @@ func main() {
 	mainPath := flag.String("main", "BENCH_main.json", "baseline benchmark report")
 	threshold := flag.Float64("threshold", 0.25, "fail when the pipelining speedup drops by more than this fraction")
 	readPathMin := flag.Float64("readpath-min", 0, "when > 0: fail unless cached-entry queries are at least this factor faster than cold-descent queries at the largest benched cluster size")
+	tailWarmMin := flag.Float64("tail-warm-min", 0, "when > 0: fail unless the cold-cache p50 is at least this factor above the warm-cache p50 at the highest benched arrival rate")
+	tailMaxRatio := flag.Float64("tail-max-ratio", 0, "when > 0: fail when the PR's warm p95/p50 tail amplification exceeds the baseline's by more than this factor at the highest common arrival rate")
 	allowMissing := flag.Bool("allow-missing", false, "exit 0 (with a warning) when the baseline file does not exist")
 	flag.Parse()
 
@@ -71,7 +84,13 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	base, err := loadTransportMetrics(*mainPath)
+	if *tailWarmMin > 0 {
+		if err := checkTailWarm(prRep, *prPath, *tailWarmMin); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: FAIL: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	baseRep, err := loadReport(*mainPath)
 	if err != nil {
 		if *allowMissing && errors.Is(err, fs.ErrNotExist) {
 			fmt.Printf("benchcheck: no baseline at %s; skipping comparison\n", *mainPath)
@@ -80,6 +99,17 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "benchcheck: baseline report: %v\n", err)
 		os.Exit(1)
+	}
+	base, err := extractTransportMetrics(baseRep, *mainPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: baseline report: %v\n", err)
+		os.Exit(1)
+	}
+	if *tailMaxRatio > 0 {
+		if err := checkTailRatio(prRep, *prPath, baseRep, *mainPath, *tailMaxRatio, *allowMissing); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: FAIL: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	fmt.Printf("benchcheck: pipelining speedup: PR %.2fx vs baseline %.2fx (threshold -%.0f%%)\n",
@@ -107,13 +137,115 @@ func loadReport(path string) (*report, error) {
 	return &rep, nil
 }
 
-// loadTransportMetrics extracts the pipelined-call series from a report.
-func loadTransportMetrics(path string) (transportMetrics, error) {
-	rep, err := loadReport(path)
-	if err != nil {
-		return transportMetrics{}, err
+// tailFigure finds the open-loop tail-latency figure in a report, or nil.
+func tailFigure(rep *report) *metrics.Figure {
+	for _, fig := range rep.Figures {
+		if fig != nil && strings.HasPrefix(fig.Title, "open-loop:") {
+			return fig
+		}
 	}
-	return extractTransportMetrics(rep, path)
+	return nil
+}
+
+// tailPoint reads one series value of the tail figure at x (0 if absent).
+func tailPoint(fig *metrics.Figure, label, x string) float64 {
+	for _, s := range fig.Series {
+		if s.Label == label {
+			return s.Points[x]
+		}
+	}
+	return 0
+}
+
+// checkTailWarm gates the warm/cold split of the PR's tail figure: at the
+// highest benched arrival rate, the cold-cache p50 (a full descent per
+// operation) must be at least minFactor times the warm-cache p50, i.e. the
+// client's route cache must still buy a real latency win. Within one run, so
+// hardware-independent.
+func checkTailWarm(rep *report, path string, minFactor float64) error {
+	fig := tailFigure(rep)
+	if fig == nil {
+		return fmt.Errorf("%s: no open-loop tail figure in the report (run benchrunner with -tail)", path)
+	}
+	if len(fig.XOrder) == 0 {
+		return fmt.Errorf("%s: tail figure has no x points", path)
+	}
+	highest := fig.XOrder[len(fig.XOrder)-1]
+	warm := tailPoint(fig, "warm p50", highest)
+	cold := tailPoint(fig, "cold p50", highest)
+	if warm <= 0 || cold <= 0 {
+		return fmt.Errorf("%s: tail figure lacks warm/cold p50 points at %s arrivals/s", path, highest)
+	}
+	factor := cold / warm
+	fmt.Printf("benchcheck: tail warm-cache win at %s arrivals/s: %.2fx (cold p50 %.3fms vs warm p50 %.3fms; floor %.2fx)\n",
+		highest, factor, cold, warm, minFactor)
+	if factor < minFactor {
+		return fmt.Errorf("warm-cache p50 only %.2fx better than cold descent at %s arrivals/s (floor %.2fx)", factor, highest, minFactor)
+	}
+	return nil
+}
+
+// checkTailRatio gates tail amplification against the baseline: the PR's
+// warm p95/p50 ratio must not exceed the baseline's by more than maxRatio at
+// the highest arrival rate both reports benched. Both sides are ratios
+// within their own run, so the comparison survives CI machines of different
+// speeds; p95 rather than p99 because at CI sample counts (a ~1s arm per
+// slice) the p99 is within a sample or two of the maximum and gates on it
+// flake. The figure still carries p99/p999 series for trend reading. A
+// baseline that predates the tail figure is skipped (with a warning) when
+// allowMissing is set.
+func checkTailRatio(prRep *report, prPath string, baseRep *report, basePath string, maxRatio float64, allowMissing bool) error {
+	prFig := tailFigure(prRep)
+	if prFig == nil {
+		return fmt.Errorf("%s: no open-loop tail figure in the report (run benchrunner with -tail)", prPath)
+	}
+	baseFig := tailFigure(baseRep)
+	if baseFig == nil {
+		if allowMissing {
+			fmt.Printf("benchcheck: baseline %s has no tail figure yet; skipping tail-amplification comparison\n", basePath)
+			return nil
+		}
+		return fmt.Errorf("%s: no open-loop tail figure in the baseline", basePath)
+	}
+	baseX := map[string]bool{}
+	for _, x := range baseFig.XOrder {
+		baseX[x] = true
+	}
+	common := ""
+	for _, x := range prFig.XOrder {
+		if baseX[x] {
+			common = x
+		}
+	}
+	if common == "" {
+		if allowMissing {
+			fmt.Printf("benchcheck: tail figures share no arrival rate (PR %v vs baseline %v); skipping comparison\n", prFig.XOrder, baseFig.XOrder)
+			return nil
+		}
+		return fmt.Errorf("tail figures share no arrival rate (PR %v vs baseline %v)", prFig.XOrder, baseFig.XOrder)
+	}
+	ampOf := func(fig *metrics.Figure, path string) (float64, error) {
+		p50 := tailPoint(fig, "warm p50", common)
+		p95 := tailPoint(fig, "warm p95", common)
+		if p50 <= 0 || p95 <= 0 {
+			return 0, fmt.Errorf("%s: tail figure lacks warm p50/p95 points at %s arrivals/s", path, common)
+		}
+		return p95 / p50, nil
+	}
+	prAmp, err := ampOf(prFig, prPath)
+	if err != nil {
+		return err
+	}
+	baseAmp, err := ampOf(baseFig, basePath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("benchcheck: tail amplification (warm p95/p50) at %s arrivals/s: PR %.2fx vs baseline %.2fx (ceiling %.1fx baseline)\n",
+		common, prAmp, baseAmp, maxRatio)
+	if prAmp > maxRatio*baseAmp {
+		return fmt.Errorf("tail amplification grew to %.2fx, over %.1fx the baseline's %.2fx at %s arrivals/s", prAmp, maxRatio, baseAmp, common)
+	}
+	return nil
 }
 
 // checkReadPath gates the read-path figure: at the largest benched cluster

@@ -5,14 +5,17 @@
 // Usage:
 //
 //	benchrunner [-fig N] [-scale ms] [-run paperS] [-quick] [-seed n]
-//	            [-transport] [-readpath] [-json FILE]
+//	            [-transport] [-readpath] [-tail] [-json FILE]
 //
 // With no -fig, every figure (19–23) runs in order. -quick shrinks the
 // sweeps for a fast sanity pass. -transport appends the transport
 // throughput sweep (pipelined calls vs in-flight depth over one TCP
 // connection). -readpath appends the read-path figure (range query latency
 // vs cluster size: cold descent / cached entry / replica fallback), gated
-// by cmd/benchcheck. -json also writes every regenerated figure to FILE as a
+// by cmd/benchcheck. -tail appends the open-loop tail-latency figure (smart
+// client query p50/p99/p999 vs fixed Poisson arrival rate over loopback TCP,
+// warm route cache vs cold per-op descent), also gated by cmd/benchcheck.
+// -json also writes every regenerated figure to FILE as a
 // machine-readable report; CI's bench-smoke job uploads that file as the
 // per-PR benchmark artifact (see README.md). Times are reported in "paper
 // seconds": the workload runs with every period scaled down by -scale (real
@@ -51,6 +54,7 @@ func main() {
 	ablation := flag.Bool("ablation", true, "include the no-proactive-contact ablation in figure 20")
 	transportBench := flag.Bool("transport", false, "append the transport pipelined-call throughput sweep")
 	readPath := flag.Bool("readpath", false, "append the read-path figure (query latency vs cluster size: cold / cached / replica fallback)")
+	tail := flag.Bool("tail", false, "append the open-loop tail-latency figure (client query p50/p99/p999 vs arrival rate, warm vs cold cache, TCP loopback)")
 	jsonPath := flag.String("json", "", "also write the regenerated figures to this file as JSON")
 	flag.Parse()
 
@@ -66,6 +70,7 @@ func main() {
 	maxHops, queries := 12, 600
 	depths, callsPerDepth := []int{1, 2, 4, 8, 16}, 3000
 	rpSizes, rpQueries := []int{6, 12, 20, 28}, 40
+	tailRates, tailPeers, tailItems, tailPerArm := []float64{100, 250}, 8, 78, 2*time.Second
 	if *quick {
 		lengths = []int{2, 4, 8}
 		periods = []float64{2, 4, 8}
@@ -73,6 +78,7 @@ func main() {
 		maxHops, queries = 8, 200
 		depths, callsPerDepth = []int{1, 2, 4, 8}, 800
 		rpSizes, rpQueries = []int{6, 12, 20}, 24
+		tailRates, tailPeers, tailItems, tailPerArm = []float64{150}, 8, 78, time.Second
 		if p.RunS == 0 {
 			p.RunS = 40
 		}
@@ -133,6 +139,18 @@ func main() {
 		}
 		fmt.Println(fig.Render())
 		fmt.Printf("# read-path sweep ran in %v\n\n", time.Since(start).Round(time.Millisecond))
+		rep.Figures = append(rep.Figures, fig)
+		ran++
+	}
+	if *tail {
+		start := time.Now()
+		fig, err := bench.TailLatencyFigure(tailRates, tailPeers, tailItems, tailPerArm, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tail-latency bench failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(fig.Render())
+		fmt.Printf("# open-loop tail sweep ran in %v\n\n", time.Since(start).Round(time.Millisecond))
 		rep.Figures = append(rep.Figures, fig)
 		ran++
 	}

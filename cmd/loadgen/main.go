@@ -1,0 +1,356 @@
+// Command loadgen drives an open-loop mixed workload against a running
+// pepperd cluster through the smart client tier (internal/client).
+//
+// Open-loop means a fixed Poisson arrival rate, not fixed concurrency: each
+// operation is dispatched at its scheduled arrival instant and its latency
+// is measured FROM that instant, so a slow cluster shows up as queueing in
+// the tail percentiles instead of silently slowing the arrival process (the
+// coordinated-omission trap of closed-loop "N workers in a call loop"
+// harnesses). The client's bounded in-flight window is where late responses
+// queue.
+//
+//	loadgen -targets 127.0.0.1:7101,127.0.0.1:7102 -rate 200 -duration 10s
+//
+// Every completed query is checked for correctness (keys inside the queried
+// interval, strictly ascending, and any payload this harness stamped must
+// match its key); any violation fails the run. With -max-p99/-min-goodput
+// the run additionally gates on tail latency and goodput, so CI can fail a
+// regression. -json writes the machine-readable summary.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/datastore"
+	"repro/internal/keyspace"
+	"repro/internal/metrics"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		targets    = flag.String("targets", "", "comma-separated pepperd addresses (seeds for the client's descent)")
+		rate       = flag.Float64("rate", 100, "open-loop arrival rate, operations per second")
+		duration   = flag.Duration("duration", 10*time.Second, "measured run length")
+		warmup     = flag.Duration("warmup", 2*time.Second, "unrecorded warm-up phase before measuring")
+		inserts    = flag.Int("inserts", 2, "relative weight of inserts in the mix")
+		deletes    = flag.Int("deletes", 1, "relative weight of deletes in the mix")
+		queries    = flag.Int("queries", 7, "relative weight of range queries in the mix")
+		dist       = flag.String("dist", "uniform", "key distribution: uniform or zipf")
+		zipfS      = flag.Float64("zipf-s", 1.5, "zipf skew parameter (with -dist zipf)")
+		span       = flag.Uint64("span", 5_000, "range query span (key units)")
+		keys       = flag.Uint64("keys", 200_000, "keys are drawn from [0, this bound]")
+		seed       = flag.Int64("seed", 1, "workload seed (same seed, same arrivals and operations)")
+		inflight   = flag.Int("inflight", 128, "client in-flight window (late responses queue here)")
+		opTimeout  = flag.Duration("op-timeout", 10*time.Second, "per-operation deadline")
+		connsPer   = flag.Int("conns-per-peer", 2, "pipelined connections per destination")
+		cold       = flag.Bool("cold", false, "clear the client's route cache when the measured phase starts")
+		jsonOut    = flag.String("json", "", "write the JSON summary to this file (\"-\" for stdout)")
+		maxP99     = flag.Duration("max-p99", 0, "fail (exit 2) if overall p99 exceeds this (0 = no gate)")
+		minGoodput = flag.Float64("min-goodput", 0, "fail (exit 2) if goodput falls below this fraction of arrivals (0 = no gate)")
+	)
+	flag.Parse()
+
+	if *targets == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -targets is required")
+		os.Exit(1)
+	}
+	var seeds []transport.Addr
+	for _, t := range strings.Split(*targets, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			seeds = append(seeds, transport.Addr(t))
+		}
+	}
+
+	c, err := client.Dial(client.DialConfig{
+		Config: client.Config{
+			Seeds:       seeds,
+			ID:          "loadgen",
+			OpTimeout:   *opTimeout,
+			MaxInflight: *inflight,
+		},
+		CallTimeout:  *opTimeout,
+		ConnsPerPeer: *connsPer,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+
+	r := &run{
+		client:  c,
+		mix:     workload.NewMix(*seed, *inserts, *deletes, *queries),
+		arrive:  workload.NewPoisson(*seed+1, *rate),
+		span:    *span,
+		keyHi:   *keys,
+		timeout: *opTimeout,
+		stamps:  make(map[keyspace.Key]bool),
+		recs: map[workload.OpKind]*metrics.Recorder{
+			workload.OpInsert: metrics.NewRecorder("insert"),
+			workload.OpDelete: metrics.NewRecorder("delete"),
+			workload.OpQuery:  metrics.NewRecorder("query"),
+		},
+		all: metrics.NewRecorder("all"),
+	}
+	switch *dist {
+	case "zipf":
+		r.keys = workload.NewZipfKeys(*seed+2, 0, *keys, 100, *zipfS)
+	case "uniform":
+		r.keys = workload.NewUniformKeys(*seed+2, 0, *keys)
+	default:
+		fmt.Fprintf(os.Stderr, "loadgen: unknown -dist %q\n", *dist)
+		os.Exit(1)
+	}
+	r.spans = workload.NewSpanGen(*seed+3, 0, *keys, *span)
+
+	if *warmup > 0 {
+		r.drive(*warmup, false)
+	}
+	if *cold {
+		c.Cache().Clear()
+	}
+	start := time.Now()
+	r.drive(*duration, true)
+	elapsed := time.Since(start)
+
+	sum := r.summarize(*rate, elapsed)
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, sum); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	render(sum)
+
+	code := 0
+	if sum.Incorrect > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: GATE FAILED: %d incorrect query results\n", sum.Incorrect)
+		code = 2
+	}
+	if *maxP99 > 0 && time.Duration(sum.All.P99Ms*float64(time.Millisecond)) > *maxP99 {
+		fmt.Fprintf(os.Stderr, "loadgen: GATE FAILED: p99 %.1fms exceeds %v\n", sum.All.P99Ms, *maxP99)
+		code = 2
+	}
+	if *minGoodput > 0 && sum.Goodput < *minGoodput {
+		fmt.Fprintf(os.Stderr, "loadgen: GATE FAILED: goodput %.3f below %.3f\n", sum.Goodput, *minGoodput)
+		code = 2
+	}
+	os.Exit(code)
+}
+
+// run is the shared state of one loadgen invocation.
+type run struct {
+	client  *client.Client
+	mix     *workload.Mix
+	arrive  *workload.Poisson
+	keys    workload.KeyGen
+	spans   *workload.SpanGen
+	span    uint64
+	keyHi   uint64
+	timeout time.Duration
+
+	mu     sync.Mutex
+	stamps map[keyspace.Key]bool // keys whose payload this harness last wrote
+
+	recs      map[workload.OpKind]*metrics.Recorder
+	all       *metrics.Recorder
+	arrivals  metrics.Counter
+	completed metrics.Counter
+	failed    metrics.Counter
+	incorrect metrics.Counter
+}
+
+// payloadFor is the deterministic stamp the correctness check validates.
+func payloadFor(k keyspace.Key) string { return fmt.Sprintf("lg-%d", k) }
+
+// drive runs the open-loop arrival process for d: the scheduler advances
+// scheduled arrival instants by Poisson delays and dispatches each operation
+// at its instant — never delayed by earlier operations still in flight.
+// Latency is measured from the SCHEDULED instant, so time spent queueing for
+// the in-flight window counts against the operation.
+func (r *run) drive(d time.Duration, record bool) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	end := time.Now().Add(d)
+	next := time.Now()
+	for {
+		next = next.Add(r.arrive.NextDelay())
+		if next.After(end) {
+			break
+		}
+		if wait := time.Until(next); wait > 0 {
+			time.Sleep(wait)
+		}
+		if record {
+			r.arrivals.Inc()
+		}
+		kind := r.mix.Next()
+		scheduled := next
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.one(ctx, kind, scheduled, record)
+		}()
+	}
+	// Let stragglers finish: every dispatched operation carries its own
+	// deadline, so this wait is bounded.
+	wg.Wait()
+}
+
+// one executes a single operation dispatched at its scheduled instant.
+func (r *run) one(ctx context.Context, kind workload.OpKind, scheduled time.Time, record bool) {
+	opCtx, cancel := context.WithDeadline(ctx, scheduled.Add(r.timeout))
+	defer cancel()
+	var err error
+	switch kind {
+	case workload.OpInsert:
+		k := r.keys.Next()
+		err = r.client.Insert(opCtx, datastore.Item{Key: k, Payload: payloadFor(k)})
+		if err == nil {
+			r.mu.Lock()
+			r.stamps[k] = true
+			r.mu.Unlock()
+		}
+	case workload.OpDelete:
+		k := r.keys.Next()
+		// Forget the stamp before the delete can land, so a query racing the
+		// delete is never checked against a payload that may be gone.
+		r.mu.Lock()
+		delete(r.stamps, k)
+		r.mu.Unlock()
+		_, err = r.client.Delete(opCtx, k)
+	case workload.OpQuery:
+		var items []datastore.Item
+		iv := r.spans.Next()
+		items, err = r.client.Query(opCtx, iv)
+		if err == nil && record && !r.checkQuery(iv, items) {
+			r.incorrect.Inc()
+		}
+	}
+	lat := time.Since(scheduled)
+	if !record {
+		return
+	}
+	if err != nil {
+		r.failed.Inc()
+		return
+	}
+	r.completed.Inc()
+	r.recs[kind].Observe(lat)
+	r.all.Observe(lat)
+}
+
+// checkQuery validates one query result: every key inside the queried
+// interval, keys strictly ascending (sorted, deduplicated), and any payload
+// this harness stamped ("lg-…") must match its own key — a mismatch means an
+// item surfaced under the wrong key, which no amount of bounded replica
+// staleness can excuse.
+func (r *run) checkQuery(iv keyspace.Interval, items []datastore.Item) bool {
+	prev := keyspace.Key(0)
+	for i, it := range items {
+		if !iv.Contains(it.Key) {
+			return false
+		}
+		if i > 0 && it.Key <= prev {
+			return false
+		}
+		prev = it.Key
+		if strings.HasPrefix(it.Payload, "lg-") && it.Payload != payloadFor(it.Key) {
+			return false
+		}
+	}
+	return true
+}
+
+// opSummary is the JSON form of one recorder's summary, in milliseconds.
+type opSummary struct {
+	Count  int     `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+func toOpSummary(s metrics.Summary) opSummary {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return opSummary{
+		Count:  s.Count,
+		MeanMs: ms(s.Mean),
+		P50Ms:  ms(s.P50),
+		P99Ms:  ms(s.P99),
+		P999Ms: ms(s.P999),
+		MaxMs:  ms(s.Max),
+	}
+}
+
+// summary is the machine-readable result of one run.
+type summary struct {
+	RateTarget float64              `json:"rate_target"`
+	ElapsedSec float64              `json:"elapsed_sec"`
+	Arrivals   uint64               `json:"arrivals"`
+	Completed  uint64               `json:"completed"`
+	Failed     uint64               `json:"failed"`
+	Incorrect  uint64               `json:"incorrect"`
+	Goodput    float64              `json:"goodput"` // completed-in-deadline / arrivals
+	All        opSummary            `json:"all"`
+	Ops        map[string]opSummary `json:"ops"`
+	Client     client.Stats         `json:"client"`
+}
+
+func (r *run) summarize(rate float64, elapsed time.Duration) summary {
+	s := summary{
+		RateTarget: rate,
+		ElapsedSec: elapsed.Seconds(),
+		Arrivals:   r.arrivals.Value(),
+		Completed:  r.completed.Value(),
+		Failed:     r.failed.Value(),
+		Incorrect:  r.incorrect.Value(),
+		All:        toOpSummary(r.all.Summarize()),
+		Ops:        map[string]opSummary{},
+		Client:     r.client.Stats(),
+	}
+	if s.Arrivals > 0 {
+		s.Goodput = float64(s.Completed) / float64(s.Arrivals)
+	}
+	for kind, rec := range r.recs {
+		s.Ops[kind.String()] = toOpSummary(rec.Summarize())
+	}
+	return s
+}
+
+func writeJSON(path string, s summary) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func render(s summary) {
+	fmt.Printf("loadgen: %.0f ops/s target, %.1fs measured: %d arrivals, %d completed, %d failed, %d incorrect (goodput %.3f)\n",
+		s.RateTarget, s.ElapsedSec, s.Arrivals, s.Completed, s.Failed, s.Incorrect, s.Goodput)
+	fmt.Printf("loadgen: all    p50=%.1fms p99=%.1fms p999=%.1fms max=%.1fms\n",
+		s.All.P50Ms, s.All.P99Ms, s.All.P999Ms, s.All.MaxMs)
+	for _, kind := range []string{"insert", "delete", "query"} {
+		o := s.Ops[kind]
+		fmt.Printf("loadgen: %-6s n=%-6d p50=%.1fms p99=%.1fms p999=%.1fms max=%.1fms\n",
+			kind, o.Count, o.P50Ms, o.P99Ms, o.P999Ms, o.MaxMs)
+	}
+}

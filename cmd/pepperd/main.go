@@ -54,6 +54,7 @@ func main() {
 	audit := flag.Bool("audit", false, "with -probe: journal the final query and require a clean Definition 4 audit")
 	wait := flag.Duration("wait", 0, "with -probe: keep retrying until satisfied or this timeout elapses")
 	probeUB := flag.Uint64("probe-ub", uint64(keyspace.MaxKey), "with -probe -expect: upper bound of the probed query interval")
+	jsonOut := flag.Bool("json", false, "with -probe: print the final probe status as one JSON object on stdout (machine-readable; see core.ProbeStatus)")
 	flag.Parse()
 
 	if *probe != "" {
@@ -66,6 +67,7 @@ func main() {
 			audit:        *audit,
 			wait:         *wait,
 			ub:           keyspace.Key(*probeUB),
+			jsonOut:      *jsonOut,
 		}))
 	}
 	if *listen != "" {

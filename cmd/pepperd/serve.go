@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"os"
 	"os/signal"
@@ -138,6 +139,7 @@ type probeOpts struct {
 	audit        bool          // final journaled query + Definition 4 audit
 	wait         time.Duration // keep retrying until satisfied or this elapses
 	ub           keyspace.Key  // query interval upper bound
+	jsonOut      bool          // emit the final status as JSON on stdout
 }
 
 // probeMain is the -probe mode: a thin RPC client that interrogates a
@@ -182,6 +184,17 @@ func probeMain(target string, o probeOpts) int {
 			fmt.Fprintf(os.Stderr, "pepperd: audit %s not clean: %s\n", target, renderStatus(st))
 			return 1
 		}
+	}
+	if o.jsonOut {
+		// Machine-readable mode: the status object is the ONLY stdout output,
+		// so scripts can pipe it straight into a JSON parser.
+		out, err := json.Marshal(st)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pepperd: encoding probe status: %v\n", err)
+			return 1
+		}
+		fmt.Println(string(out))
+		return 0
 	}
 	fmt.Printf("pepperd: probe %s ok: %s\n", target, renderStatus(st))
 	return 0

@@ -1,0 +1,306 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/datastore"
+	"repro/internal/keyspace"
+	"repro/internal/metrics"
+	"repro/internal/replication"
+	"repro/internal/ring"
+	"repro/internal/router"
+	"repro/internal/transport"
+	"repro/internal/transport/tcp"
+	"repro/internal/workload"
+)
+
+// TailFigureTitle prefixes the open-loop tail-latency figure so
+// cmd/benchcheck can find it in a benchmark report.
+const TailFigureTitle = "open-loop: client query latency vs arrival rate (TCP loopback)"
+
+// TailLatencyFigure measures what a user of the smart client tier actually
+// experiences: range-query latency percentiles (p50/p99/p999, in real
+// milliseconds) under a fixed open-loop Poisson arrival rate, against a real
+// multi-process-shaped cluster — every peer its own transport on its own
+// loopback socket, the client a pure dial-side endpoint.
+//
+// Two arms per arrival rate:
+//
+//   - "warm": the client's route cache is primed, so a query validates at
+//     the remembered owner in one round trip before its scan.
+//   - "cold": the cache is cleared before every operation, so each query
+//     pays the full greedy descent from a seed peer first.
+//
+// Arrivals are open-loop: each query is dispatched at its scheduled Poisson
+// instant and its latency measured FROM that instant, so a slow cluster
+// queues (visible in p99/p999) instead of slowing the arrival process.
+// The warm/cold gap at p50 is the client-side value of cached routing state;
+// the p999 line is what churny tails will move first.
+func TailLatencyFigure(rates []float64, peers, items int, perArm time.Duration, seed int64) (*metrics.Figure, error) {
+	if len(rates) == 0 {
+		rates = []float64{100, 250}
+	}
+	if peers <= 0 {
+		peers = 6
+	}
+	if items <= 0 {
+		items = 58
+	}
+	if perArm <= 0 {
+		perArm = 2 * time.Second
+	}
+
+	cl, err := bootTailCluster(peers, items)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.close()
+
+	fig := &metrics.Figure{
+		Title:  TailFigureTitle,
+		XLabel: "arrivals/s",
+		YLabel: "query latency (ms)",
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	for _, rate := range rates {
+		x := fmt.Sprintf("%.0f", rate)
+		fig.XOrder = append(fig.XOrder, x)
+		warm, cold, err := cl.runRate(rate, perArm, items, seed)
+		if err != nil {
+			return nil, fmt.Errorf("bench: tail point %s: %w", x, err)
+		}
+		for _, arm := range []struct {
+			name string
+			s    metrics.Summary
+		}{{"warm", warm}, {"cold", cold}} {
+			fig.AddPoint(arm.name+" p50", x, ms(arm.s.P50))
+			fig.AddPoint(arm.name+" p95", x, ms(arm.s.P95))
+			fig.AddPoint(arm.name+" p99", x, ms(arm.s.P99))
+			fig.AddPoint(arm.name+" p999", x, ms(arm.s.P999))
+		}
+	}
+	return fig, nil
+}
+
+// tailCluster is the booted TCP-loopback cluster of one tail run.
+type tailCluster struct {
+	nodes      []*core.Standalone
+	transports []*tcp.Transport
+	seedAddr   transport.Addr
+}
+
+func (c *tailCluster) close() {
+	for _, n := range c.nodes {
+		n.Close()
+	}
+	for _, tr := range c.transports {
+		tr.Close()
+	}
+}
+
+// tailPeerConfig tunes the peer stack for loopback TCP latencies.
+func tailPeerConfig() core.Config {
+	return core.Config{
+		Ring: ring.Config{
+			SuccListLen: 4,
+			StabPeriod:  20 * time.Millisecond,
+			PingPeriod:  20 * time.Millisecond,
+			CallTimeout: 500 * time.Millisecond,
+			AckTimeout:  5 * time.Second,
+		},
+		Store: datastore.Config{
+			StorageFactor:      5,
+			CheckPeriod:        25 * time.Millisecond,
+			CallTimeout:        500 * time.Millisecond,
+			MaintenanceTimeout: 5 * time.Second,
+		},
+		Replication: replication.Config{
+			Factor:        3,
+			RefreshPeriod: 50 * time.Millisecond,
+			CallTimeout:   500 * time.Millisecond,
+		},
+		Router: router.Config{
+			RefreshPeriod: 50 * time.Millisecond,
+			CallTimeout:   500 * time.Millisecond,
+			MaxHops:       64,
+		},
+		QueryAttemptTimeout: 3 * time.Second,
+		MaxQueryAttempts:    30,
+		Seed:                11,
+	}
+}
+
+// bootTailCluster starts `peers` standalone stacks over loopback TCP,
+// inserts `items` keys (spacing 1000) to force splits, and waits until every
+// peer serves a range.
+func bootTailCluster(peers, items int) (*tailCluster, error) {
+	cl := &tailCluster{}
+	cfg := tailPeerConfig()
+	start := func() (*core.Standalone, error) {
+		tr := tcp.New(tcp.Config{DialTimeout: time.Second, CallTimeout: 2 * time.Second})
+		probe := tcp.New(tcp.Config{})
+		bound, err := probe.Listen("127.0.0.1:0", func(transport.Addr, string, any) (any, error) { return nil, nil })
+		if err != nil {
+			tr.Close()
+			return nil, err
+		}
+		probe.Close()
+		s, err := core.NewStandalone(tr, bound, cfg)
+		if err != nil {
+			tr.Close()
+			return nil, err
+		}
+		cl.nodes = append(cl.nodes, s)
+		cl.transports = append(cl.transports, tr)
+		return s, nil
+	}
+
+	boot, err := start()
+	if err != nil {
+		return nil, err
+	}
+	if err := boot.Bootstrap(); err != nil {
+		cl.close()
+		return nil, err
+	}
+	cl.seedAddr = boot.Peer.Addr
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for i := 1; i < peers; i++ {
+		n, err := start()
+		if err != nil {
+			cl.close()
+			return nil, err
+		}
+		if err := n.JoinAsFree(ctx, cl.seedAddr); err != nil {
+			cl.close()
+			return nil, err
+		}
+	}
+	for i := 1; i <= items; i++ {
+		it := datastore.Item{Key: keyspace.Key(i * 1000), Payload: fmt.Sprintf("bench-%d", i)}
+		if err := boot.CurrentPeer().InsertItem(ctx, it); err != nil {
+			cl.close()
+			return nil, fmt.Errorf("bench: tail seed insert %d: %w", i, err)
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		serving := 0
+		for _, n := range cl.nodes {
+			if _, ok := n.CurrentPeer().Store.Range(); ok && n.CurrentPeer().Ring.State() == ring.StateJoined {
+				serving++
+			}
+		}
+		if serving == len(cl.nodes) {
+			return cl, nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	cl.close()
+	return nil, fmt.Errorf("bench: tail cluster never settled with all %d peers serving", peers)
+}
+
+// runRate measures one arrival-rate point: warm and cold arms INTERLEAVED as
+// alternating time slices over one shared client, so a CPU noise burst on the
+// host lands on both arms about equally instead of poisoning whichever arm it
+// happened to coincide with. Each arm accumulates perArm of measured time in
+// total. Cold slices clear the client's route cache before every operation
+// (full descent per query); warm slices re-prime the cache with a few
+// unrecorded queries first, then measure cache-validated operations.
+func (c *tailCluster) runRate(rate float64, perArm time.Duration, items int, seed int64) (warm, cold metrics.Summary, err error) {
+	tr := tcp.New(tcp.Config{DialTimeout: time.Second, CallTimeout: 2 * time.Second})
+	defer tr.Close()
+	cli, err := client.New(tr, client.Config{
+		Seeds:     []transport.Addr{c.seedAddr},
+		ID:        "bench-tail",
+		OpTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		return metrics.Summary{}, metrics.Summary{}, err
+	}
+
+	ctx := context.Background()
+	spans := workload.NewSpanGen(seed, 1000, uint64(items)*1000, 900)
+	arrive := workload.NewPoisson(seed+1, rate)
+	warmRec := metrics.NewRecorder("tail-warm")
+	coldRec := metrics.NewRecorder("tail-cold")
+
+	const slicesPerArm = 4
+	sliceDur := perArm / slicesPerArm
+	for s := 0; s < 2*slicesPerArm; s++ {
+		coldSlice := s%2 == 1
+		rec := warmRec
+		if coldSlice {
+			rec = coldRec
+		} else {
+			// Re-prime the route cache: the preceding cold slice left it in
+			// whatever state its last descent produced.
+			for q := 0; q < 5; q++ {
+				if _, err := cli.Query(ctx, spans.Next()); err != nil {
+					return metrics.Summary{}, metrics.Summary{}, fmt.Errorf("warm prime: %w", err)
+				}
+			}
+		}
+		if err := c.driveSlice(ctx, cli, coldSlice, sliceDur, arrive, spans, rec); err != nil {
+			return metrics.Summary{}, metrics.Summary{}, err
+		}
+	}
+	warm, cold = warmRec.Summarize(), coldRec.Summarize()
+	if warm.Count == 0 || cold.Count == 0 {
+		return warm, cold, fmt.Errorf("bench: an arm recorded no successful queries (warm %d, cold %d)", warm.Count, cold.Count)
+	}
+	return warm, cold, nil
+}
+
+// driveSlice runs one open-loop slice: queries dispatched at their scheduled
+// Poisson arrival instants, latency measured FROM those instants. Queries are
+// narrow (under the key spacing), so the arms isolate the owner-lookup
+// strategy rather than the scan width.
+func (c *tailCluster) driveSlice(ctx context.Context, cli *client.Client, cold bool, d time.Duration, arrive *workload.Poisson, spans *workload.SpanGen, rec *metrics.Recorder) error {
+	done := make(chan error, 4096)
+	inflight := 0
+	end := time.Now().Add(d)
+	next := time.Now()
+	// Dispatch with a sleep-then-spin: time.Sleep overshoots by up to a
+	// millisecond under load, and that overshoot lands as a common additive
+	// constant on both arms, compressing the warm/cold ratio the figure
+	// exists to show. Spinning the last fraction of a millisecond keeps the
+	// dispatch instant honest for ~7% of one core at the benched rates.
+	const spinSlack = 500 * time.Microsecond
+	for {
+		next = next.Add(arrive.NextDelay())
+		if next.After(end) {
+			break
+		}
+		if wait := time.Until(next); wait > spinSlack {
+			time.Sleep(wait - spinSlack)
+		}
+		for time.Now().Before(next) {
+		}
+		if cold {
+			cli.Cache().Clear()
+		}
+		scheduled := next
+		iv := spans.Next()
+		inflight++
+		go func() {
+			_, err := cli.Query(ctx, iv)
+			if err == nil {
+				rec.Observe(time.Since(scheduled))
+			}
+			done <- err
+		}()
+	}
+	var firstErr error
+	for ; inflight > 0; inflight-- {
+		if err := <-done; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,41 @@
+package client
+
+import (
+	"time"
+
+	"repro/internal/transport/tcp"
+)
+
+// DialConfig extends Config with the TCP transport knobs a standalone client
+// process (cmd/loadgen) needs.
+type DialConfig struct {
+	Config
+	// DialTimeout bounds establishing a connection. Default 2s.
+	DialTimeout time.Duration
+	// CallTimeout is the per-RPC deadline applied when a call's context
+	// carries none. Default 5s.
+	CallTimeout time.Duration
+	// ConnsPerPeer bounds the multiplexed connections per destination —
+	// the "small pool of pipelined connections" user requests share.
+	// Default 2.
+	ConnsPerPeer int
+}
+
+// Dial returns a client owning its own TCP transport (Close tears it down).
+// Many in-flight requests multiplex over ConnsPerPeer pipelined connections
+// per destination; the client never listens — it is a pure dial-side
+// endpoint.
+func Dial(cfg DialConfig) (*Client, error) {
+	tr := tcp.New(tcp.Config{
+		DialTimeout:  cfg.DialTimeout,
+		CallTimeout:  cfg.CallTimeout,
+		ConnsPerPeer: cfg.ConnsPerPeer,
+	})
+	c, err := New(tr, cfg.Config)
+	if err != nil {
+		tr.Close()
+		return nil, err
+	}
+	c.ownsT = true
+	return c, nil
+}

@@ -53,38 +53,41 @@ type ProbeRequest struct {
 	Audit   bool
 }
 
-// ProbeStatus reports one process's observable state.
+// ProbeStatus reports one process's observable state. The json tags are the
+// machine-readable contract of `pepperd -probe -json`, which the smoke
+// scripts parse; the wire encoding between probe and process is gob and does
+// not depend on them.
 type ProbeStatus struct {
-	State      string // ring lifecycle state
-	Val        keyspace.Key
-	HasRange   bool
-	RangeLo    keyspace.Key
-	RangeHi    keyspace.Key
-	Items      int
-	Replicas   int
-	FreePool   int
-	RejoinErr  string
-	QueryCount int    // -1 when no query ran
-	QueryErr   string // query failure, if any
-	Violations int    // -1 unless Audit was requested
+	State      string       `json:"state"` // ring lifecycle state
+	Val        keyspace.Key `json:"val"`
+	HasRange   bool         `json:"has_range"`
+	RangeLo    keyspace.Key `json:"range_lo"`
+	RangeHi    keyspace.Key `json:"range_hi"`
+	Items      int          `json:"items"`
+	Replicas   int          `json:"replicas"`
+	FreePool   int          `json:"free_pool"`
+	RejoinErr  string       `json:"rejoin_err,omitempty"`
+	QueryCount int          `json:"query_count"` // -1 when no query ran
+	QueryErr   string       `json:"query_err,omitempty"`
+	Violations int          `json:"violations"` // -1 unless Audit was requested
 
 	// Read-path counters: the owner-lookup cache of this process's router
 	// (hits/misses/evictions/invalidations and current entry count) and the
 	// number of scan segments served from a replica instead of the primary.
-	CacheHits          uint64
-	CacheMisses        uint64
-	CacheEvictions     uint64
-	CacheInvalidations uint64
-	CacheEntries       int
-	ReplicaReads       uint64
+	CacheHits          uint64 `json:"cache_hits"`
+	CacheMisses        uint64 `json:"cache_misses"`
+	CacheEvictions     uint64 `json:"cache_evictions"`
+	CacheInvalidations uint64 `json:"cache_invalidations"`
+	CacheEntries       int    `json:"cache_entries"`
+	ReplicaReads       uint64 `json:"replica_reads"`
 
 	// Ownership-epoch state: the current range's epoch (0 when not serving),
 	// the number of requests this peer rejected with ErrStaleEpoch, replica
 	// reads it refused for a deposed chain, and depositions it underwent.
-	Epoch              uint64
-	StaleEpochRejects  uint64
-	StaleChainRefusals uint64
-	StepDowns          uint64
+	Epoch              uint64 `json:"epoch"`
+	StaleEpochRejects  uint64 `json:"stale_epoch_rejects"`
+	StaleChainRefusals uint64 `json:"stale_chain_refusals"`
+	StepDowns          uint64 `json:"step_downs"`
 }
 
 func init() {

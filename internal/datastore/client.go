@@ -1,0 +1,88 @@
+package datastore
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/keyspace"
+	"repro/internal/ring"
+	"repro/internal/transport"
+)
+
+// Dial-side entry points: the Data Store's fenced item operations, issued by
+// a bare transport endpoint that is NOT a peer — a smart client outside the
+// cluster (internal/client). A Store method like InsertAtFenced sends from
+// the peer's own ring address; these package-level functions take the sender
+// address explicitly, so anything that can dial the transport can reach the
+// same validated, epoch-fenced handlers a peer does. The serving side cannot
+// tell the difference — ownership is validated and epochs are checked at the
+// target either way, which is exactly what makes client-held routing state
+// safe to trust as a hint.
+
+// OwnerMeta is the ownership fact a mutation reply carries back to its
+// sender: the serving peer's responsibility range, its ownership epoch at
+// serve time, and its ring successors (where its replicas live). Clients
+// prime their route caches from it, so the first write to a region makes the
+// next operation there a single validated hop.
+type OwnerMeta struct {
+	Range keyspace.Range
+	Epoch uint64
+	Chain []ring.Node
+}
+
+// ChainAddrs projects the successor chain to its addresses (the replica
+// candidates a route cache stores).
+func (m OwnerMeta) ChainAddrs() []transport.Addr {
+	if m.Chain == nil {
+		return nil
+	}
+	out := make([]transport.Addr, 0, len(m.Chain))
+	for _, n := range m.Chain {
+		if !n.IsZero() {
+			out = append(out, n.Addr)
+		}
+	}
+	return out
+}
+
+// ClientInsert asks the peer at owner to store item, stamped with the
+// ownership epoch the caller believes current (0 = unfenced). It returns the
+// owner's metadata on success; ErrNotOwner and ErrStaleEpoch keep their
+// errors.Is identity across the TCP transport, so the caller can distinguish
+// "re-resolve the route" from transient failures.
+func ClientInsert(ctx context.Context, net transport.Transport, from, owner transport.Addr, item Item, epoch uint64) (OwnerMeta, error) {
+	resp, err := net.Call(ctx, from, owner, methodInsert, insertReq{Item: item, Epoch: epoch})
+	if err != nil {
+		return OwnerMeta{}, err
+	}
+	ir, ok := resp.(insertResp)
+	if !ok {
+		return OwnerMeta{}, fmt.Errorf("datastore: bad insert response %T", resp)
+	}
+	return ir.OwnerMeta, nil
+}
+
+// ClientDelete asks the peer at owner to delete key, stamped with the
+// believed ownership epoch. It reports whether the key existed, plus the
+// owner's metadata.
+func ClientDelete(ctx context.Context, net transport.Transport, from, owner transport.Addr, key keyspace.Key, epoch uint64) (bool, OwnerMeta, error) {
+	resp, err := net.Call(ctx, from, owner, methodDelete, deleteReq{Key: key, Epoch: epoch})
+	if err != nil {
+		return false, OwnerMeta{}, err
+	}
+	dr, ok := resp.(deleteResp)
+	if !ok {
+		return false, OwnerMeta{}, fmt.Errorf("datastore: bad delete response %T", resp)
+	}
+	return dr.Found, dr.OwnerMeta, nil
+}
+
+// ClientScanSegmentAsync asks the peer at owner for its piece of iv starting
+// at cursor, without blocking — the client-side pipelined scan keeps several
+// of these in flight over the pooled connections. epoch stamps the request
+// with the believed ownership epoch (0 = unfenced); the target validates
+// cursor ownership under its range read lock exactly as for a peer-issued
+// scan.
+func ClientScanSegmentAsync(ctx context.Context, net transport.Transport, from, owner transport.Addr, iv keyspace.Interval, cursor keyspace.Key, epoch uint64) *SegmentPending {
+	return &SegmentPending{p: transport.CallAsync(net, ctx, from, owner, methodScanSegment, segmentReq{Iv: iv, Cursor: cursor, Epoch: epoch})}
+}

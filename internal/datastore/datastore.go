@@ -440,7 +440,15 @@ type deleteReq struct {
 	Key   keyspace.Key
 	Epoch uint64
 }
-type deleteResp struct{ Found bool }
+
+// Mutation replies carry the serving peer's ownership metadata so a dial-side
+// client can prime its route cache from every write, not just from lookups
+// and scans (peers ignore the extra fields).
+type insertResp struct{ OwnerMeta }
+type deleteResp struct {
+	Found bool
+	OwnerMeta
+}
 
 // checkEpochLocked applies the fencing rule. Callers hold s.mu.
 func (s *Store) checkEpochLocked(reqEpoch uint64) error {
@@ -484,12 +492,14 @@ func (s *Store) handleInsert(_ transport.Addr, _ string, payload any) (any, erro
 	if s.log != nil {
 		s.log.Added(string(s.ring.Self().Addr), req.Item.Key)
 	}
+	meta := OwnerMeta{Range: s.rng, Epoch: s.epoch}
 	s.mu.Unlock()
+	meta.Chain = s.ring.Successors()
 	if s.rep != nil {
 		s.rep.ItemsChanged()
 	}
 	s.kickMaintenance()
-	return true, nil
+	return insertResp{OwnerMeta: meta}, nil
 }
 
 // handleDelete removes an item this peer owns.
@@ -521,14 +531,16 @@ func (s *Store) handleDelete(_ transport.Addr, _ string, payload any) (any, erro
 			s.log.Removed(string(s.ring.Self().Addr), req.Key)
 		}
 	}
+	meta := OwnerMeta{Range: s.rng, Epoch: s.epoch}
 	s.mu.Unlock()
+	meta.Chain = s.ring.Successors()
 	if found {
 		if s.rep != nil {
 			s.rep.ItemsChanged()
 		}
 		s.kickMaintenance()
 	}
-	return deleteResp{Found: found}, nil
+	return deleteResp{Found: found, OwnerMeta: meta}, nil
 }
 
 // handleLocalItems returns this peer's items (getLocalItems over the wire).

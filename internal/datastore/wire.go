@@ -9,6 +9,7 @@ func init() {
 	transport.RegisterMessage(Item{})
 	transport.RegisterMessage([]Item(nil))
 	transport.RegisterMessage(insertReq{})
+	transport.RegisterMessage(insertResp{})
 	transport.RegisterMessage(deleteReq{})
 	transport.RegisterMessage(deleteResp{})
 	transport.RegisterMessage(scanMsg{})
@@ -21,7 +22,10 @@ func init() {
 	transport.RegisterMessage(rebalanceResp{})
 	transport.RegisterMessage(mergeInReq{})
 	transport.RegisterMessage(joinData{})
-	// The stale-epoch rejection must keep its errors.Is identity across a
-	// real network hop (its text is matched on the dial side).
+	// The stale-epoch and wrong-owner rejections must keep their errors.Is
+	// identity across a real network hop (their text is matched on the dial
+	// side): a smart client distinguishes "re-resolve the route" from
+	// transient failures by exactly these sentinels.
 	transport.RegisterWireError(ErrStaleEpoch)
+	transport.RegisterWireError(ErrNotOwner)
 }

@@ -7,31 +7,72 @@ package metrics
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 )
 
+// DefaultReservoirSize bounds a Recorder's retained samples. Below the bound
+// every sample is kept and percentiles are exact; past it the recorder
+// switches to uniform reservoir sampling (Vitter's Algorithm R), so an
+// open-loop run at a high arrival rate holds a fixed-size sample set instead
+// of growing without limit. Count, Mean and Max stay exact at any volume —
+// only the percentile estimates come from the reservoir.
+const DefaultReservoirSize = 8192
+
 // Recorder accumulates duration samples for one operation type.
 type Recorder struct {
 	mu      sync.Mutex
 	name    string
+	limit   int
 	samples []time.Duration
+	count   uint64        // total observations, including evicted ones
+	sum     time.Duration // exact running sum
+	max     time.Duration // exact maximum
+	rng     *rand.Rand    // reservoir replacement randomness
 }
 
-// NewRecorder returns an empty recorder labelled name.
+// NewRecorder returns an empty recorder labelled name, bounded to
+// DefaultReservoirSize retained samples.
 func NewRecorder(name string) *Recorder {
-	return &Recorder{name: name}
+	return NewBoundedRecorder(name, DefaultReservoirSize)
+}
+
+// NewBoundedRecorder returns an empty recorder retaining at most limit
+// samples (DefaultReservoirSize when limit <= 0). The replacement stream is
+// seeded from the label, so a fixed workload yields reproducible summaries.
+func NewBoundedRecorder(name string, limit int) *Recorder {
+	if limit <= 0 {
+		limit = DefaultReservoirSize
+	}
+	var seed int64 = 1
+	for _, c := range name {
+		seed = seed*31 + int64(c)
+	}
+	return &Recorder{name: name, limit: limit, rng: rand.New(rand.NewSource(seed))}
 }
 
 // Name returns the recorder's label.
 func (r *Recorder) Name() string { return r.name }
 
-// Observe records one sample.
+// Observe records one sample. Below the reservoir bound the sample is simply
+// kept; past it, it replaces a uniformly chosen retained sample with
+// probability limit/count (Algorithm R), keeping the reservoir a uniform
+// sample of everything observed.
 func (r *Recorder) Observe(d time.Duration) {
 	r.mu.Lock()
-	r.samples = append(r.samples, d)
+	r.count++
+	r.sum += d
+	if d > r.max {
+		r.max = d
+	}
+	if len(r.samples) < r.limit {
+		r.samples = append(r.samples, d)
+	} else if j := r.rng.Int63n(int64(r.count)); j < int64(r.limit) {
+		r.samples[j] = d
+	}
 	r.mu.Unlock()
 }
 
@@ -42,20 +83,24 @@ func (r *Recorder) Time(fn func()) {
 	r.Observe(time.Since(start))
 }
 
-// Count returns the number of samples recorded.
+// Count returns the number of samples observed (not merely retained).
 func (r *Recorder) Count() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.samples)
+	return int(r.count)
 }
 
-// Summary holds the statistics of a sample set.
+// Summary holds the statistics of a sample set. Count, Mean and Max are
+// exact; the percentiles are exact up to the reservoir bound and uniform
+// estimates past it.
 type Summary struct {
 	Name  string
 	Count int
 	Mean  time.Duration
 	P50   time.Duration
 	P95   time.Duration
+	P99   time.Duration
+	P999  time.Duration
 	Max   time.Duration
 }
 
@@ -65,21 +110,20 @@ func (r *Recorder) Summarize() Summary {
 	r.mu.Lock()
 	samples := make([]time.Duration, len(r.samples))
 	copy(samples, r.samples)
+	count, sum, max := r.count, r.sum, r.max
 	r.mu.Unlock()
 
-	s := Summary{Name: r.name, Count: len(samples)}
+	s := Summary{Name: r.name, Count: int(count)}
 	if len(samples) == 0 {
 		return s
 	}
 	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
-	var total time.Duration
-	for _, d := range samples {
-		total += d
-	}
-	s.Mean = total / time.Duration(len(samples))
+	s.Mean = sum / time.Duration(count)
 	s.P50 = percentile(samples, 0.50)
 	s.P95 = percentile(samples, 0.95)
-	s.Max = samples[len(samples)-1]
+	s.P99 = percentile(samples, 0.99)
+	s.P999 = percentile(samples, 0.999)
+	s.Max = max
 	return s
 }
 
@@ -98,10 +142,11 @@ func percentile(sorted []time.Duration, q float64) time.Duration {
 	return sorted[idx]
 }
 
-// Reset discards all samples.
+// Reset discards all samples and statistics.
 func (r *Recorder) Reset() {
 	r.mu.Lock()
 	r.samples = r.samples[:0]
+	r.count, r.sum, r.max = 0, 0, 0
 	r.mu.Unlock()
 }
 

@@ -30,6 +30,76 @@ func TestRecorderSummary(t *testing.T) {
 	}
 }
 
+// Below the reservoir bound percentiles are exact, including the new tail
+// quantiles.
+func TestRecorderTailPercentilesExact(t *testing.T) {
+	r := NewRecorder("op")
+	for i := 1; i <= 1000; i++ {
+		r.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := r.Summarize()
+	if s.P99 != 990*time.Millisecond {
+		t.Errorf("P99 = %v, want 990ms", s.P99)
+	}
+	if s.P999 != 999*time.Millisecond {
+		t.Errorf("P999 = %v, want 999ms", s.P999)
+	}
+}
+
+// Past the bound the recorder must stop growing: retained samples stay at
+// the limit while Count, Mean and Max remain exact, and the reservoir's
+// percentile estimates stay inside the observed distribution.
+func TestRecorderReservoirBoundsMemory(t *testing.T) {
+	const limit = 64
+	r := NewBoundedRecorder("op", limit)
+	const n = 100_000
+	for i := 1; i <= n; i++ {
+		r.Observe(time.Duration(i) * time.Microsecond)
+	}
+	r.mu.Lock()
+	retained := len(r.samples)
+	capSamples := cap(r.samples)
+	r.mu.Unlock()
+	if retained != limit {
+		t.Fatalf("retained %d samples, want exactly %d", retained, limit)
+	}
+	if capSamples > 2*limit {
+		t.Fatalf("samples capacity %d grew past the bound %d", capSamples, limit)
+	}
+	s := r.Summarize()
+	if s.Count != n {
+		t.Errorf("Count = %d, want %d (exact despite sampling)", s.Count, n)
+	}
+	if s.Max != n*time.Microsecond {
+		t.Errorf("Max = %v, want %v (exact despite sampling)", s.Max, n*time.Microsecond)
+	}
+	wantMean := time.Duration(int64(n) * (n + 1) / 2 * int64(time.Microsecond) / n)
+	if s.Mean != wantMean {
+		t.Errorf("Mean = %v, want %v (exact despite sampling)", s.Mean, wantMean)
+	}
+	// The reservoir is a uniform sample: its median estimate must land well
+	// inside the middle of the uniform distribution.
+	if s.P50 < n/10*time.Microsecond || s.P50 > 9*n/10*time.Microsecond {
+		t.Errorf("reservoir P50 = %v, implausible for uniform 1..%d us", s.P50, n)
+	}
+}
+
+// A fixed label seeds the reservoir deterministically: two recorders fed the
+// same stream summarize identically.
+func TestRecorderReservoirDeterministic(t *testing.T) {
+	a := NewBoundedRecorder("same", 32)
+	b := NewBoundedRecorder("same", 32)
+	for i := 0; i < 10_000; i++ {
+		d := time.Duration(i%997) * time.Microsecond
+		a.Observe(d)
+		b.Observe(d)
+	}
+	sa, sb := a.Summarize(), b.Summarize()
+	if sa != sb {
+		t.Errorf("same-label recorders diverged:\n%+v\n%+v", sa, sb)
+	}
+}
+
 func TestRecorderEmpty(t *testing.T) {
 	s := NewRecorder("empty").Summarize()
 	if s.Count != 0 || s.Mean != 0 || s.Max != 0 {

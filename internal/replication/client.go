@@ -1,0 +1,30 @@
+package replication
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/datastore"
+	"repro/internal/keyspace"
+	"repro/internal/transport"
+)
+
+// ClientReplicaItems is the dial-side form of the replica-read fallback: it
+// fetches the items in iv visible at the replica holder addr, sent from an
+// arbitrary client address instead of a peer's ring address. epoch stamps
+// the request with the believed primary's ownership epoch (0 = unfenced); a
+// holder that has seen a higher epoch asserted over the interval refuses
+// with ErrStaleEpoch rather than serve for a deposed chain. Replica reads
+// are unjournaled — they may lag the primary by up to one replication
+// refresh, and that bounded staleness is part of the client contract.
+func ClientReplicaItems(ctx context.Context, net transport.Transport, from, holder transport.Addr, iv keyspace.Interval, epoch uint64) ([]datastore.Item, error) {
+	resp, err := net.Call(ctx, from, holder, methodScan, replicaScanReq{Iv: iv, Epoch: epoch})
+	if err != nil {
+		return nil, err
+	}
+	items, ok := resp.([]datastore.Item)
+	if !ok {
+		return nil, fmt.Errorf("replication: bad replica scan response %T", resp)
+	}
+	return items, nil
+}

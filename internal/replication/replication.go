@@ -425,15 +425,7 @@ func (m *Manager) handleReplicaScan(_ transport.Addr, _ string, payload any) (an
 // unbounded on every transport (oversized answers chunk back), so whole
 // segments return from one call.
 func (m *Manager) ReplicaItems(ctx context.Context, addr transport.Addr, iv keyspace.Interval, epoch uint64) ([]datastore.Item, error) {
-	resp, err := m.net.Call(ctx, m.ring.Self().Addr, addr, methodScan, replicaScanReq{Iv: iv, Epoch: epoch})
-	if err != nil {
-		return nil, err
-	}
-	items, ok := resp.([]datastore.Item)
-	if !ok {
-		return nil, fmt.Errorf("replication: bad replica scan response %T", resp)
-	}
-	return items, nil
+	return ClientReplicaItems(ctx, m.net, m.ring.Self().Addr, addr, iv, epoch)
 }
 
 // RefreshOnce pushes this peer's items to its first k JOINED successors.

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Open-loop load generation: arrivals follow a Poisson process at a fixed
+// rate, independent of how fast the system answers. A slow response makes
+// requests QUEUE — observed as tail latency — instead of slowing the arrival
+// process, which is what distinguishes an open-loop harness from the
+// closed-loop "N workers in a tight call loop" shape that coordinated-omits
+// exactly the latencies one is trying to measure.
+
+// Poisson generates exponentially distributed inter-arrival delays for a
+// fixed arrival rate. Safe for concurrent use; deterministic for a fixed
+// seed when drawn from a single goroutine.
+type Poisson struct {
+	mu   sync.Mutex
+	rng  *rand.Rand
+	mean float64 // mean inter-arrival time in seconds
+}
+
+// NewPoisson returns an arrival process at `perSecond` arrivals per second.
+func NewPoisson(seed int64, perSecond float64) *Poisson {
+	if perSecond <= 0 {
+		perSecond = 1
+	}
+	return &Poisson{rng: rand.New(rand.NewSource(seed)), mean: 1 / perSecond}
+}
+
+// NextDelay draws the delay until the next arrival.
+func (p *Poisson) NextDelay() time.Duration {
+	p.mu.Lock()
+	d := p.rng.ExpFloat64() * p.mean
+	p.mu.Unlock()
+	return time.Duration(d * float64(time.Second))
+}
+
+// OpKind is one operation type of the mixed workload.
+type OpKind int
+
+// The mixed workload's operation types.
+const (
+	OpInsert OpKind = iota
+	OpDelete
+	OpQuery
+)
+
+// String names the operation type.
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpQuery:
+		return "query"
+	}
+	return "unknown"
+}
+
+// Mix draws operation types with configured integer weights. Safe for
+// concurrent use; deterministic for a fixed seed when drawn from a single
+// goroutine.
+type Mix struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	weights [3]int
+	total   int
+}
+
+// NewMix returns a weighted chooser over insert/delete/query. Negative
+// weights count as zero; an all-zero mix degenerates to queries only.
+func NewMix(seed int64, insert, del, query int) *Mix {
+	m := &Mix{rng: rand.New(rand.NewSource(seed))}
+	for i, w := range []int{insert, del, query} {
+		if w < 0 {
+			w = 0
+		}
+		m.weights[i] = w
+		m.total += w
+	}
+	if m.total == 0 {
+		m.weights[OpQuery] = 1
+		m.total = 1
+	}
+	return m
+}
+
+// Next draws the next operation type.
+func (m *Mix) Next() OpKind {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := m.rng.Intn(m.total)
+	for k, w := range m.weights {
+		if n < w {
+			return OpKind(k)
+		}
+		n -= w
+	}
+	return OpQuery
+}

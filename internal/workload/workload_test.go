@@ -2,6 +2,7 @@ package workload
 
 import (
 	"context"
+	"sync"
 	"testing"
 	"time"
 
@@ -102,4 +103,103 @@ func TestFailureInjectorBounds(t *testing.T) {
 			t.Fatalf("Pick out of bounds: %d", idx)
 		}
 	}
+}
+
+// The Zipf generator is pinned to its exact output for a fixed seed: the
+// loadgen's reproducibility story (same -seed, same workload) depends on
+// the sequence never drifting across refactors or Go releases of our own
+// code. A failure here means previously published benchmark figures are no
+// longer reproducible and must be regenerated.
+func TestZipfKeysGoldenSequence(t *testing.T) {
+	g := NewZipfKeys(42, 0, 1_000_000, 100, 1.5)
+	want := []keyspace.Key{
+		22219, 4009, 427261, 16, 29992, 4849, 20781, 5852,
+		1250, 5307, 163098, 49275, 17, 7660, 11041, 20590,
+	}
+	for i, w := range want {
+		if got := g.Next(); got != w {
+			t.Fatalf("sample %d = %d, want %d (fixed-seed sequence drifted)", i, got, w)
+		}
+	}
+}
+
+// Poisson inter-arrival delays are likewise pinned for a fixed seed, and
+// must average out near 1/rate.
+func TestPoissonGoldenAndMean(t *testing.T) {
+	p := NewPoisson(42, 1000)
+	want := []time.Duration{495738, 130547, 153233, 338446, 115964, 1055658, 859015, 148633}
+	for i, w := range want {
+		if got := p.NextDelay(); got != w {
+			t.Fatalf("delay %d = %d, want %d (fixed-seed sequence drifted)", i, got, w)
+		}
+	}
+	var sum time.Duration
+	const n = 20_000
+	for i := 0; i < n; i++ {
+		sum += p.NextDelay()
+	}
+	mean := sum / n
+	if mean < 800*time.Microsecond || mean > 1200*time.Microsecond {
+		t.Fatalf("mean inter-arrival = %v, want ~1ms for a 1000/s rate", mean)
+	}
+}
+
+// The operation mix respects its weights (within sampling noise) and is
+// pinned for a fixed seed.
+func TestMixWeightsAndGolden(t *testing.T) {
+	m := NewMix(42, 2, 1, 7)
+	want := []OpKind{
+		OpQuery, OpQuery, OpQuery, OpInsert, OpQuery, OpQuery, OpQuery, OpQuery,
+		OpQuery, OpQuery, OpQuery, OpQuery, OpQuery, OpQuery, OpDelete, OpQuery,
+	}
+	for i, w := range want {
+		if got := m.Next(); got != w {
+			t.Fatalf("op %d = %v, want %v (fixed-seed sequence drifted)", i, got, w)
+		}
+	}
+	counts := map[OpKind]int{}
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		counts[m.Next()]++
+	}
+	if q := counts[OpQuery]; q < n*6/10 || q > n*8/10 {
+		t.Fatalf("query share = %d/%d, want ~70%%", q, n)
+	}
+	if in := counts[OpInsert]; in < n*1/10 || in > n*3/10 {
+		t.Fatalf("insert share = %d/%d, want ~20%%", in, n)
+	}
+
+	if NewMix(1, 0, 0, 0).Next() != OpQuery {
+		t.Fatal("all-zero mix must degenerate to queries")
+	}
+}
+
+// Every generator the loadgen shares across its many in-flight operations
+// must be safe under concurrent draws (run with -race in CI).
+func TestGeneratorsConcurrencySafe(t *testing.T) {
+	uni := NewUniformKeys(3, 0, 1_000_000)
+	zipf := NewZipfKeys(3, 0, 1_000_000, 100, 1.5)
+	seq := NewSequentialKeys(0, 1)
+	span := NewSpanGen(3, 0, 1_000_000, 500)
+	pois := NewPoisson(3, 100)
+	mix := NewMix(3, 1, 1, 2)
+	inj := NewFailureInjector(3)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				uni.Next()
+				zipf.Next()
+				seq.Next()
+				span.Next()
+				pois.NextDelay()
+				mix.Next()
+				inj.Pick(5)
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -10,9 +10,17 @@
 # survive the real wire, not just simnet.
 #
 # Usage: scripts/cluster_smoke.sh [port-base]
+#
+# Without an argument the port base is derived from this shell's PID and
+# probed for availability (scripts/lib_ports.sh), so concurrent runs on one
+# machine don't collide.
 set -euo pipefail
 
-PORT_BASE=${1:-7101}
+# shellcheck source=scripts/lib_ports.sh
+. "$(dirname "$0")/lib_ports.sh"
+
+PORT_BASE=${1:-$(pick_port_base 4)}
+echo "== port base: $PORT_BASE"
 P_BOOT="127.0.0.1:$PORT_BASE"
 P_A="127.0.0.1:$((PORT_BASE + 1))"
 P_B="127.0.0.1:$((PORT_BASE + 2))"
@@ -45,15 +53,15 @@ trap cleanup EXIT
 echo "== build pepperd"
 go build -o "$BIN" ./cmd/pepperd
 
-# probe_epoch runs a probe, echoes its output, and captures the target's
-# current ownership epoch from the status line (epoch=N). The epoch is the
+# probe_epoch runs a probe in -json mode, echoes the status object, and
+# extracts the target's current ownership epoch from it. The epoch is the
 # range-ownership fencing token: it must only ever move forward at a given
 # peer, and every membership change (split, merge, revival) bumps it.
 probe_epoch() {
   local out
-  out=$("$BIN" "$@")
+  out=$("$BIN" "$@" -json)
   echo "$out" >&2
-  echo "$out" | sed -n 's/.*[[:space:]]epoch=\([0-9][0-9]*\).*/\1/p' | head -1
+  echo "$out" | sed -n 's/.*"epoch":\([0-9][0-9]*\).*/\1/p' | head -1
 }
 
 echo "== start bootstrap at $P_BOOT ($ITEMS items, $PAYLOAD-byte payloads)"

@@ -1,0 +1,44 @@
+# lib_ports.sh — shared port selection for the multi-process smoke scripts.
+#
+# A fixed PORT_BASE makes concurrent CI jobs (or a developer's stray pepperd)
+# collide; deriving the base from this shell's PID and probing each candidate
+# port before use makes the scripts safe to run in parallel. Source this
+# file, then:
+#
+#   PORT_BASE=$(pick_port_base 4)   # reserve a run of 4 consecutive ports
+
+# port_free PORT — succeed iff nothing on 127.0.0.1 accepts on PORT. Uses
+# bash's /dev/tcp connect test (in a subshell, so the fd closes immediately);
+# no external tools needed.
+port_free() {
+  ! (exec 3<>"/dev/tcp/127.0.0.1/$1") 2>/dev/null
+}
+
+# pick_port_base COUNT — print the base of a run of COUNT consecutive free
+# ports. The starting candidate is derived from $$ so two concurrent scripts
+# start their search in different places; each candidate run is probed
+# port-by-port before being handed out.
+pick_port_base() {
+  local count=${1:-4}
+  local base try port attempt ok
+  base=$((20000 + ($$ * 131) % 30000))
+  for attempt in $(seq 0 49); do
+    try=$((base + attempt * (count + 1)))
+    if ((try + count >= 64000)); then
+      try=$((20000 + (try % 30000)))
+    fi
+    ok=1
+    for ((port = try; port < try + count; port++)); do
+      if ! port_free "$port"; then
+        ok=0
+        break
+      fi
+    done
+    if ((ok)); then
+      echo "$try"
+      return 0
+    fi
+  done
+  echo "lib_ports: no run of $count free ports found" >&2
+  return 1
+}
