@@ -45,12 +45,15 @@ func main() {
 	listen := flag.String("listen", "", "serve one peer over TCP at this dialable host:port (multi-process mode)")
 	join := flag.String("join", "", "announce to this bootstrap peer as a free peer (requires -listen)")
 	payload := flag.Int("payload", 0, "payload bytes per loaded item (multi-process mode; forces chunked state transfers)")
+	dataDir := flag.String("data-dir", "", "durable storage root (multi-process mode): WAL + snapshots per peer identity; restarting with the same -listen and -data-dir recovers the last claimed range, epoch and items")
+	syncInterval := flag.Duration("sync-interval", 0, "with -data-dir: batch WAL fsyncs to at most one per interval (0 = fsync every append)")
 	probe := flag.String("probe", "", "probe the pepperd process at this address and exit (CI smoke / operators)")
 	expect := flag.Int("expect", -1, "with -probe: require a range query to return exactly this many items")
 	serving := flag.Bool("serving", false, "with -probe: require the peer to be JOINED and serving a range")
 	minPool := flag.Int("min-pool", -1, "with -probe: require at least this many pooled free peers")
 	minCacheHits := flag.Int64("min-cache-hits", -1, "with -probe: require the process's owner-lookup cache to report at least this many hits")
 	minEpoch := flag.Int64("min-epoch", -1, "with -probe: require the peer's ownership epoch to be at least this (epochs are monotonic per range, so this asserts progress across churn)")
+	minRecovered := flag.Int("min-recovered", -1, "with -probe: require the process to have restarted from durable state with at least this many recovered items")
 	audit := flag.Bool("audit", false, "with -probe: journal the final query and require a clean Definition 4 audit")
 	wait := flag.Duration("wait", 0, "with -probe: keep retrying until satisfied or this timeout elapses")
 	probeUB := flag.Uint64("probe-ub", uint64(keyspace.MaxKey), "with -probe -expect: upper bound of the probed query interval")
@@ -64,6 +67,7 @@ func main() {
 			minPool:      *minPool,
 			minCacheHits: *minCacheHits,
 			minEpoch:     *minEpoch,
+			minRecovered: *minRecovered,
 			audit:        *audit,
 			wait:         *wait,
 			ub:           keyspace.Key(*probeUB),
@@ -71,7 +75,7 @@ func main() {
 		}))
 	}
 	if *listen != "" {
-		serveMain(*listen, *join, *items, *payload, *seed)
+		serveMain(*listen, *join, *items, *payload, *seed, *dataDir, *syncInterval)
 		return
 	}
 	if *join != "" {

@@ -16,6 +16,7 @@ import (
 	"repro/internal/replication"
 	"repro/internal/ring"
 	"repro/internal/router"
+	"repro/internal/storage"
 	"repro/internal/transport"
 	"repro/internal/transport/tcp"
 )
@@ -54,15 +55,25 @@ func tcpPeerConfig(seed int64) core.Config {
 }
 
 // serveMain runs one peer as its own OS process over TCP: the -listen mode.
-func serveMain(listen, join string, items, payload int, seed int64) {
+func serveMain(listen, join string, items, payload int, seed int64, dataDir string, syncInterval time.Duration) {
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "pepperd: %v\n", err)
 		os.Exit(1)
 	}
 
-	tr := tcp.New(tcp.Config{DialTimeout: 2 * time.Second, CallTimeout: 10 * time.Second})
+	cfg := tcpPeerConfig(seed)
+	tcpCfg := tcp.Config{DialTimeout: 2 * time.Second, CallTimeout: 10 * time.Second}
+	if dataDir != "" {
+		factory := storage.DiskFactory{Dir: dataDir, Opts: storage.Options{SyncInterval: syncInterval}}
+		cfg.Storage = factory
+		// Disk staging on both sides of the transport: inbound streamed
+		// requests and dial-side chunked responses spill to files, so the
+		// MaxStreamBytes RAM ceiling no longer bounds transfer size.
+		tcpCfg.Stager = factory.NewStager
+	}
+	tr := tcp.New(tcpCfg)
 	defer tr.Close()
-	node, err := core.NewStandalone(tr, transport.Addr(listen), tcpPeerConfig(seed))
+	node, err := core.NewStandalone(tr, transport.Addr(listen), cfg)
 	if err != nil {
 		fail(err)
 	}
@@ -73,7 +84,20 @@ func serveMain(listen, join string, items, payload int, seed int64) {
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 
-	if join == "" {
+	resumed := false
+	if dataDir != "" {
+		resumed, err = node.Resume()
+		if err != nil {
+			fail(err)
+		}
+	}
+	switch {
+	case resumed:
+		p := node.CurrentPeer()
+		rng, epoch, _ := p.Store.RangeEpoch()
+		_, n := node.Recovered()
+		fmt.Printf("pepperd: recovered at %s: resuming range %s at epoch %d with %d items\n", listen, rng, epoch, n)
+	case join == "":
 		if err := node.Bootstrap(); err != nil {
 			fail(err)
 		}
@@ -81,7 +105,7 @@ func serveMain(listen, join string, items, payload int, seed int64) {
 		if items > 0 {
 			go loadItems(ctx, node, items, payload, fail)
 		}
-	} else {
+	default:
 		if err := node.JoinAsFree(ctx, transport.Addr(join)); err != nil {
 			fail(err)
 		}
@@ -136,6 +160,7 @@ type probeOpts struct {
 	minPool      int           // required free-pool size; <0 = don't care
 	minCacheHits int64         // required owner-lookup cache hits; <0 = don't care
 	minEpoch     int64         // required ownership epoch; <0 = don't care
+	minRecovered int           // required recovered-item count; <0 = don't care
 	audit        bool          // final journaled query + Definition 4 audit
 	wait         time.Duration // keep retrying until satisfied or this elapses
 	ub           keyspace.Key  // query interval upper bound
@@ -216,6 +241,9 @@ func probeSatisfied(st core.ProbeStatus, o probeOpts) bool {
 		return false
 	}
 	if o.minEpoch >= 0 && st.Epoch < uint64(o.minEpoch) {
+		return false
+	}
+	if o.minRecovered >= 0 && (!st.Recovered || st.RecoveredItems < o.minRecovered) {
 		return false
 	}
 	return st.RejoinErr == ""

@@ -42,8 +42,8 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/ring"
 	"repro/internal/routecache"
-	"repro/internal/router"
 	"repro/internal/transport"
+	"repro/internal/wireapi"
 )
 
 // Config controls a Client.
@@ -257,7 +257,7 @@ func (c *Client) descend(ctx context.Context, key keyspace.Key) (routecache.Entr
 			if err := ctx.Err(); err != nil {
 				return routecache.Entry{}, err
 			}
-			h, err := router.ClientNextHop(ctx, c.net, c.cfg.ID, cur, key)
+			h, err := wireapi.NextHop(ctx, c.net, c.cfg.ID, cur, key)
 			if err != nil {
 				c.cache.Invalidate(cur)
 				lastErr = err
@@ -288,7 +288,7 @@ func (c *Client) descend(ctx context.Context, key keyspace.Key) (routecache.Entr
 }
 
 // learnMeta primes the cache from a mutation reply's ownership facts.
-func (c *Client) learnMeta(owner transport.Addr, meta datastore.OwnerMeta) {
+func (c *Client) learnMeta(owner transport.Addr, meta wireapi.OwnerMeta) {
 	c.cache.Learn(meta.Range, owner, meta.Epoch, chainAddrs(owner, meta.Chain))
 }
 
@@ -323,7 +323,7 @@ func (c *Client) Insert(ctx context.Context, item datastore.Item) error {
 		if err != nil {
 			return err
 		}
-		meta, err := datastore.ClientInsert(ctx, c.net, c.cfg.ID, ent.Addr, item, ent.Epoch)
+		meta, err := wireapi.Insert(ctx, c.net, c.cfg.ID, ent.Addr, item, ent.Epoch)
 		if err != nil {
 			c.routeRejected(ent.Addr, err)
 			return err
@@ -351,7 +351,7 @@ func (c *Client) Delete(ctx context.Context, key keyspace.Key) (bool, error) {
 		if err != nil {
 			return err
 		}
-		f, meta, err := datastore.ClientDelete(ctx, c.net, c.cfg.ID, ent.Addr, key, ent.Epoch)
+		f, meta, err := wireapi.Delete(ctx, c.net, c.cfg.ID, ent.Addr, key, ent.Epoch)
 		if err != nil {
 			c.routeRejected(ent.Addr, err)
 			return err

@@ -9,10 +9,10 @@ import (
 	"repro/internal/datastore"
 	"repro/internal/history"
 	"repro/internal/keyspace"
-	"repro/internal/replication"
 	"repro/internal/ring"
 	"repro/internal/routecache"
 	"repro/internal/transport"
+	"repro/internal/wireapi"
 )
 
 // The client's range query is the origin-driven pipelined scan of the
@@ -49,7 +49,7 @@ type segPlan struct {
 // segCall is an issued segment scan.
 type segCall struct {
 	segPlan
-	pend   *datastore.SegmentPending
+	pend   *wireapi.SegmentPending
 	cancel context.CancelFunc
 }
 
@@ -146,7 +146,7 @@ func (c *Client) runScanAttempt(ctx context.Context, iv keyspace.Interval) ([]da
 		cctx, cancel := context.WithCancel(ctx)
 		inflight = append(inflight, &segCall{
 			segPlan: pl,
-			pend:    datastore.ClientScanSegmentAsync(cctx, c.net, c.cfg.ID, pl.addr, iv, pl.cursor, pl.epoch),
+			pend:    wireapi.ScanSegmentAsync(cctx, c.net, c.cfg.ID, pl.addr, iv, pl.cursor, pl.epoch),
 			cancel:  cancel,
 		})
 	}
@@ -322,7 +322,7 @@ func (c *Client) replicaSegment(ctx context.Context, head *segCall, last keyspac
 		if r == "" || r == head.addr {
 			continue
 		}
-		items, err := replication.ClientReplicaItems(ctx, c.net, c.cfg.ID, r, seg, head.epoch)
+		items, err := wireapi.ReplicaItems(ctx, c.net, c.cfg.ID, r, seg, head.epoch)
 		if err != nil {
 			if errors.Is(err, datastore.ErrStaleEpoch) {
 				c.staleRoutes.Inc()

@@ -36,6 +36,7 @@ import (
 	"repro/internal/routecache"
 	"repro/internal/router"
 	"repro/internal/simnet"
+	"repro/internal/storage"
 	"repro/internal/transport"
 )
 
@@ -59,6 +60,11 @@ type Config struct {
 	// NaiveQueries evaluates range queries with the unlocked application
 	// scan instead of scanRange (the Section 6.2 baseline).
 	NaiveQueries bool
+	// Storage opens each peer's durable backend (WAL + snapshots). nil keeps
+	// the in-memory default, which journals nothing and is what every simnet
+	// test and benchmark runs on; pepperd -data-dir supplies a
+	// storage.DiskFactory.
+	Storage storage.Factory
 	// Seed drives entry-peer selection.
 	Seed int64
 }
@@ -110,6 +116,9 @@ type Peer struct {
 	Store  *datastore.Store
 	Rep    *replication.Manager
 	Router *router.Router
+	// Backend is the peer's storage engine; the Data Store and Replication
+	// Manager write ahead to it, and Stop closes it.
+	Backend storage.Backend
 
 	tr  transport.Transport
 	log *history.Log
@@ -167,6 +176,20 @@ func assemblePeer(tr transport.Transport, addr transport.Addr, cfg Config, log *
 	p.Router = router.New(tr, mux, p.Ring, p.Store, cfg.Router)
 	p.Store.SetDeps(p.Rep, pool)
 
+	// One backend per peer identity: the Data Store and Replication Manager
+	// share it, so a peer's items and held replicas recover together.
+	factory := cfg.Storage
+	if factory == nil {
+		factory = storage.MemoryFactory{}
+	}
+	b, err := factory.Open(addr)
+	if err != nil {
+		return nil, fmt.Errorf("core: opening storage backend for %s: %w", addr, err)
+	}
+	p.Backend = b
+	p.Store.SetBackend(b)
+	p.Rep.SetBackend(b)
+
 	return p, nil
 }
 
@@ -176,8 +199,19 @@ func (p *Peer) Activate() error {
 	return p.tr.Register(p.Addr, p.Mux.Dispatch)
 }
 
-// Stop halts the peer stack's background work.
+// Stop halts the peer stack's background work and closes the storage
+// backend (flushing any batched WAL records).
 func (p *Peer) Stop() {
+	p.Abandon()
+	if p.Backend != nil {
+		_ = p.Backend.Close()
+	}
+}
+
+// Abandon halts background work WITHOUT flushing or closing the storage
+// backend — the crash-simulation hook: recovery tests abandon a peer and
+// reopen its data directory as if the process had been SIGKILLed.
+func (p *Peer) Abandon() {
 	p.Ring.Stop()
 	p.Store.Stop()
 	p.Rep.Stop()

@@ -10,6 +10,9 @@ import (
 	"repro/internal/datastore"
 	"repro/internal/history"
 	"repro/internal/keyspace"
+	"repro/internal/ops"
+	"repro/internal/ring"
+	"repro/internal/storage"
 	"repro/internal/transport"
 )
 
@@ -39,61 +42,13 @@ type announceMsg struct {
 	Addr transport.Addr
 }
 
-// ProbeRequest asks a standalone process to report its state. With Query set
-// the process also evaluates a range query over [Lo, Hi] from its own peer;
-// Journal additionally records that query in the process's correctness
-// journal (polls during failure recovery stay unjournaled — this journal
-// never learns of remote failures, so a journaled poll observing the
-// transient gap would read as a phantom violation). Audit runs the
-// Definition 4 checker over every journaled query of the process.
-type ProbeRequest struct {
-	Query   bool
-	Lo, Hi  keyspace.Key
-	Journal bool
-	Audit   bool
-}
-
-// ProbeStatus reports one process's observable state. The json tags are the
-// machine-readable contract of `pepperd -probe -json`, which the smoke
-// scripts parse; the wire encoding between probe and process is gob and does
-// not depend on them.
-type ProbeStatus struct {
-	State      string       `json:"state"` // ring lifecycle state
-	Val        keyspace.Key `json:"val"`
-	HasRange   bool         `json:"has_range"`
-	RangeLo    keyspace.Key `json:"range_lo"`
-	RangeHi    keyspace.Key `json:"range_hi"`
-	Items      int          `json:"items"`
-	Replicas   int          `json:"replicas"`
-	FreePool   int          `json:"free_pool"`
-	RejoinErr  string       `json:"rejoin_err,omitempty"`
-	QueryCount int          `json:"query_count"` // -1 when no query ran
-	QueryErr   string       `json:"query_err,omitempty"`
-	Violations int          `json:"violations"` // -1 unless Audit was requested
-
-	// Read-path counters: the owner-lookup cache of this process's router
-	// (hits/misses/evictions/invalidations and current entry count) and the
-	// number of scan segments served from a replica instead of the primary.
-	CacheHits          uint64 `json:"cache_hits"`
-	CacheMisses        uint64 `json:"cache_misses"`
-	CacheEvictions     uint64 `json:"cache_evictions"`
-	CacheInvalidations uint64 `json:"cache_invalidations"`
-	CacheEntries       int    `json:"cache_entries"`
-	ReplicaReads       uint64 `json:"replica_reads"`
-
-	// Ownership-epoch state: the current range's epoch (0 when not serving),
-	// the number of requests this peer rejected with ErrStaleEpoch, replica
-	// reads it refused for a deposed chain, and depositions it underwent.
-	Epoch              uint64 `json:"epoch"`
-	StaleEpochRejects  uint64 `json:"stale_epoch_rejects"`
-	StaleChainRefusals uint64 `json:"stale_chain_refusals"`
-	StepDowns          uint64 `json:"step_downs"`
-}
-
-func init() {
-	transport.RegisterMessage(ProbeRequest{})
-	transport.RegisterMessage(ProbeStatus{})
-}
+// ProbeRequest and ProbeStatus are the versioned ops contract; the types
+// live in internal/ops (the documented stable JSON schema) and are aliased
+// here so existing callers keep working.
+type (
+	ProbeRequest = ops.ProbeRequest
+	ProbeStatus  = ops.ProbeStatus
+)
 
 // Probe asks the standalone process at addr for its status; any process (or
 // a bare transport client like pepperd -probe) can issue it.
@@ -117,14 +72,23 @@ func (s *Standalone) handleProbe(_ transport.Addr, _ string, payload any) (any, 
 	}
 	p := s.CurrentPeer()
 	resp := ProbeStatus{
-		State:      p.Ring.State().String(),
-		Val:        p.Ring.Self().Val,
-		Items:      p.Store.ItemCount(),
-		Replicas:   p.Rep.ReplicaCount(),
-		FreePool:   s.Pool.Len(),
-		QueryCount: -1,
-		Violations: -1,
+		SchemaVersion: ops.SchemaVersion,
+		State:         p.Ring.State().String(),
+		Val:           p.Ring.Self().Val,
+		Items:         p.Store.ItemCount(),
+		Replicas:      p.Rep.ReplicaCount(),
+		FreePool:      s.Pool.Len(),
+		QueryCount:    -1,
+		Violations:    -1,
 	}
+	if p.Backend != nil {
+		bs := p.Backend.Stats()
+		resp.Backend = bs.Name
+		resp.WALRecords = bs.Records
+		resp.WALBytes = bs.WALBytes
+		resp.Snapshots = bs.Snapshots
+	}
+	resp.Recovered, resp.RecoveredItems = s.Recovered()
 	if rng, epoch, has := p.Store.RangeEpoch(); has {
 		resp.HasRange, resp.RangeLo, resp.RangeHi = true, rng.Lo, rng.Hi
 		resp.Epoch = epoch
@@ -298,6 +262,11 @@ type Standalone struct {
 	rejoinErr error         // last rejoin failure, nil after a success
 	rejoins   chan struct{} // signalled after each completed rejoin (buffered)
 
+	// Recovery outcome of Resume: whether this process restarted into a
+	// previously claimed incarnation, and how many items it recovered.
+	recovered      bool
+	recoveredItems int
+
 	// Peer is the current peer stack. It is replaced on rejoin; concurrent
 	// readers should prefer CurrentPeer.
 	Peer *Peer
@@ -409,6 +378,9 @@ func (s *Standalone) Rejoins() <-chan struct{} { return s.rejoins }
 // key space.
 func (s *Standalone) Bootstrap() error {
 	p := s.CurrentPeer()
+	// Persist the identity first: a recovery from this directory knows the
+	// address it served under and that it had no bootstrap to re-announce to.
+	_ = p.Backend.Append(storage.Record{Kind: storage.RecIdentity, Payload: string(p.Addr)})
 	if err := p.Ring.InitRing(); err != nil {
 		return err
 	}
@@ -417,6 +389,75 @@ func (s *Standalone) Bootstrap() error {
 	p.Rep.Start()
 	p.Router.Start()
 	return nil
+}
+
+// Resume restarts this process into the ownership incarnation its storage
+// backend recovered: the last claimed (range, epoch) — the SAME epoch, since
+// a restart is the old incarnation resuming with provable identity, not a
+// new one — plus the items and held replicas that survived in the
+// WAL+snapshot. It returns false (and does nothing) when the backend holds
+// no claim, in which case the caller proceeds with Bootstrap or JoinAsFree
+// as usual.
+//
+// A recovered peer that had announced to a bootstrap re-enters the ring by
+// seeding that contact as its successor (ring.AdoptSuccessor) and lets the
+// first replication push re-announce its claim: if a successor revived the
+// range while the process was down, the push conflict deposes the recovered
+// incarnation through the normal fencing path; otherwise stabilization
+// re-integrates it. A recovered bootstrap (or one whose contact is
+// unreachable) resumes as a single-member ring, which churning joiners then
+// grow as usual.
+func (s *Standalone) Resume() (bool, error) {
+	p := s.CurrentPeer()
+	st, err := p.Backend.Load()
+	if err != nil {
+		return false, fmt.Errorf("core: loading recovered state: %w", err)
+	}
+	if !st.HasRange {
+		return false, nil
+	}
+	items := make([]datastore.Item, 0, len(st.Items))
+	for k, v := range st.Items {
+		items = append(items, datastore.Item{Key: k, Payload: v})
+	}
+	reps := make([]datastore.Item, 0, len(st.Replicas))
+	for k, v := range st.Replicas {
+		reps = append(reps, datastore.Item{Key: k, Payload: v})
+	}
+	// Install the recovered state BEFORE entering the ring: the ring's joined
+	// event funnels into InitFirstPeer, which must see the recovered claim
+	// and no-op instead of minting a fresh full-range one.
+	p.Ring.SetVal(st.Range.Hi)
+	p.Store.Recover(st.Range, st.Epoch, items)
+	p.Rep.RestoreReplicas(reps)
+	bootstrap := transport.Addr(st.Bootstrap)
+	s.mu.Lock()
+	s.recovered = true
+	s.recoveredItems = len(items)
+	if bootstrap != "" && bootstrap != p.Addr {
+		s.bootstrap = bootstrap
+	}
+	s.mu.Unlock()
+	if bootstrap != "" && bootstrap != p.Addr {
+		// Learn the contact's current ring value so the seeded successor
+		// entry is well-formed; an unreachable contact degrades to a
+		// single-member resume rather than blocking recovery.
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		ps, perr := Probe(ctx, s.tr, p.Addr, bootstrap, ProbeRequest{})
+		cancel()
+		if perr == nil {
+			return true, p.Ring.AdoptSuccessor(ring.Node{Addr: bootstrap, Val: ps.Val})
+		}
+	}
+	return true, p.Ring.InitRing()
+}
+
+// Recovered reports whether Resume restarted this process into a previously
+// claimed incarnation, and how many items it recovered.
+func (s *Standalone) Recovered() (bool, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovered, s.recoveredItems
 }
 
 // JoinAsFree announces this process's peer to the bootstrap node as a free
@@ -437,6 +478,9 @@ func (s *Standalone) JoinAsFree(ctx context.Context, bootstrap transport.Addr) e
 	s.mu.Lock()
 	s.bootstrap = bootstrap
 	s.mu.Unlock()
+	// Persist the identity and bootstrap contact: a recovery from this
+	// directory re-announces to the same bootstrap on its own.
+	_ = p.Backend.Append(storage.Record{Kind: storage.RecIdentity, Payload: string(p.Addr), Aux: string(bootstrap)})
 	return nil
 }
 

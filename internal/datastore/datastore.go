@@ -35,6 +35,7 @@ import (
 	"repro/internal/keyspace"
 	"repro/internal/metrics"
 	"repro/internal/ring"
+	"repro/internal/storage"
 	"repro/internal/transport"
 )
 
@@ -155,12 +156,13 @@ var (
 
 // Store is one peer's Data Store.
 type Store struct {
-	cfg  Config
-	net  transport.Transport
-	ring *ring.Peer
-	log  *history.Log
-	rep  Replicator
-	pool FreePool
+	cfg     Config
+	net     transport.Transport
+	ring    *ring.Peer
+	log     *history.Log
+	rep     Replicator
+	pool    FreePool
+	backend storage.Backend // write-ahead engine; never nil (Memory default)
 
 	rangeLock RangeLock // guards range ownership during scans/maintenance
 
@@ -206,6 +208,7 @@ func New(net transport.Transport, mux *transport.Mux, rp *ring.Peer, log *histor
 		net:       net,
 		ring:      rp,
 		log:       log,
+		backend:   storage.NewMemory(),
 		items:     make(map[keyspace.Key]Item),
 		handlers:  make(map[string]Handler),
 		maintKick: make(chan struct{}, 1),
@@ -227,6 +230,15 @@ func New(net transport.Transport, mux *transport.Mux, rp *ring.Peer, log *histor
 func (s *Store) SetDeps(rep Replicator, pool FreePool) {
 	s.rep = rep
 	s.pool = pool
+}
+
+// SetBackend replaces the storage engine (default: a fresh storage.Memory).
+// Must be called before the peer starts serving; the core assembly path
+// calls it right after construction.
+func (s *Store) SetBackend(b storage.Backend) {
+	if b != nil {
+		s.backend = b
+	}
 }
 
 // Start launches the balance maintenance loop (idempotent; a no-op after
@@ -318,8 +330,32 @@ func (s *Store) claimLocked(rng keyspace.Range, epoch uint64) {
 	s.hasRange = true
 	s.rng = rng
 	s.epoch = epoch
+	// Write-ahead before the history journal so the WAL order matches the
+	// journal order. A claim's replay prunes items outside the claimed range
+	// (that is how hand-offs move items away durably; see storage.RecClaim).
+	// An append error here degrades durability, not serving: membership
+	// protocols cannot abort halfway through a claim.
+	_ = s.backend.Append(storage.Record{Kind: storage.RecClaim, Epoch: epoch, Lo: rng.Lo, Hi: rng.Hi})
 	if s.log != nil {
 		s.log.Claimed(string(s.ring.Self().Addr), rng, epoch)
+	}
+}
+
+// releaseLocked drops ownership durably: the write-ahead release clears the
+// incarnation (and its items) on replay, so a restart after a step-down or
+// merge-away recovers a free peer, not a resurrected claim. Callers hold
+// s.mu and update the in-memory fields themselves.
+func (s *Store) releaseLocked() {
+	_ = s.backend.Append(storage.Record{Kind: storage.RecRelease})
+}
+
+// walPutAllLocked write-ahead journals every current item under the current
+// incarnation's epoch: the bulk-install sites (join hand-off, orphan
+// adoption, merge absorption, revival) call it right after claimLocked so
+// replay rebuilds the installed items. Callers hold s.mu.
+func (s *Store) walPutAllLocked() {
+	for _, it := range s.items {
+		_ = s.backend.Append(storage.Record{Kind: storage.RecPut, Epoch: s.epoch, Key: it.Key, Payload: it.Payload})
 	}
 }
 
@@ -407,6 +443,44 @@ func (s *Store) InitFirstPeer() {
 	s.mu.Unlock()
 }
 
+// Recover re-enters the incarnation a durable backend recovered: the last
+// claimed (range, epoch) and the items that survived in its WAL+snapshot.
+// Unlike every other claim site the epoch is NOT bumped — a restart is the
+// same incarnation resuming with provable identity, not a new one — and the
+// claim plus every recovered item is journaled (as a recovery) in this
+// process's fresh history log, so the Definition 4 and epoch audits treat
+// the restart as a legal continuation rather than a phantom. If a successor
+// revived the range while this peer was down, its higher-epoch claim wins
+// the first push conflict and this peer steps down through the normal
+// fencing path. No-op if the peer already serves a range.
+func (s *Store) Recover(rng keyspace.Range, epoch uint64, items []Item) {
+	self := string(s.ring.Self().Addr)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.hasRange {
+		return
+	}
+	s.hasRange = true
+	s.rng = rng
+	s.epoch = epoch
+	// Re-stamp the recovered state into the new run's log (idempotent on
+	// replay) so the log is self-contained from the recovery point onward.
+	_ = s.backend.Append(storage.Record{Kind: storage.RecClaim, Epoch: epoch, Lo: rng.Lo, Hi: rng.Hi})
+	if s.log != nil {
+		s.log.RecoveredClaim(self, rng, epoch)
+	}
+	for _, it := range items {
+		if !rng.Contains(it.Key) {
+			continue
+		}
+		_ = s.backend.Append(storage.Record{Kind: storage.RecPut, Epoch: epoch, Key: it.Key, Payload: it.Payload})
+		s.items[it.Key] = it
+		if s.log != nil {
+			s.log.Added(self, it.Key)
+		}
+	}
+}
+
 // owns reports whether key is in this peer's range.
 func (s *Store) owns(key keyspace.Key) bool {
 	s.mu.Lock()
@@ -482,6 +556,14 @@ func (s *Store) handleInsert(_ transport.Addr, _ string, payload any) (any, erro
 		s.mu.Unlock()
 		return nil, err
 	}
+	// Write-ahead before the in-memory mutation, still inside the critical
+	// section: a mutation the requester sees acknowledged is in the log (up
+	// to the backend's sync-interval batching), and the WAL order matches
+	// the journal order below. A refused append refuses the insert.
+	if err := s.backend.Append(storage.Record{Kind: storage.RecPut, Epoch: s.epoch, Key: req.Item.Key, Payload: req.Item.Payload}); err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
 	s.items[req.Item.Key] = req.Item
 	// Journal before releasing s.mu: scan piece snapshots are taken under
 	// s.mu, so journaling inside the critical section keeps the journal's
@@ -525,6 +607,11 @@ func (s *Store) handleDelete(_ transport.Addr, _ string, payload any) (any, erro
 	}
 	_, found := s.items[req.Key]
 	if found {
+		// Write-ahead, then mutate, then journal — see handleInsert.
+		if err := s.backend.Append(storage.Record{Kind: storage.RecDelete, Epoch: s.epoch, Key: req.Key}); err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
 		delete(s.items, req.Key)
 		// Journal under s.mu; see handleInsert for why.
 		if s.log != nil {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/keyspace"
 	"repro/internal/ring"
+	"repro/internal/storage"
 	"repro/internal/transport"
 )
 
@@ -187,6 +188,9 @@ func (s *Store) OnJoined(self ring.Node, pred ring.Node, data any) {
 		for _, it := range jd.Items {
 			s.items[it.Key] = it
 		}
+		// Write-ahead the installed hand-off under the claimed epoch so a
+		// crash right after the join recovers the received items.
+		s.walPutAllLocked()
 		s.mu.Unlock()
 		if s.rep != nil && len(jd.Items) > 0 {
 			s.rep.ItemsChanged()
@@ -246,6 +250,7 @@ func (s *Store) adoptRevived(r keyspace.Range, items []Item) {
 		}
 		s.items[it.Key] = it
 		added = append(added, it.Key)
+		_ = s.backend.Append(storage.Record{Kind: storage.RecPut, Epoch: s.epoch, Key: it.Key, Payload: it.Payload})
 		// Journal under s.mu so the journal order matches the order scans
 		// observe state (see handleInsert).
 		if s.log != nil {
@@ -485,6 +490,7 @@ func (s *Store) applyRedistribute(ctx context.Context, rb rebalanceResp) error {
 	s.claimLocked(keyspace.NewRange(s.rng.Lo, rb.NewBoundary), epoch+1)
 	for _, it := range rb.Items {
 		s.items[it.Key] = it
+		_ = s.backend.Append(storage.Record{Kind: storage.RecPut, Epoch: s.epoch, Key: it.Key, Payload: it.Payload})
 	}
 	s.mu.Unlock()
 	s.ring.SetVal(rb.NewBoundary)
@@ -552,6 +558,14 @@ func (s *Store) mergeIntoSuccessor(ctx context.Context, succ ring.Node) error {
 		s.mu.Unlock()
 		return fmt.Errorf("datastore: merge transfer failed: %w", err)
 	}
+	// The hand-off committed: release ownership durably. This deliberately
+	// happens only now — a failed transfer restores the in-memory state
+	// above, which must keep matching the WAL's claim. A crash between the
+	// commit and this release recovers a stale claim that the successor's
+	// higher-epoch one then deposes through the normal fencing path.
+	s.mu.Lock()
+	s.releaseLocked()
+	s.mu.Unlock()
 	// 4. Depart; the peer returns to the free pool. Shut down our own loops
 	//    asynchronously — this code may be running on the maintenance loop
 	//    itself, so it must not wait for it.
@@ -608,6 +622,9 @@ func (s *Store) StepDown(winnerEpoch uint64) {
 	s.items = make(map[keyspace.Key]Item)
 	s.hasRange = false
 	s.epoch = 0
+	// Release durably: a restart from this identity's data directory must
+	// come back as a free peer, not resurrect the deposed incarnation.
+	s.releaseLocked()
 	s.mu.Unlock()
 	s.rangeLock.Unlock()
 	s.StepDowns.Add(1)
@@ -649,6 +666,7 @@ func (s *Store) handleMergeIn(_ transport.Addr, _ string, payload any) (any, err
 	self := string(s.ring.Self().Addr)
 	for _, it := range req.Items {
 		s.items[it.Key] = it
+		_ = s.backend.Append(storage.Record{Kind: storage.RecPut, Epoch: s.epoch, Key: it.Key, Payload: it.Payload})
 		if s.log != nil {
 			s.log.Moved(string(req.From.Addr), self, it.Key)
 		}

@@ -27,12 +27,14 @@ import (
 // stays a faithful physical record, and these checkers are a second audit on
 // top of the Definition 4 one.
 
-// Claim is one journaled ownership incarnation.
+// Claim is one journaled ownership incarnation. Recovered marks a claim
+// re-entered from durable storage after a restart (see Log.RecoveredClaim).
 type Claim struct {
-	Seq   Seq
-	Peer  string
-	Range keyspace.Range
-	Epoch uint64
+	Seq       Seq
+	Peer      string
+	Range     keyspace.Range
+	Epoch     uint64
+	Recovered bool
 }
 
 // Claims extracts the RangeClaimed events in sequence order.
@@ -40,7 +42,7 @@ func Claims(events []Event) []Claim {
 	var out []Claim
 	for _, ev := range events {
 		if ev.Kind == RangeClaimed {
-			out = append(out, Claim{Seq: ev.Seq, Peer: ev.Peer, Range: keyspace.Range{Lo: ev.Lo, Hi: ev.Hi}, Epoch: ev.Epoch})
+			out = append(out, Claim{Seq: ev.Seq, Peer: ev.Peer, Range: keyspace.Range{Lo: ev.Lo, Hi: ev.Hi}, Epoch: ev.Epoch, Recovered: ev.Recovered})
 		}
 	}
 	return out
@@ -72,6 +74,10 @@ func (v ClaimViolation) String() string {
 // crashed peer is a correct execution, not a fencing failure. (A
 // false-positive suspicion journals no PeerFailed — the live suspect's
 // claim stays binding, which is the case this checker exists for.)
+//
+// Recovered claims (Log.RecoveredClaim) are resumptions, not new
+// incarnations: they are checked for identity with the peer's last journaled
+// claim instead of strict supersession.
 func CheckClaims(events []Event) []ClaimViolation {
 	latest := make(map[string]Claim)
 	var out []ClaimViolation
@@ -83,7 +89,27 @@ func CheckClaims(events []Event) []ClaimViolation {
 		if ev.Kind != RangeClaimed {
 			continue
 		}
-		c := Claim{Seq: ev.Seq, Peer: ev.Peer, Range: keyspace.Range{Lo: ev.Lo, Hi: ev.Hi}, Epoch: ev.Epoch}
+		c := Claim{Seq: ev.Seq, Peer: ev.Peer, Range: keyspace.Range{Lo: ev.Lo, Hi: ev.Hi}, Epoch: ev.Epoch, Recovered: ev.Recovered}
+		if ev.Recovered {
+			// A recovery resumes an incarnation rather than minting a new one,
+			// so strict supersession does not apply: the legality condition is
+			// identity — the recovered claim must be exactly the incarnation
+			// this peer last journaled (fresh journals that never saw the
+			// original claim accept it as the baseline). Whether a competitor
+			// has since claimed a higher epoch is irrelevant here: the epoch
+			// order between the two incarnations already exists, and the
+			// fencing layers (not this audit) depose the stale one.
+			if prev, ok := latest[c.Peer]; ok && (prev.Range != c.Range || prev.Epoch != c.Epoch) {
+				out = append(out, ClaimViolation{
+					Seq:  c.Seq,
+					Peer: c.Peer,
+					Reason: fmt.Sprintf("recovered claim of %s at epoch %d does not match the last journaled incarnation %s at epoch %d",
+						c.Range, c.Epoch, prev.Range, prev.Epoch),
+				})
+			}
+			latest[c.Peer] = c
+			continue
+		}
 		for _, prev := range latest {
 			if !prev.Range.Overlaps(c.Range) {
 				continue

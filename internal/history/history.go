@@ -81,6 +81,9 @@ type Event struct {
 	// RangeClaimed only: the claimed range and its ownership epoch.
 	Lo, Hi keyspace.Key
 	Epoch  uint64
+	// Recovered marks a claim re-entered from durable storage after a process
+	// restart: the same incarnation resuming, not a new epoch.
+	Recovered bool
 }
 
 // QueryRecord captures one range query execution for later checking.
@@ -155,6 +158,17 @@ func (l *Log) Claimed(peer string, r keyspace.Range, epoch uint64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.events = append(l.events, Event{Seq: l.next(), Kind: RangeClaimed, Peer: peer, Lo: r.Lo, Hi: r.Hi, Epoch: epoch})
+}
+
+// RecoveredClaim journals a claim re-entered from durable storage: after a
+// crash and restart from the same data directory, the peer resumes serving
+// the range at the epoch it last claimed — the same incarnation, not a bump.
+// The audit treats it like any other claim at that epoch; the Recovered flag
+// lets checks and reports distinguish a legal restart from a fresh claim.
+func (l *Log) RecoveredClaim(peer string, r keyspace.Range, epoch uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, Event{Seq: l.next(), Kind: RangeClaimed, Peer: peer, Lo: r.Lo, Hi: r.Hi, Epoch: epoch, Recovered: true})
 }
 
 // BeginQuery opens a query record and returns its id and start point.

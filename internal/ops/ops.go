@@ -1,0 +1,91 @@
+// Package ops defines the operational probe contract of a running pepperd
+// process: the request a thin RPC client (pepperd -probe, the CI smoke
+// scripts) sends, and the status object the process answers with.
+//
+// The json tags of ProbeStatus are the machine-readable schema of
+// `pepperd -probe -json`, which scripts parse. That makes them an external
+// contract, versioned explicitly: SchemaVersion is bumped on any rename,
+// removal or semantic change of an existing field (adding fields is
+// compatible and does not bump it), and every consumer asserts the version
+// it was written against, so a drifted script fails loudly on the version
+// check instead of silently reading zero values out of renamed fields.
+//
+// The wire encoding between probe and process is gob and does not depend on
+// the json tags.
+package ops
+
+import (
+	"repro/internal/keyspace"
+	"repro/internal/transport"
+)
+
+// SchemaVersion identifies the ProbeStatus JSON schema. History:
+//
+//	1 — initial versioned schema (adds schema_version itself, the durable
+//	    storage fields backend/wal_records/wal_bytes/snapshots, and the
+//	    recovery fields recovered/recovered_items to the PR-6 layout).
+const SchemaVersion = 1
+
+// ProbeRequest asks a standalone process to report its state. With Query set
+// the process also evaluates a range query over [Lo, Hi] from its own peer;
+// Journal additionally records that query in the process's correctness
+// journal (polls during failure recovery stay unjournaled — this journal
+// never learns of remote failures, so a journaled poll observing the
+// transient gap would read as a phantom violation). Audit runs the
+// Definition 4 checker over every journaled query of the process.
+type ProbeRequest struct {
+	Query   bool
+	Lo, Hi  keyspace.Key
+	Journal bool
+	Audit   bool
+}
+
+// ProbeStatus reports one process's observable state.
+type ProbeStatus struct {
+	SchemaVersion int          `json:"schema_version"`
+	State         string       `json:"state"` // ring lifecycle state
+	Val           keyspace.Key `json:"val"`
+	HasRange      bool         `json:"has_range"`
+	RangeLo       keyspace.Key `json:"range_lo"`
+	RangeHi       keyspace.Key `json:"range_hi"`
+	Items         int          `json:"items"`
+	Replicas      int          `json:"replicas"`
+	FreePool      int          `json:"free_pool"`
+	RejoinErr     string       `json:"rejoin_err,omitempty"`
+	QueryCount    int          `json:"query_count"` // -1 when no query ran
+	QueryErr      string       `json:"query_err,omitempty"`
+	Violations    int          `json:"violations"` // -1 unless Audit was requested
+
+	// Read-path counters: the owner-lookup cache of this process's router
+	// (hits/misses/evictions/invalidations and current entry count) and the
+	// number of scan segments served from a replica instead of the primary.
+	CacheHits          uint64 `json:"cache_hits"`
+	CacheMisses        uint64 `json:"cache_misses"`
+	CacheEvictions     uint64 `json:"cache_evictions"`
+	CacheInvalidations uint64 `json:"cache_invalidations"`
+	CacheEntries       int    `json:"cache_entries"`
+	ReplicaReads       uint64 `json:"replica_reads"`
+
+	// Ownership-epoch state: the current range's epoch (0 when not serving),
+	// the number of requests this peer rejected with ErrStaleEpoch, replica
+	// reads it refused for a deposed chain, and depositions it underwent.
+	Epoch              uint64 `json:"epoch"`
+	StaleEpochRejects  uint64 `json:"stale_epoch_rejects"`
+	StaleChainRefusals uint64 `json:"stale_chain_refusals"`
+	StepDowns          uint64 `json:"step_downs"`
+
+	// Durable storage state: which backend the peer runs on ("memory" or
+	// "disk"), its WAL counters, and — when the process restarted from a
+	// durable claim — the recovery outcome.
+	Backend        string `json:"backend"`
+	WALRecords     uint64 `json:"wal_records"`
+	WALBytes       int64  `json:"wal_bytes"`
+	Snapshots      uint64 `json:"snapshots"`
+	Recovered      bool   `json:"recovered"`
+	RecoveredItems int    `json:"recovered_items"`
+}
+
+func init() {
+	transport.RegisterMessage(ProbeRequest{})
+	transport.RegisterMessage(ProbeStatus{})
+}

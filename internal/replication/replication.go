@@ -24,6 +24,7 @@ import (
 	"repro/internal/datastore"
 	"repro/internal/keyspace"
 	"repro/internal/ring"
+	"repro/internal/storage"
 	"repro/internal/transport"
 )
 
@@ -76,10 +77,11 @@ type advert struct {
 // Manager is one peer's Replication Manager. It implements
 // datastore.Replicator.
 type Manager struct {
-	cfg  Config
-	net  transport.Transport
-	ring *ring.Peer
-	ds   *datastore.Store
+	cfg     Config
+	net     transport.Transport
+	ring    *ring.Peer
+	ds      *datastore.Store
+	backend storage.Backend // write-ahead engine; never nil (Memory default)
 
 	mu       sync.Mutex
 	replicas map[keyspace.Key]datastore.Item
@@ -108,6 +110,7 @@ func New(net transport.Transport, mux *transport.Mux, rp *ring.Peer, ds *datasto
 		net:      net,
 		ring:     rp,
 		ds:       ds,
+		backend:  storage.NewMemory(),
 		replicas: make(map[keyspace.Key]datastore.Item),
 		adverts:  make(map[transport.Addr]advert),
 		kick:     make(chan struct{}, 1),
@@ -117,6 +120,28 @@ func New(net transport.Transport, mux *transport.Mux, rp *ring.Peer, ds *datasto
 	mux.Handle(methodPull, m.handlePull)
 	mux.Handle(methodScan, m.handleReplicaScan)
 	return m
+}
+
+// SetBackend replaces the storage engine (default: a fresh storage.Memory).
+// The core assembly path points it at the same backend as the Data Store, so
+// a peer's held replicas survive a restart alongside its own items. Must be
+// called before the peer starts serving.
+func (m *Manager) SetBackend(b storage.Backend) {
+	if b != nil {
+		m.backend = b
+	}
+}
+
+// RestoreReplicas installs replicas recovered from durable storage and
+// re-stamps them into the new run's log (idempotent on replay). Called once
+// during recovery, before the manager starts serving.
+func (m *Manager) RestoreReplicas(items []datastore.Item) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, it := range items {
+		m.replicas[it.Key] = it
+		_ = m.backend.Append(storage.Record{Kind: storage.RecReplicaPut, Key: it.Key, Payload: it.Payload})
+	}
 }
 
 // Start launches the periodic refresh loop (idempotent; no-op after Stop).
@@ -279,10 +304,14 @@ func (m *Manager) handlePush(_ transport.Addr, _ string, payload any) (any, erro
 	for k := range m.replicas {
 		if msg.Range.Contains(k) && !keep[k] {
 			delete(m.replicas, k)
+			// Write-ahead while holding m.mu so the WAL order matches the
+			// replica store's; an append error degrades durability only.
+			_ = m.backend.Append(storage.Record{Kind: storage.RecReplicaDelete, Key: k})
 		}
 	}
 	for _, it := range msg.Items {
 		m.replicas[it.Key] = it
+		_ = m.backend.Append(storage.Record{Kind: storage.RecReplicaPut, Key: it.Key, Payload: it.Payload})
 	}
 	m.mu.Unlock()
 	return pushResp{}, nil

@@ -355,6 +355,33 @@ func (p *Peer) InitRing() error {
 	return nil
 }
 
+// AdoptSuccessor makes this FREE peer JOINED with succ seeded as its first
+// successor — the recovery re-entry path. A peer restarted from durable
+// storage resumes its last ownership incarnation but has lost its ring
+// neighbours; seeding a remembered contact (its bootstrap) gives the
+// replication manager a push target immediately, so the recovered claim is
+// either re-integrated by stabilization or — if a successor revived the
+// range while the process was down — deposed through the normal push-conflict
+// fencing within one refresh. The entry starts unstabilized; stabilization
+// contacts it like any other fresh successor.
+func (p *Peer) AdoptSuccessor(succ Node) error {
+	p.mu.Lock()
+	if p.state != StateFree {
+		p.mu.Unlock()
+		return fmt.Errorf("%w: state %s", ErrBusy, p.state)
+	}
+	p.state = StateJoined
+	p.succ = []Entry{{Node: succ, State: EntryJoined}}
+	p.pred = p.self
+	self := p.self
+	p.mu.Unlock()
+	if p.cb.OnJoined != nil {
+		p.cb.OnJoined(self, self, nil)
+	}
+	p.start()
+	return nil
+}
+
 // start launches the periodic loops once the peer is part of a ring
 // (idempotent; a no-op after Stop, so a join completing during teardown
 // cannot race the shutdown).

@@ -1,0 +1,114 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/keyspace"
+)
+
+// Write-ahead log framing: each record is
+//
+//	u32 body length | u32 CRC-32C of body | body
+//
+// with a fixed-layout little-endian body
+//
+//	u8 kind | u64 epoch | u64 lo | u64 hi | u64 key |
+//	u32 payload length | payload | u32 aux length | aux
+//
+// The CRC covers the body only; the length prefix is validated by bounds
+// (maxWALRecord) and by the CRC of the bytes it delimits. A record whose
+// length runs past the file, or whose CRC does not match, is a torn tail:
+// the replayer drops it AND everything after it — bytes past a torn record
+// are garbage by definition, since the log is append-only and fsynced in
+// order.
+
+// maxWALRecord bounds one record's body so a corrupt length prefix cannot
+// force a multi-gigabyte allocation. Item payloads are bounded well below
+// this by the transport's frame limit.
+const maxWALRecord = 64 << 20
+
+// walCRC is CRC-32C (Castagnoli), the checksum used by the WAL and the
+// snapshot file.
+var walCRC = crc32.MakeTable(crc32.Castagnoli)
+
+const walHeaderLen = 8 // u32 length + u32 crc
+
+// appendRecord encodes rec framed for the log onto buf and returns the
+// extended slice.
+func appendRecord(buf []byte, rec Record) []byte {
+	bodyLen := 1 + 8*4 + 4 + len(rec.Payload) + 4 + len(rec.Aux)
+	start := len(buf)
+	buf = append(buf, make([]byte, walHeaderLen)...)
+	buf = append(buf, byte(rec.Kind))
+	buf = binary.LittleEndian.AppendUint64(buf, rec.Epoch)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(rec.Lo))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(rec.Hi))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(rec.Key))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec.Payload)))
+	buf = append(buf, rec.Payload...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec.Aux)))
+	buf = append(buf, rec.Aux...)
+	body := buf[start+walHeaderLen:]
+	binary.LittleEndian.PutUint32(buf[start:], uint32(bodyLen))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(body, walCRC))
+	return buf
+}
+
+// decodeRecordBody decodes one CRC-validated body.
+func decodeRecordBody(body []byte) (Record, error) {
+	if len(body) < 1+8*4+4 {
+		return Record{}, fmt.Errorf("storage: record body too short (%d bytes)", len(body))
+	}
+	var rec Record
+	rec.Kind = RecordKind(body[0])
+	rec.Epoch = binary.LittleEndian.Uint64(body[1:])
+	rec.Lo = keyspace.Key(binary.LittleEndian.Uint64(body[9:]))
+	rec.Hi = keyspace.Key(binary.LittleEndian.Uint64(body[17:]))
+	rec.Key = keyspace.Key(binary.LittleEndian.Uint64(body[25:]))
+	off := 33
+	plen := int(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+	if plen < 0 || off+plen+4 > len(body) {
+		return Record{}, fmt.Errorf("storage: payload length %d overruns record body", plen)
+	}
+	rec.Payload = string(body[off : off+plen])
+	off += plen
+	alen := int(binary.LittleEndian.Uint32(body[off:]))
+	off += 4
+	if alen < 0 || off+alen != len(body) {
+		return Record{}, fmt.Errorf("storage: aux length %d does not close record body", alen)
+	}
+	rec.Aux = string(body[off : off+alen])
+	return rec, nil
+}
+
+// replayWAL scans the raw log bytes, applies every intact record to st, and
+// returns the byte offset of the first torn or corrupt record (== len(data)
+// for a clean log) plus the number of records applied. It never fails: a
+// torn tail is expected after a crash and is simply where replay stops.
+func replayWAL(data []byte, st *State) (validLen int64, records uint64) {
+	off := 0
+	for {
+		if off+walHeaderLen > len(data) {
+			return int64(off), records
+		}
+		bodyLen := int(binary.LittleEndian.Uint32(data[off:]))
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if bodyLen <= 0 || bodyLen > maxWALRecord || off+walHeaderLen+bodyLen > len(data) {
+			return int64(off), records
+		}
+		body := data[off+walHeaderLen : off+walHeaderLen+bodyLen]
+		if crc32.Checksum(body, walCRC) != crc {
+			return int64(off), records
+		}
+		rec, err := decodeRecordBody(body)
+		if err != nil {
+			return int64(off), records
+		}
+		st.apply(rec)
+		records++
+		off += walHeaderLen + bodyLen
+	}
+}

@@ -1,0 +1,112 @@
+package tcp
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// stagerConfig is a transport tuned so staging limits trip quickly: small
+// chunks force the stream path, and a small MaxStreamBytes makes the RAM cap
+// reachable without moving gigabytes in a unit test.
+func stagerConfig() Config {
+	return Config{
+		DialTimeout:    time.Second,
+		CallTimeout:    20 * time.Second,
+		ConnsPerPeer:   1,
+		ChunkBytes:     32 << 10,
+		MaxStreamBytes: 128 << 10,
+	}
+}
+
+// A streamed request past MaxStreamBytes is refused by the receiver with the
+// typed ErrStageOverflow, and the sentinel survives the wire: the sender can
+// errors.Is it and act (raise the cap or configure disk staging).
+func TestStreamOverflowIsTypedAtSender(t *testing.T) {
+	echo := func(_ transport.Addr, _ string, p any) (any, error) { return p, nil }
+	tr := New(stagerConfig())
+	t.Cleanup(func() { tr.Close() })
+	a, err := tr.Listen("127.0.0.1:0", echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tr.Listen("127.0.0.1:0", echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = transport.CallBulk(tr, context.Background(), a, b, "rep.push", streamMsg{Data: patterned(512 << 10)})
+	if !errors.Is(err, transport.ErrStageOverflow) {
+		t.Fatalf("oversized stream: err = %v, want ErrStageOverflow", err)
+	}
+	// The refusal is per-transfer: the connection still serves traffic, and a
+	// transfer under the cap goes through.
+	resp, err := transport.CallBulk(tr, context.Background(), a, b, "rep.push", streamMsg{Data: patterned(64 << 10)})
+	if err != nil {
+		t.Fatalf("in-cap stream after refusal: %v", err)
+	}
+	if got := resp.(streamMsg); len(got.Data) != 64<<10 {
+		t.Fatalf("in-cap stream corrupted: %d bytes", len(got.Data))
+	}
+}
+
+// A chunked RESPONSE past MaxStreamBytes is refused on the dial side with the
+// same typed error: both directions of the staging cap agree.
+func TestDialSideResponseOverflowIsTyped(t *testing.T) {
+	big := func(_ transport.Addr, _ string, p any) (any, error) {
+		return streamMsg{Data: patterned(512 << 10)}, nil
+	}
+	tr := New(stagerConfig())
+	t.Cleanup(func() { tr.Close() })
+	a, err := tr.Listen("127.0.0.1:0", big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tr.Listen("127.0.0.1:0", big)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = tr.Call(context.Background(), a, b, "store.scan", echoMsg{N: 1})
+	if !errors.Is(err, transport.ErrStageOverflow) {
+		t.Fatalf("oversized response: err = %v, want ErrStageOverflow", err)
+	}
+}
+
+// A disk-spilling stager from the storage engine lifts the cap on both
+// directions at once: a transfer several times MaxStreamBytes round-trips —
+// outbound as a streamed request staged to disk at the receiver, inbound as a
+// chunked response staged to disk at the dialer.
+func TestDiskStagerLiftsStreamCap(t *testing.T) {
+	echo := func(_ transport.Addr, _ string, p any) (any, error) { return p, nil }
+	cfg := stagerConfig()
+	cfg.Stager = storage.DiskFactory{Dir: t.TempDir()}.NewStager
+	tr := New(cfg)
+	t.Cleanup(func() { tr.Close() })
+	a, err := tr.Listen("127.0.0.1:0", echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tr.Listen("127.0.0.1:0", echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := patterned(1 << 20) // 8x the RAM cap
+	resp, err := transport.CallBulk(tr, context.Background(), a, b, "rep.push", streamMsg{Data: want})
+	if err != nil {
+		t.Fatalf("disk-staged bulk call: %v", err)
+	}
+	got, ok := resp.(streamMsg)
+	if !ok {
+		t.Fatalf("bulk response type %T", resp)
+	}
+	if !bytes.Equal(got.Data, want) {
+		t.Fatal("disk-staged payload corrupted in flight")
+	}
+}

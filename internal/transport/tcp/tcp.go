@@ -73,8 +73,15 @@ type Config struct {
 	ChunkBytes int
 	// MaxStreamBytes caps the bytes a receiver stages for one in-flight
 	// transfer before rejecting it (protection against runaway senders).
-	// Default 512 MiB.
+	// Default 512 MiB. The cap binds RAM staging only: a disk-spilling
+	// Stager lifts it on both directions at once.
 	MaxStreamBytes int
+	// Stager creates the staging area used for each inbound chunked
+	// transfer AND each chunked response on the dial side, so both
+	// directions of the staging cap always agree. Default: in-memory
+	// staging capped at MaxStreamBytes (transport.NewMemStager); a durable
+	// storage backend supplies a disk-spilling factory instead.
+	Stager transport.StagerFactory
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +111,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxStreamBytes <= 0 {
 		c.MaxStreamBytes = 512 << 20
+	}
+	if c.Stager == nil {
+		c.Stager = transport.NewMemStager
 	}
 	return c
 }
@@ -298,14 +308,14 @@ func (t *Transport) acceptLoop(l *listener) {
 }
 
 // inboundStream is one transfer being staged at the receiver: chunks
-// accumulate here and nothing touches the handler until the commit frame
-// arrives, so an interrupted transfer leaves the receiver bit-for-bit
-// unchanged.
+// accumulate in the configured stager (RAM by default, spill files with a
+// disk-backed storage engine) and nothing touches the handler until the
+// commit frame arrives, so an interrupted transfer leaves the receiver
+// bit-for-bit unchanged.
 type inboundStream struct {
 	from   string
 	method string
-	chunks [][]byte
-	bytes  int
+	stager transport.ChunkStager
 }
 
 // serveConn answers request frames on one inbound connection until the peer
@@ -335,9 +345,19 @@ func (t *Transport) serveConn(conn net.Conn, l *listener) {
 	defer w.stop()
 	h := l.h
 	streams := make(map[uint64]*inboundStream)
+	// A connection that dies mid-stream drops its staged state; disk-spilled
+	// stagers release their files.
+	defer func() {
+		for _, st := range streams {
+			st.stager.Discard()
+		}
+	}()
 	// failStream rejects a transfer with a typed stream failure; the sender's
 	// Commit resolves with ErrStreamAborted instead of burning its deadline.
 	failStream := func(id uint64, reason string) {
+		if st := streams[id]; st != nil {
+			st.stager.Discard()
+		}
 		delete(streams, id)
 		_ = w.enqueueMsg(wireMsg{Kind: kindResp, ID: id, Fail: true, Err: reason})
 	}
@@ -365,27 +385,32 @@ func (t *Transport) serveConn(conn net.Conn, l *listener) {
 				if req.Seq != 0 {
 					continue // tail of a transfer already rejected; ignore
 				}
-				st = &inboundStream{from: req.From, method: req.Method}
+				st = &inboundStream{from: req.From, method: req.Method, stager: t.cfg.Stager(int64(t.cfg.MaxStreamBytes))}
 				streams[req.ID] = st
 			}
-			if req.Seq != len(st.chunks) {
-				failStream(req.ID, fmt.Sprintf("tcp: stream chunk %d out of sequence (want %d)", req.Seq, len(st.chunks)))
+			if req.Seq != st.stager.Chunks() {
+				failStream(req.ID, fmt.Sprintf("tcp: stream chunk %d out of sequence (want %d)", req.Seq, st.stager.Chunks()))
 				continue
 			}
-			if st.bytes += len(req.Payload); st.bytes > t.cfg.MaxStreamBytes {
-				failStream(req.ID, fmt.Sprintf("tcp: stream exceeds %d staged bytes", t.cfg.MaxStreamBytes))
+			if err := st.stager.Append(req.Payload); err != nil {
+				// Staging refused the chunk — with the default stager this is
+				// the typed ErrStageOverflow past MaxStreamBytes; the reason
+				// crosses the wire so the sender's error stays actionable.
+				failStream(req.ID, err.Error())
 				continue
 			}
-			st.chunks = append(st.chunks, req.Payload)
 		case kindCommit:
 			st := streams[req.ID]
 			delete(streams, req.ID)
-			var chunks [][]byte
 			from, method := req.From, req.Method
+			var body []byte
+			var err error
 			if st != nil {
-				chunks, from, method = st.chunks, st.from, st.method
+				from, method = st.from, st.method
+				body, err = st.stager.Join(req.Seq)
+			} else {
+				body, err = transport.JoinChunks(nil, req.Seq)
 			}
-			body, err := transport.JoinChunks(chunks, req.Seq)
 			if err != nil {
 				failStream(req.ID, err.Error())
 				continue
@@ -537,6 +562,10 @@ func (t *Transport) roundTrip(ctx context.Context, msg wireMsg, to transport.Add
 	if err != nil {
 		if errors.Is(err, transport.ErrFrameTooLarge) {
 			return nil, err // permanent payload failure, not a fail-stop signal
+		}
+		var se *stageError
+		if errors.As(err, &se) {
+			return nil, se.err // local staging failure on a healthy connection
 		}
 		return nil, unreachable(to, err)
 	}
@@ -703,16 +732,45 @@ func (s *tcpStream) earlyErr() error {
 // resolveAck interprets the terminal acknowledgment frame.
 func (s *tcpStream) resolveAck(r pendingResp) (any, error) {
 	if r.err != nil {
+		var se *stageError
+		if errors.As(r.err, &se) {
+			return nil, se.err // local staging failure, not a fail-stop signal
+		}
 		return nil, unreachable(s.to, r.err)
 	}
 	if r.msg.Fail {
-		return nil, fmt.Errorf("%w: %s", transport.ErrStreamAborted, r.msg.Err)
+		return nil, &streamFailError{msg: r.msg.Err}
 	}
 	if r.msg.Err != "" {
 		return nil, &RemoteError{Msg: r.msg.Err}
 	}
 	return transport.Decode(r.msg.Payload)
 }
+
+// streamFailError is a stream-protocol failure the receiver reported (chunk
+// out of sequence, staging refused, commit count mismatch). It carries the
+// ErrStreamAborted identity, and — like RemoteError — recovers registered
+// wire sentinels from the reason text, so a receiver's staging-cap refusal
+// stays errors.Is(err, transport.ErrStageOverflow) at the sender.
+type streamFailError struct{ msg string }
+
+func (e *streamFailError) Error() string {
+	return fmt.Sprintf("%v: %s", transport.ErrStreamAborted, e.msg)
+}
+
+func (e *streamFailError) Is(target error) bool {
+	return target == transport.ErrStreamAborted || transport.MatchWireError(e.msg, target)
+}
+
+// stageError is a DIAL-SIDE staging failure: this process could not stage a
+// chunked response (in-memory cap exceeded, spill file unavailable). The
+// connection and the peer are healthy — only this call fails — so waiters
+// must surface the underlying typed error instead of dressing it as
+// ErrUnreachable and tripping fail-stop suspicion on a live peer.
+type stageError struct{ err error }
+
+func (e *stageError) Error() string { return e.err.Error() }
+func (e *stageError) Unwrap() error { return e.err }
 
 // peerConns is the set of multiplexed connections to one destination.
 type peerConns struct {
@@ -836,6 +894,7 @@ func (t *Transport) dialConn(addr transport.Addr, deadline time.Time) (*muxConn,
 		w:        newBatchWriter(conn, t.cfg),
 		pending:  make(map[uint64]chan pendingResp),
 		maxStage: t.cfg.MaxStreamBytes,
+		stager:   t.cfg.Stager,
 	}
 	mc.lastRead.Store(time.Now().UnixNano())
 	mc.w.onError = mc.fail
@@ -896,13 +955,14 @@ type muxConn struct {
 
 	mu      sync.Mutex
 	pending map[uint64]chan pendingResp
-	respBuf map[uint64]*respStage // staged kindRespChunk payloads by request ID
+	respBuf map[uint64]transport.ChunkStager // staged kindRespChunk payloads by request ID
 	nextID  uint64
 	dead    bool
 	deadErr error
 
-	maxStage int          // cap on staged chunked-response bytes per request
-	lastRead atomic.Int64 // UnixNano of the last inbound frame
+	maxStage int                     // in-memory cap on staged chunked-response bytes per request
+	stager   transport.StagerFactory // same factory as the receive path, so the caps agree
+	lastRead atomic.Int64            // UnixNano of the last inbound frame
 }
 
 func (c *muxConn) isDead() bool {
@@ -954,8 +1014,12 @@ func (c *muxConn) register() (uint64, chan pendingResp, error) {
 func (c *muxConn) unregister(id uint64) {
 	c.mu.Lock()
 	delete(c.pending, id)
+	st := c.respBuf[id]
 	delete(c.respBuf, id)
 	c.mu.Unlock()
+	if st != nil {
+		st.Discard()
+	}
 }
 
 // enqueueMsg encodes and queues one frame for the batched writer.
@@ -979,33 +1043,32 @@ func (c *muxConn) readLoop() {
 			return
 		}
 		if m.Kind == kindRespChunk {
-			// Stage one piece of a chunked acknowledgment; the terminal
-			// kindResp assembles and delivers it. Staging is capped exactly
-			// like the receiver's inbound direction, so a runaway responder
-			// cannot balloon the dialer's memory either.
+			// Stage one piece of a chunked acknowledgment through the same
+			// stager factory the receive path uses, so the caps of the two
+			// directions always agree: the default stager bounds the dialer's
+			// memory at MaxStreamBytes and refuses further chunks with the
+			// typed ErrStageOverflow; a disk-spilling stager lifts the cap.
 			c.mu.Lock()
 			ch, live := c.pending[m.ID]
-			var overflow bool
+			var stageErr error
 			if live {
 				if c.respBuf == nil {
-					c.respBuf = make(map[uint64]*respStage)
+					c.respBuf = make(map[uint64]transport.ChunkStager)
 				}
 				st := c.respBuf[m.ID]
 				if st == nil {
-					st = &respStage{}
+					st = c.stager(int64(c.maxStage))
 					c.respBuf[m.ID] = st
 				}
-				if st.bytes += len(m.Payload); st.bytes > c.maxStage {
-					overflow = true
+				if stageErr = st.Append(m.Payload); stageErr != nil {
+					st.Discard()
 					delete(c.pending, m.ID)
 					delete(c.respBuf, m.ID)
-				} else {
-					st.chunks = append(st.chunks, m.Payload)
 				}
 			}
 			c.mu.Unlock()
-			if overflow {
-				ch <- pendingResp{err: fmt.Errorf("%w: response exceeds %d staged bytes", transport.ErrStreamAborted, c.maxStage)}
+			if stageErr != nil {
+				ch <- pendingResp{err: &stageError{err: fmt.Errorf("tcp: staging chunked response: %w", stageErr)}}
 			}
 			continue
 		}
@@ -1016,28 +1079,29 @@ func (c *muxConn) readLoop() {
 		delete(c.respBuf, m.ID)
 		c.mu.Unlock()
 		if ch == nil {
+			if staged != nil {
+				staged.Discard()
+			}
 			continue
 		}
 		if m.Kind == kindResp && m.Seq > 0 && m.Err == "" {
-			var chunks [][]byte
+			var body []byte
+			var err error
 			if staged != nil {
-				chunks = staged.chunks
+				body, err = staged.Join(m.Seq)
+			} else {
+				body, err = transport.JoinChunks(nil, m.Seq)
 			}
-			body, err := transport.JoinChunks(chunks, m.Seq)
 			if err != nil {
 				ch <- pendingResp{err: err}
 				continue
 			}
 			m.Payload = body
+		} else if staged != nil {
+			staged.Discard()
 		}
 		ch <- pendingResp{msg: m}
 	}
-}
-
-// respStage is one in-progress chunked acknowledgment on the dial side.
-type respStage struct {
-	chunks [][]byte
-	bytes  int
 }
 
 // fail marks the connection dead, closes it, and resolves every in-flight
@@ -1052,11 +1116,15 @@ func (c *muxConn) fail(err error) {
 	c.dead = true
 	c.deadErr = err
 	pend := c.pending
+	staged := c.respBuf
 	c.pending = nil
 	c.respBuf = nil
 	c.mu.Unlock()
 	c.conn.Close()
 	c.w.stop()
+	for _, st := range staged {
+		st.Discard()
+	}
 	for _, ch := range pend {
 		ch <- pendingResp{err: err}
 	}

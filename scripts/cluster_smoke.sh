@@ -29,6 +29,10 @@ ITEMS=40
 PAYLOAD=65536 # 64 KiB per item: hand-offs span multiple 256 KiB chunks
 WAIT=120s
 UB=$(( (ITEMS + 1) * 1000 ))
+# The ProbeStatus JSON schema this script was written against (see
+# internal/ops). A contract drift fails the version check loudly instead of
+# this script silently reading zero values out of renamed fields.
+SCHEMA=1
 
 WORK=$(mktemp -d)
 BIN="$WORK/pepperd"
@@ -53,14 +57,19 @@ trap cleanup EXIT
 echo "== build pepperd"
 go build -o "$BIN" ./cmd/pepperd
 
-# probe_epoch runs a probe in -json mode, echoes the status object, and
-# extracts the target's current ownership epoch from it. The epoch is the
-# range-ownership fencing token: it must only ever move forward at a given
-# peer, and every membership change (split, merge, revival) bumps it.
+# probe_epoch runs a probe in -json mode, echoes the status object, asserts
+# the schema version, and extracts the target's current ownership epoch. The
+# epoch is the range-ownership fencing token: it must only ever move forward
+# at a given peer, and every membership change (split, merge, revival) bumps
+# it.
 probe_epoch() {
   local out
   out=$("$BIN" "$@" -json)
   echo "$out" >&2
+  if ! echo "$out" | grep -q "\"schema_version\":$SCHEMA[,}]"; then
+    echo "probe status schema_version is not $SCHEMA; this script no longer matches the ops contract" >&2
+    return 1
+  fi
   echo "$out" | sed -n 's/.*"epoch":\([0-9][0-9]*\).*/\1/p' | head -1
 }
 
