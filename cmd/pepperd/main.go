@@ -47,6 +47,8 @@ func main() {
 	payload := flag.Int("payload", 0, "payload bytes per loaded item (multi-process mode; forces chunked state transfers)")
 	dataDir := flag.String("data-dir", "", "durable storage root (multi-process mode): WAL + snapshots per peer identity; restarting with the same -listen and -data-dir recovers the last claimed range, epoch and items")
 	syncInterval := flag.Duration("sync-interval", 0, "with -data-dir: batch WAL fsyncs to at most one per interval (0 = fsync every append)")
+	lease := flag.Duration("lease", 0, "range-claim lease duration (multi-process mode; 0 disables): a claim not renewed by the owner's replica refresh within this duration may be adopted by its ring successor at a higher epoch; set to several multiples of the refresh period")
+	gossipInterval := flag.Duration("gossip-interval", 0, "anti-entropy round interval of the gossiped membership directory (multi-process mode; 0 disables): free peers, range adverts and liveness suspicions spread peer-to-peer so splits keep working after the bootstrap process dies")
 	probe := flag.String("probe", "", "probe the pepperd process at this address and exit (CI smoke / operators)")
 	expect := flag.Int("expect", -1, "with -probe: require a range query to return exactly this many items")
 	serving := flag.Bool("serving", false, "with -probe: require the peer to be JOINED and serving a range")
@@ -55,27 +57,37 @@ func main() {
 	minEpoch := flag.Int64("min-epoch", -1, "with -probe: require the peer's ownership epoch to be at least this (epochs are monotonic per range, so this asserts progress across churn)")
 	minRecovered := flag.Int("min-recovered", -1, "with -probe: require the process to have restarted from durable state with at least this many recovered items")
 	audit := flag.Bool("audit", false, "with -probe: journal the final query and require a clean Definition 4 audit")
+	leaseAudit := flag.Bool("lease-audit", false, "with -probe: require a clean lease-exclusivity audit (no two unexpired leases ever overlapped a key in the process's journal)")
+	minGossipFree := flag.Int("min-gossip-free", -1, "with -probe: require the process's gossiped directory to know at least this many free peers")
+	minGossipMem := flag.Int("min-gossip-members", -1, "with -probe: require the process's gossiped directory to know at least this many members (membership only grows, so this gate is race-free)")
+	probeLoad := flag.Int("probe-load", 0, "with -probe: once the other criteria hold, have the process insert this many fresh items into an item-free key gap of its own range; the JSON status reports the exact loaded interval (loaded_lo/loaded_hi)")
 	wait := flag.Duration("wait", 0, "with -probe: keep retrying until satisfied or this timeout elapses")
+	probeLB := flag.Uint64("probe-lb", 0, "with -probe -expect: lower bound of the probed query interval")
 	probeUB := flag.Uint64("probe-ub", uint64(keyspace.MaxKey), "with -probe -expect: upper bound of the probed query interval")
 	jsonOut := flag.Bool("json", false, "with -probe: print the final probe status as one JSON object on stdout (machine-readable; see core.ProbeStatus)")
 	flag.Parse()
 
 	if *probe != "" {
 		os.Exit(probeMain(*probe, probeOpts{
-			expect:       *expect,
-			serving:      *serving,
-			minPool:      *minPool,
-			minCacheHits: *minCacheHits,
-			minEpoch:     *minEpoch,
-			minRecovered: *minRecovered,
-			audit:        *audit,
-			wait:         *wait,
-			ub:           keyspace.Key(*probeUB),
-			jsonOut:      *jsonOut,
+			expect:        *expect,
+			serving:       *serving,
+			minPool:       *minPool,
+			minCacheHits:  *minCacheHits,
+			minEpoch:      *minEpoch,
+			minRecovered:  *minRecovered,
+			minGossipFree: *minGossipFree,
+			minGossipMem:  *minGossipMem,
+			audit:         *audit,
+			leaseAudit:    *leaseAudit,
+			wait:          *wait,
+			lb:            keyspace.Key(*probeLB),
+			ub:            keyspace.Key(*probeUB),
+			load:          *probeLoad,
+			jsonOut:       *jsonOut,
 		}))
 	}
 	if *listen != "" {
-		serveMain(*listen, *join, *items, *payload, *seed, *dataDir, *syncInterval)
+		serveMain(*listen, *join, *items, *payload, *seed, *dataDir, *syncInterval, *lease, *gossipInterval)
 		return
 	}
 	if *join != "" {

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datastore"
+	"repro/internal/gossip"
 	"repro/internal/keyspace"
 	"repro/internal/replication"
 	"repro/internal/ring"
@@ -55,13 +56,22 @@ func tcpPeerConfig(seed int64) core.Config {
 }
 
 // serveMain runs one peer as its own OS process over TCP: the -listen mode.
-func serveMain(listen, join string, items, payload int, seed int64, dataDir string, syncInterval time.Duration) {
+func serveMain(listen, join string, items, payload int, seed int64, dataDir string, syncInterval, lease, gossipInterval time.Duration) {
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "pepperd: %v\n", err)
 		os.Exit(1)
 	}
 
 	cfg := tcpPeerConfig(seed)
+	cfg.Store.LeaseDuration = lease
+	if gossipInterval > 0 {
+		cfg.Gossip = gossip.Config{
+			Interval:    gossipInterval,
+			Fanout:      2,
+			CallTimeout: 2 * time.Second,
+			Seed:        seed,
+		}
+	}
 	tcpCfg := tcp.Config{DialTimeout: 2 * time.Second, CallTimeout: 10 * time.Second}
 	if dataDir != "" {
 		factory := storage.DiskFactory{Dir: dataDir, Opts: storage.Options{SyncInterval: syncInterval}}
@@ -155,16 +165,21 @@ func loadItems(ctx context.Context, node *core.Standalone, items, payload int, f
 
 // probeOpts are the success criteria of one pepperd -probe invocation.
 type probeOpts struct {
-	expect       int           // required query item count; <0 = no query
-	serving      bool          // require JOINED with a range
-	minPool      int           // required free-pool size; <0 = don't care
-	minCacheHits int64         // required owner-lookup cache hits; <0 = don't care
-	minEpoch     int64         // required ownership epoch; <0 = don't care
-	minRecovered int           // required recovered-item count; <0 = don't care
-	audit        bool          // final journaled query + Definition 4 audit
-	wait         time.Duration // keep retrying until satisfied or this elapses
-	ub           keyspace.Key  // query interval upper bound
-	jsonOut      bool          // emit the final status as JSON on stdout
+	expect        int           // required query item count; <0 = no query
+	serving       bool          // require JOINED with a range
+	minPool       int           // required free-pool size; <0 = don't care
+	minCacheHits  int64         // required owner-lookup cache hits; <0 = don't care
+	minEpoch      int64         // required ownership epoch; <0 = don't care
+	minRecovered  int           // required recovered-item count; <0 = don't care
+	minGossipFree int           // required gossiped free-directory entries; <0 = don't care
+	minGossipMem  int           // required gossiped member count; <0 = don't care
+	audit         bool          // final journaled query + Definition 4 audit
+	leaseAudit    bool          // final lease-exclusivity audit (CheckLeases)
+	wait          time.Duration // keep retrying until satisfied or this elapses
+	lb            keyspace.Key  // query interval lower bound
+	ub            keyspace.Key  // query interval upper bound
+	load          int           // items to probe-load once criteria hold; 0 = none
+	jsonOut       bool          // emit the final status as JSON on stdout
 }
 
 // probeMain is the -probe mode: a thin RPC client that interrogates a
@@ -179,7 +194,7 @@ func probeMain(target string, o probeOpts) int {
 	ctx := context.Background()
 	deadline := time.Now().Add(o.wait)
 
-	req := core.ProbeRequest{Query: o.expect >= 0, Lo: 0, Hi: o.ub}
+	req := core.ProbeRequest{Query: o.expect >= 0, Lo: o.lb, Hi: o.ub}
 	var st core.ProbeStatus
 	var err error
 	for {
@@ -198,15 +213,32 @@ func probeMain(target string, o probeOpts) int {
 		time.Sleep(time.Second)
 	}
 
-	if o.audit {
-		req.Journal, req.Audit = true, true
+	if o.load > 0 {
+		// One-shot (not retried: loads are not idempotent) once the polling
+		// criteria hold. The reply carries the exact loaded interval.
+		loadReq := req
+		loadReq.LoadItems = o.load
+		st, err = core.Probe(ctx, tr, "probe", transport.Addr(target), loadReq)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pepperd: load probe %s failed: %v\n", target, err)
+			return 1
+		}
+	}
+
+	if o.audit || o.leaseAudit {
+		req.Journal, req.Audit, req.LeaseAudit = o.audit, o.audit, o.leaseAudit
+		req.Query = req.Query && o.audit
 		st, err = core.Probe(ctx, tr, "probe", transport.Addr(target), req)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pepperd: audit probe %s failed: %v\n", target, err)
 			return 1
 		}
-		if !probeSatisfied(st, o) || st.Violations != 0 {
+		if o.audit && (!probeSatisfied(st, o) || st.Violations != 0) {
 			fmt.Fprintf(os.Stderr, "pepperd: audit %s not clean: %s\n", target, renderStatus(st))
+			return 1
+		}
+		if o.leaseAudit && st.LeaseViolations != 0 {
+			fmt.Fprintf(os.Stderr, "pepperd: lease audit %s not clean: %s\n", target, renderStatus(st))
 			return 1
 		}
 	}
@@ -246,6 +278,15 @@ func probeSatisfied(st core.ProbeStatus, o probeOpts) bool {
 	if o.minRecovered >= 0 && (!st.Recovered || st.RecoveredItems < o.minRecovered) {
 		return false
 	}
+	if o.minGossipFree >= 0 && st.GossipFree < o.minGossipFree {
+		return false
+	}
+	// Membership is a monotone union across merges, so unlike the free count
+	// this gate can never be satisfied and then un-satisfied by a racing
+	// split: it is the race-free way to wait for directory spread.
+	if o.minGossipMem >= 0 && st.GossipMembers < o.minGossipMem {
+		return false
+	}
 	return st.RejoinErr == ""
 }
 
@@ -260,6 +301,15 @@ func renderStatus(st core.ProbeStatus) string {
 	}
 	if st.Violations >= 0 {
 		out += fmt.Sprintf(" violations=%d", st.Violations)
+	}
+	if st.LeaseEnabled {
+		out += fmt.Sprintf(" lease-age-ms=%d lease-expired=%t lease-adoptions=%d", st.LeaseAgeMs, st.LeaseExpired, st.LeaseAdoptions)
+	}
+	if st.LeaseViolations >= 0 {
+		out += fmt.Sprintf(" lease-violations=%d", st.LeaseViolations)
+	}
+	if st.GossipMembers > 0 {
+		out += fmt.Sprintf(" gossip-members=%d gossip-free=%d gossip-rounds=%d", st.GossipMembers, st.GossipFree, st.GossipRounds)
 	}
 	if st.RejoinErr != "" {
 		out += fmt.Sprintf(" rejoin-err=%q", st.RejoinErr)

@@ -30,7 +30,9 @@ import (
 	"time"
 
 	"repro/internal/datastore"
+	"repro/internal/gossip"
 	"repro/internal/history"
+	"repro/internal/keyspace"
 	"repro/internal/replication"
 	"repro/internal/ring"
 	"repro/internal/routecache"
@@ -47,6 +49,12 @@ type Config struct {
 	Store       datastore.Config
 	Replication replication.Config
 	Router      router.Config
+	// Gossip configures the decentralized membership directory every peer
+	// runs (package gossip): free-peer entries, range adverts and liveness
+	// suspicions spread by periodic anti-entropy. A zero Interval disables
+	// the agent entirely — free peers then resolve only through the local
+	// pool and the bootstrap's legacy acquire RPC, the seed behaviour.
+	Gossip gossip.Config
 	// QueryAttemptTimeout bounds one scan attempt before the query retries.
 	QueryAttemptTimeout time.Duration
 	// MaxQueryAttempts bounds retries within the caller's context.
@@ -116,6 +124,9 @@ type Peer struct {
 	Store  *datastore.Store
 	Rep    *replication.Manager
 	Router *router.Router
+	// Gossip is the peer's membership agent; nil when gossip is disabled
+	// (Config.Gossip.Interval == 0).
+	Gossip *gossip.Agent
 	// Backend is the peer's storage engine; the Data Store and Replication
 	// Manager write ahead to it, and Stop closes it.
 	Backend storage.Backend
@@ -164,6 +175,11 @@ func assemblePeer(tr transport.Transport, addr transport.Addr, cfg Config, log *
 			p.Store.OnJoined(self, pred, data)
 			p.Rep.Start()
 			p.Router.Start()
+			if p.Gossip != nil {
+				// Joining consumes this peer's free-peer entry; the taken
+				// mark out-gossips any stale free observation.
+				p.Gossip.MarkTaken(p.Addr)
+			}
 		},
 		OnPredChanged: func(newPred, prev ring.Node, predFailed bool) {
 			p.Store.OnPredChanged(newPred, prev, predFailed)
@@ -175,6 +191,20 @@ func assemblePeer(tr transport.Transport, addr transport.Addr, cfg Config, log *
 	p.Rep = replication.New(tr, mux, p.Ring, p.Store, cfg.Replication)
 	p.Router = router.New(tr, mux, p.Ring, p.Store, cfg.Router)
 	p.Store.SetDeps(p.Rep, pool)
+	if cfg.Gossip.Interval > 0 {
+		g := gossip.New(tr, mux, addr, cfg.Gossip)
+		// Each round republishes this peer's own claim into the directory…
+		g.SelfAdvert = func() (keyspace.Range, uint64, bool) { return p.Store.RangeEpoch() }
+		// …and every foreign advert that enters the directory is checked
+		// against the local claim: a strictly newer overlapping epoch
+		// deposes this peer through the normal step-down path.
+		g.ObserveAdvert = func(owner transport.Addr, rng keyspace.Range, epoch uint64) {
+			if owner != addr {
+				p.Store.ObserveRemoteClaim(rng, epoch)
+			}
+		}
+		p.Gossip = g
+	}
 
 	// One backend per peer identity: the Data Store and Replication Manager
 	// share it, so a peer's items and held replicas recover together.
@@ -194,9 +224,17 @@ func assemblePeer(tr transport.Transport, addr transport.Addr, cfg Config, log *
 }
 
 // Activate registers the peer's endpoint on the transport, making it
-// reachable. Call it once, after all mux handlers are installed.
+// reachable, and starts the gossip agent's rounds (free peers gossip too —
+// that is how their availability outlives the process they announced to).
+// Call it once, after all mux handlers are installed.
 func (p *Peer) Activate() error {
-	return p.tr.Register(p.Addr, p.Mux.Dispatch)
+	if err := p.tr.Register(p.Addr, p.Mux.Dispatch); err != nil {
+		return err
+	}
+	if p.Gossip != nil {
+		p.Gossip.Start()
+	}
+	return nil
 }
 
 // Stop halts the peer stack's background work and closes the storage
@@ -216,6 +254,9 @@ func (p *Peer) Abandon() {
 	p.Store.Stop()
 	p.Rep.Stop()
 	p.Router.Stop()
+	if p.Gossip != nil {
+		p.Gossip.Stop()
+	}
 }
 
 // Cluster is the whole P2P system run in-process: all peers plus the free
@@ -276,6 +317,16 @@ func (c *Cluster) newPeer() (*Peer, error) {
 	if err != nil {
 		return nil, err
 	}
+	if p.Gossip != nil {
+		// Seed membership with any existing peer so the new agent's first
+		// rounds have someone to exchange with; gossip brings in the rest.
+		c.mu.Lock()
+		for other := range c.peers {
+			p.Gossip.AddMember(other)
+			break
+		}
+		c.mu.Unlock()
+	}
 	if err := p.Activate(); err != nil {
 		return nil, err
 	}
@@ -312,6 +363,9 @@ func (c *Cluster) AddFreePeer() (*Peer, error) {
 	c.mu.Lock()
 	c.free = append(c.free, p.Addr)
 	c.mu.Unlock()
+	if p.Gossip != nil {
+		p.Gossip.MarkFree(p.Addr)
+	}
 	return p, nil
 }
 
@@ -329,16 +383,16 @@ func (c *Cluster) AddFreePeers(n int) error {
 type freePool Cluster
 
 // Acquire pops a free peer.
-func (fp *freePool) Acquire() (transport.Addr, bool) {
+func (fp *freePool) Acquire() (transport.Addr, error) {
 	c := (*Cluster)(fp)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if len(c.free) == 0 {
-		return "", false
+		return "", ErrNoFreePeer
 	}
 	addr := c.free[0]
 	c.free = c.free[1:]
-	return addr, true
+	return addr, nil
 }
 
 // Release recycles a merged-away peer: the departed stack is defunct (the

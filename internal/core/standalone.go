@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -93,6 +94,31 @@ func (s *Standalone) handleProbe(_ transport.Addr, _ string, payload any) (any, 
 		resp.HasRange, resp.RangeLo, resp.RangeHi = true, rng.Lo, rng.Hi
 		resp.Epoch = epoch
 	}
+	resp.LeaseViolations = -1
+	resp.LeaseAgeMs = -1
+	if enabled, age, expired := p.Store.LeaseInfo(); enabled {
+		resp.LeaseEnabled, resp.LeaseExpired = true, expired
+		if resp.HasRange {
+			resp.LeaseAgeMs = age.Milliseconds()
+		}
+	}
+	resp.LeaseAdoptions = p.Store.LeaseAdoptions.Load()
+	if req.LeaseAudit {
+		resp.LeaseViolations = len(s.Log.CheckLeases())
+	}
+	if g := p.Gossip; g != nil {
+		resp.GossipMembers = g.MemberCount()
+		resp.GossipFree = g.FreeCount()
+		resp.GossipRounds = g.Rounds()
+	}
+	if req.LoadItems > 0 {
+		lo, hi, err := s.probeLoad(p, req.LoadItems)
+		if err != nil {
+			return nil, err
+		}
+		resp.LoadedLo, resp.LoadedHi = lo, hi
+		resp.Items = p.Store.ItemCount()
+	}
 	resp.StaleEpochRejects = p.Store.StaleEpochRejects.Load()
 	resp.StaleChainRefusals = p.Rep.StaleChainRefusals.Load()
 	resp.StepDowns = p.Store.StepDowns.Load()
@@ -133,6 +159,94 @@ func (s *Standalone) handleProbe(_ transport.Addr, _ string, payload any) (any, 
 		resp.Violations = len(s.Log.CheckAllQueries())
 	}
 	return resp, nil
+}
+
+// probeLoad serves a ProbeRequest.LoadItems: insert n fresh items through
+// the normal insert path, placed evenly inside the largest item-free key gap
+// of this peer's own range. Because a range's items are stored only by its
+// owner, a gap in the owner's local items is item-free cluster-wide, so the
+// returned closed interval [lo, hi] contains exactly the n loaded items —
+// an exact-count audit target that needs no knowledge of what the rest of
+// the cluster holds. The inserts route normally and may overflow the range,
+// which is the point: the CI smoke uses probeLoad after killing the
+// bootstrap to force a split that must resolve its free peer without it.
+func (s *Standalone) probeLoad(p *Peer, n int) (keyspace.Key, keyspace.Key, error) {
+	rng, ok := p.Store.Range()
+	if !ok {
+		return 0, 0, fmt.Errorf("core: probe load at %s: peer serves no range", p.Addr)
+	}
+	var keys []keyspace.Key
+	for _, it := range p.Store.LocalItems() {
+		if rng.Contains(it.Key) {
+			keys = append(keys, it.Key)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	// Walk the range's linear (non-wrapping) segments and track the widest
+	// item-free gap [bestA, bestB]; queries use non-wrapping intervals, so a
+	// wrapped range contributes two candidate segments rather than one.
+	type seg struct{ a, b keyspace.Key }
+	var segs []seg
+	if rng.Lo < rng.Hi {
+		segs = []seg{{rng.Lo + 1, rng.Hi}}
+	} else {
+		if rng.Lo < keyspace.MaxKey {
+			segs = append(segs, seg{rng.Lo + 1, keyspace.MaxKey})
+		}
+		segs = append(segs, seg{0, rng.Hi})
+	}
+	var bestA keyspace.Key
+	var bestW uint64
+	found := false
+	consider := func(a, b keyspace.Key) {
+		if a > b {
+			return
+		}
+		if w := uint64(b - a); !found || w > bestW {
+			bestA, bestW = a, w
+			found = true
+		}
+	}
+	for _, sg := range segs {
+		cursor, open := sg.a, true
+		for _, k := range keys {
+			if k < sg.a || k > sg.b {
+				continue
+			}
+			if k > cursor {
+				consider(cursor, k-1)
+			}
+			if k == keyspace.MaxKey {
+				open = false // cursor would wrap; no tail gap in this segment
+				break
+			}
+			cursor = k + 1
+		}
+		if open && cursor <= sg.b {
+			consider(cursor, sg.b)
+		}
+	}
+	if !found || bestW < uint64(n) {
+		return 0, 0, fmt.Errorf("core: probe load at %s: no key gap wide enough for %d items in range %s", p.Addr, n, rng)
+	}
+
+	step := bestW / uint64(n)
+	if step == 0 {
+		step = 1
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 45*time.Second)
+	defer cancel()
+	first := bestA
+	last := first
+	for i := 0; i < n; i++ {
+		k := bestA + keyspace.Key(uint64(i)*step)
+		if err := p.InsertItem(ctx, datastore.Item{Key: k, Payload: fmt.Sprintf("probe-object-%d", i)}); err != nil {
+			return 0, 0, fmt.Errorf("core: probe load at %s: insert %d: %w", p.Addr, i, err)
+		}
+		last = k
+	}
+	return first, last, nil
 }
 
 // AddrPool is a datastore.FreePool over announced remote peer addresses.
@@ -186,12 +300,13 @@ func (ap *AddrPool) Add(addr transport.Addr) {
 	ap.addrs = append(ap.addrs, addr)
 }
 
-// Acquire pops a free peer for a split.
-func (ap *AddrPool) Acquire() (transport.Addr, bool) {
+// Acquire pops a free peer for a split, or reports ErrNoFreePeer when the
+// pool is empty.
+func (ap *AddrPool) Acquire() (transport.Addr, error) {
 	ap.mu.Lock()
 	defer ap.mu.Unlock()
 	if len(ap.addrs) == 0 {
-		return "", false
+		return "", ErrNoFreePeer
 	}
 	addr := ap.addrs[0]
 	ap.addrs = ap.addrs[1:]
@@ -200,7 +315,7 @@ func (ap *AddrPool) Acquire() (transport.Addr, bool) {
 	}
 	ap.purgeLentLocked()
 	ap.lent[addr] = time.Now()
-	return addr, true
+	return addr, nil
 }
 
 // MarkLent records addr as lent out by this pool even though Acquire never
@@ -310,13 +425,19 @@ func (s *Standalone) buildPeer(addr transport.Addr) (*Peer, error) {
 			return nil, fmt.Errorf("core: bad announce payload %T", payload)
 		}
 		s.Pool.Add(msg.Addr)
+		if p.Gossip != nil {
+			p.Gossip.MarkFree(msg.Addr)
+		}
 		return true, nil
 	})
 	p.Mux.Handle(methodProbe, s.handleProbe)
 	p.Mux.Handle(methodAcquireFree, func(_ transport.Addr, _ string, _ any) (any, error) {
-		addr, ok := s.Pool.Acquire()
-		if !ok {
+		addr, err := s.Pool.Acquire()
+		if err != nil {
 			return announceMsg{}, nil
+		}
+		if p.Gossip != nil {
+			p.Gossip.MarkTaken(addr)
 		}
 		return announceMsg{Addr: addr}, nil
 	})
@@ -326,38 +447,52 @@ func (s *Standalone) buildPeer(addr transport.Addr) (*Peer, error) {
 	return p, nil
 }
 
-// Acquire implements datastore.FreePool for this process's splits: pop a
-// locally pooled free peer, or — when the local pool is empty — borrow one
-// from the bootstrap's pool over the wire. Free peers announce only to the
-// bootstrap, so without the remote path only the bootstrap process could
-// ever split; an overflowed non-bootstrap peer (e.g. one that just revived
-// a failed neighbour's range) would wait forever for a peer that was parked
-// one process over.
-func (s *Standalone) Acquire() (transport.Addr, bool) {
-	if addr, ok := s.Pool.Acquire(); ok {
-		return addr, true
-	}
+// Acquire implements datastore.FreePool for this process's splits, trying
+// three sources in order:
+//
+//  1. the locally announced pool (free peers that announced to this process);
+//  2. the gossiped free-peer directory (any peer in the cluster can resolve
+//     a free peer this way, with no process being a required intermediary —
+//     the cluster keeps growing after the bootstrap dies);
+//  3. the legacy bootstrap acquire RPC (the pre-gossip path, still the only
+//     remote source when gossip is disabled).
+//
+// Errors from the remote path carry the contacted bootstrap's address, so an
+// operator reading a failed split knows which process's pool was asked.
+func (s *Standalone) Acquire() (transport.Addr, error) {
 	s.mu.Lock()
 	bootstrap := s.bootstrap
 	cur := s.peer
 	s.mu.Unlock()
+	if addr, err := s.Pool.Acquire(); err == nil {
+		if cur != nil && cur.Gossip != nil {
+			cur.Gossip.MarkTaken(addr)
+		}
+		return addr, nil
+	}
+	if cur != nil && cur.Gossip != nil {
+		if addr, ok := cur.Gossip.TakeFree(func(a transport.Addr) bool { return a == cur.Addr }); ok {
+			// Track the address as lent locally, so a failed split's Release
+			// re-pools it here instead of dropping it on the floor.
+			s.Pool.MarkLent(addr)
+			return addr, nil
+		}
+	}
 	if bootstrap == "" || cur == nil {
-		return "", false
+		return "", ErrNoFreePeer
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
 	resp, err := s.tr.Call(ctx, cur.Addr, bootstrap, methodAcquireFree, nil)
 	if err != nil {
-		return "", false
+		return "", fmt.Errorf("core: acquiring free peer from %s: %w", bootstrap, err)
 	}
 	msg, ok := resp.(announceMsg)
 	if !ok || msg.Addr == "" {
-		return "", false
+		return "", fmt.Errorf("core: free-peer pool at %s: %w", bootstrap, ErrNoFreePeer)
 	}
-	// Track the borrowed address as lent locally, so a failed split's
-	// Release re-pools it here instead of dropping it on the floor.
 	s.Pool.MarkLent(msg.Addr)
-	return msg.Addr, true
+	return msg.Addr, nil
 }
 
 // Release implements datastore.FreePool; see AddrPool.Release.
@@ -429,6 +564,10 @@ func (s *Standalone) Resume() (bool, error) {
 	// and no-op instead of minting a fresh full-range one.
 	p.Ring.SetVal(st.Range.Hi)
 	p.Store.Recover(st.Range, st.Epoch, items)
+	// Resume the lease clock conservatively: only the persisted renewal
+	// counts, so a long-dead process restarts locally-expired and must earn
+	// a successful refresh before treating its lease as live again.
+	p.Store.RestoreLeaseClock(st.LeaseRenewedAt)
 	p.Rep.RestoreReplicas(reps)
 	bootstrap := transport.Addr(st.Bootstrap)
 	s.mu.Lock()
@@ -438,6 +577,9 @@ func (s *Standalone) Resume() (bool, error) {
 		s.bootstrap = bootstrap
 	}
 	s.mu.Unlock()
+	if bootstrap != "" && bootstrap != p.Addr && p.Gossip != nil {
+		p.Gossip.AddMember(bootstrap)
+	}
 	if bootstrap != "" && bootstrap != p.Addr {
 		// Learn the contact's current ring value so the seeded successor
 		// entry is well-formed; an unreachable contact degrades to a
@@ -478,6 +620,14 @@ func (s *Standalone) JoinAsFree(ctx context.Context, bootstrap transport.Addr) e
 	s.mu.Lock()
 	s.bootstrap = bootstrap
 	s.mu.Unlock()
+	if p.Gossip != nil {
+		// The bootstrap seeds this agent's membership, and the peer
+		// advertises itself as free in its own directory — gossip spreads
+		// that fact cluster-wide, so the availability of this free peer no
+		// longer dies with the process it announced to.
+		p.Gossip.AddMember(bootstrap)
+		p.Gossip.MarkFree(p.Addr)
+	}
 	// Persist the identity and bootstrap contact: a recovery from this
 	// directory re-announces to the same bootstrap on its own.
 	_ = p.Backend.Append(storage.Record{Kind: storage.RecIdentity, Payload: string(p.Addr), Aux: string(bootstrap)})

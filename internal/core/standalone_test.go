@@ -143,9 +143,9 @@ func TestAddrPoolReleaseSemantics(t *testing.T) {
 
 	pool.Add("peer-a")
 	pool.Add("peer-b")
-	addr, ok := pool.Acquire()
-	if !ok || addr != "peer-a" {
-		t.Fatalf("Acquire = %v, %v", addr, ok)
+	addr, err := pool.Acquire()
+	if err != nil || addr != "peer-a" {
+		t.Fatalf("Acquire = %v, %v", addr, err)
 	}
 	pool.Release(addr) // failed split insert: identity unused, back to the pool
 	if pool.Len() != 2 {
@@ -274,9 +274,9 @@ func TestAcquireBorrowsFreePeerFromBootstrap(t *testing.T) {
 
 	// The member's own pool is empty, so Acquire must reach across to the
 	// bootstrap's pool (which holds the member's own announced address).
-	addr, ok := member.Acquire()
-	if !ok {
-		t.Fatal("Acquire found no free peer despite one pooled at the bootstrap")
+	addr, err := member.Acquire()
+	if err != nil {
+		t.Fatalf("Acquire found no free peer despite one pooled at the bootstrap: %v", err)
 	}
 	if addr != member.CurrentPeer().Addr {
 		t.Fatalf("Acquire returned %s, want the announced %s", addr, member.CurrentPeer().Addr)

@@ -73,15 +73,23 @@ type Replicator interface {
 	// 0 when none. Failure revival claims the revived range above it, so the
 	// revived incarnation provably fences the one it replaces.
 	MaxAdvertisedEpoch(r keyspace.Range) uint64
+	// AdvertInfo reports the latest ownership advert received from the
+	// origin at addr — its range, epoch, and the local time the advert
+	// arrived (the origin's last observed lease renewal). ok is false when
+	// no advert from addr was ever received. The lease-expiry check in the
+	// maintenance loop reads it for this peer's ring predecessor.
+	AdvertInfo(addr transport.Addr) (keyspace.Range, uint64, time.Time, bool)
 }
 
 // FreePool hands out free peers for splits and takes back merged peers
 // (the P-Ring free-peer model, Section 2.3).
 type FreePool interface {
 	// Acquire reserves a free peer — fully constructed, registered on the
-	// network and ready to receive a ring join — returning its address, or
-	// false if no free peer is available.
-	Acquire() (transport.Addr, bool)
+	// network and ready to receive a ring join — returning its address. The
+	// error explains WHERE acquisition failed (the local pool, the gossiped
+	// directory, a contacted remote pool) so a failed split in a smoke run
+	// is attributable to a peer instead of a bare "no free peer".
+	Acquire() (transport.Addr, error)
 	// Release returns a peer to the free pool after it merged away.
 	Release(addr transport.Addr)
 }
@@ -100,6 +108,17 @@ type Config struct {
 	MaintenanceTimeout time.Duration
 	// DisableMaintenance turns off automatic balancing (tests drive it).
 	DisableMaintenance bool
+	// LeaseDuration enables time-bound leases on range claims when positive.
+	// A claim whose lease is not renewed within this duration (renewals ride
+	// the owner's replication refresh — see replication.Manager.RefreshOnce)
+	// is treated as orphaned: the owner's ring successor adopts the range at
+	// a strictly higher epoch, bounding the stale-claim window that epochs
+	// alone cannot close (a wedged-but-alive owner otherwise keeps its claim
+	// until one of its own pushes happens to be deposed). Must be several
+	// times the replication RefreshPeriod, or healthy owners expire between
+	// renewals. Zero disables leases entirely: claims never expire and no
+	// lease events are journaled — the pre-lease behaviour.
+	LeaseDuration time.Duration
 
 	// Optional recorders for the benchmark harness (Section 6 metrics); nil
 	// recorders are skipped.
@@ -170,7 +189,12 @@ type Store struct {
 	hasRange bool
 	rng      keyspace.Range
 	epoch    uint64 // ownership epoch of rng; bumped on every range change
-	items    map[keyspace.Key]Item
+	// leaseRenewedAt is the unix-nanosecond time of the current claim's last
+	// lease renewal (grant time when never renewed); 0 when no claim is held
+	// or leases are disabled. After a recovery it is restored from the WAL
+	// (RestoreLeaseClock), never from the restart time.
+	leaseRenewedAt int64
+	items          map[keyspace.Key]Item
 
 	handlersMu sync.Mutex
 	handlers   map[string]Handler
@@ -197,6 +221,10 @@ type Store struct {
 	// StepDowns counts depositions: this peer learned a higher-epoch owner
 	// had claimed its range and resigned (see StepDown).
 	StepDowns atomic.Uint64
+	// LeaseAdoptions counts expired-lease adoptions performed by this peer:
+	// its ring predecessor stopped renewing and this peer absorbed the
+	// orphaned range at a strictly higher epoch (see checkPredLease).
+	LeaseAdoptions atomic.Uint64
 }
 
 // New constructs a Data Store for one peer and registers its RPC handlers on
@@ -339,14 +367,34 @@ func (s *Store) claimLocked(rng keyspace.Range, epoch uint64) {
 	if s.log != nil {
 		s.log.Claimed(string(s.ring.Self().Addr), rng, epoch)
 	}
+	if s.cfg.LeaseDuration > 0 {
+		// Every leased claim starts with a fresh lease: grant time = claim
+		// time. The RecLease append re-stamps the clock durably (the claim's
+		// replay reset it) and the grant event pairs with the Claimed one in
+		// the journal for the CheckLeases audit.
+		now := time.Now().UnixNano()
+		s.leaseRenewedAt = now
+		_ = s.backend.Append(storage.Record{Kind: storage.RecLease, Epoch: epoch, Key: keyspace.Key(now)})
+		if s.log != nil {
+			s.log.LeaseGranted(string(s.ring.Self().Addr), rng, epoch)
+		}
+	}
 }
 
 // releaseLocked drops ownership durably: the write-ahead release clears the
 // incarnation (and its items) on replay, so a restart after a step-down or
 // merge-away recovers a free peer, not a resurrected claim. Callers hold
-// s.mu and update the in-memory fields themselves.
+// s.mu and update the in-memory fields themselves — but must call this
+// BEFORE zeroing s.rng/s.epoch, so the lease release is journaled against
+// the incarnation actually being given up.
 func (s *Store) releaseLocked() {
 	_ = s.backend.Append(storage.Record{Kind: storage.RecRelease})
+	if s.cfg.LeaseDuration > 0 {
+		s.leaseRenewedAt = 0
+		if s.log != nil {
+			s.log.LeaseReleased(string(s.ring.Self().Addr), s.rng, s.epoch)
+		}
+	}
 }
 
 // walPutAllLocked write-ahead journals every current item under the current
@@ -380,6 +428,94 @@ func (s *Store) ReclaimAbove(conflict uint64) uint64 {
 	}
 	s.claimLocked(s.rng, conflict+1)
 	return s.epoch
+}
+
+// --- Leases -----------------------------------------------------------------
+
+// RenewLease advances the current claim's lease clock to now, journaling the
+// renewal durably (WAL) and to the history log. The replication manager
+// calls it from RefreshOnce after at least one successor acknowledged the
+// refresh without deposing this peer — the renewal is evidence the owner is
+// still observably serving, not a self-certification. No-op when leases are
+// disabled or no range is held.
+func (s *Store) RenewLease() {
+	if s.cfg.LeaseDuration <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.hasRange {
+		return
+	}
+	now := time.Now().UnixNano()
+	s.leaseRenewedAt = now
+	_ = s.backend.Append(storage.Record{Kind: storage.RecLease, Epoch: s.epoch, Key: keyspace.Key(now)})
+	if s.log != nil {
+		s.log.LeaseRenewed(string(s.ring.Self().Addr), s.rng, s.epoch)
+	}
+}
+
+// RestoreLeaseClock installs the lease-renewal time a durable backend
+// recovered (unix nanoseconds; see storage.State.LeaseRenewedAt). Called
+// once after Recover, before the peer starts serving. The persisted value is
+// used as-is — never the restart time — so a claim whose lease lapsed while
+// the process was down comes back already expired and the peer's neighbors
+// remain free to adopt: the conservative resumption a crash demands. A zero
+// value (no renewal ever journaled) leaves the lease locally expired until
+// the first successful refresh renews it.
+func (s *Store) RestoreLeaseClock(renewedAt int64) {
+	if s.cfg.LeaseDuration <= 0 || renewedAt == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.hasRange {
+		return
+	}
+	s.leaseRenewedAt = renewedAt
+	// Re-stamp into the new run's WAL (the recovery claim's replay zeroed
+	// the shadow state's clock).
+	_ = s.backend.Append(storage.Record{Kind: storage.RecLease, Epoch: s.epoch, Key: keyspace.Key(renewedAt)})
+}
+
+// LeaseInfo reports the lease state for operators (the ops probe): whether
+// leases are enabled, the age of the current claim's lease (time since last
+// renewal; 0 when no claim is held), and whether that lease is expired from
+// this peer's own local view — the owner-side symptom of a wedged peer,
+// visible before any neighbor acts on it.
+func (s *Store) LeaseInfo() (enabled bool, age time.Duration, expired bool) {
+	if s.cfg.LeaseDuration <= 0 {
+		return false, 0, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.hasRange {
+		return true, 0, false
+	}
+	if s.leaseRenewedAt == 0 {
+		// Claimed but never durably renewed (a conservative recovery):
+		// locally treated as expired until the first successful refresh.
+		return true, 0, true
+	}
+	age = time.Duration(time.Now().UnixNano() - s.leaseRenewedAt)
+	return true, age, age > s.cfg.LeaseDuration
+}
+
+// ObserveRemoteClaim feeds an ownership assertion learned out-of-band (the
+// gossip directory) into the fencing machinery: a strictly higher-epoch
+// claim overlapping this peer's range deposes it, exactly as a Deposed push
+// reply would. This is how a wedged owner — whose own pushes no longer land
+// anywhere, so the push-reply deposition path is closed to it — still
+// converges after its range was adopted: the adoption's higher epoch reaches
+// it through gossip and it steps down instead of serving a dead incarnation
+// forever.
+func (s *Store) ObserveRemoteClaim(rng keyspace.Range, epoch uint64) {
+	s.mu.Lock()
+	conflict := s.hasRange && s.rng.Overlaps(rng) && epoch > s.epoch
+	s.mu.Unlock()
+	if conflict {
+		go s.StepDown(epoch)
+	}
 }
 
 // LocalItems returns a sorted snapshot of the peer's items (getLocalItems).

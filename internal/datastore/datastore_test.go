@@ -60,6 +60,9 @@ func (f *fakeRep) Revive(r keyspace.Range) []Item {
 }
 func (f *fakeRep) PullRange(context.Context, keyspace.Range) ([]Item, uint64) { return nil, 0 }
 func (f *fakeRep) MaxAdvertisedEpoch(keyspace.Range) uint64                   { return 0 }
+func (f *fakeRep) AdvertInfo(simnet.Addr) (keyspace.Range, uint64, time.Time, bool) {
+	return keyspace.Range{}, 0, time.Time{}, false
+}
 
 func newHarness(t *testing.T, dsCfg Config, rCfg ring.Config) *harness {
 	t.Helper()
@@ -95,16 +98,16 @@ func newHarness(t *testing.T, dsCfg Config, rCfg ring.Config) *harness {
 // pool implements FreePool over the harness.
 type pool harness
 
-func (pl *pool) Acquire() (simnet.Addr, bool) {
+func (pl *pool) Acquire() (simnet.Addr, error) {
 	h := (*harness)(pl)
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if len(h.free) == 0 {
-		return "", false
+		return "", errors.New("pool empty")
 	}
 	a := h.free[0]
 	h.free = h.free[1:]
-	return a, true
+	return a, nil
 }
 
 // Release returns a never-joined peer to the pool (a join that timed out);

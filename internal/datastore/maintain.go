@@ -37,8 +37,92 @@ func (s *Store) maintainLoop() {
 		case <-t.C:
 		case <-s.maintKick:
 		}
+		s.checkPredLease()
 		s.CheckBalance()
 	}
+}
+
+// checkPredLease is the lease-expiry adoption check, run on every
+// maintenance wakeup when leases are enabled: if this peer's ring
+// predecessor — whose range is adjacent below ours — has not renewed its
+// lease within LeaseDuration (its replication pushes carry the renewals; see
+// Replicator.AdvertInfo), its range is orphaned and this peer adopts it at a
+// strictly higher epoch, exactly as failure revival would. Unlike the
+// suspicion-driven revival in OnPredChanged, this path needs no failure
+// verdict from the ring: a wedged-but-alive owner that keeps answering pings
+// but cannot land a replication push stops renewing, and the lease bounds
+// how long its stale claim can linger.
+//
+// Exactly-once: the adjacency guard (the advert's Hi must equal our Lo)
+// breaks as soon as the adoption extends our range down, so a second pass —
+// or a concurrent racer serialized behind maintMu/rangeLock — finds no
+// adjacent lapsed advert and does nothing. A predecessor that never pushed
+// to us has no advert and cannot be adopted from here; its own successor is
+// us, so in a stabilized ring the advert exists after one refresh.
+func (s *Store) checkPredLease() {
+	if s.cfg.LeaseDuration <= 0 || s.rep == nil || s.ring.State() != ring.StateJoined {
+		return
+	}
+	pred := s.ring.Pred()
+	self := s.ring.Self()
+	if pred.Addr == "" || pred.Addr == self.Addr {
+		return
+	}
+	s.mu.Lock()
+	hasRange, lo := s.hasRange, s.rng.Lo
+	s.mu.Unlock()
+	if !hasRange {
+		return
+	}
+	adv, advEpoch, renewedAt, ok := s.rep.AdvertInfo(pred.Addr)
+	if !ok || adv.Hi != lo {
+		return // no evidence, or not (any longer) adjacent below us
+	}
+	if renewedAt.IsZero() || time.Since(renewedAt) <= s.cfg.LeaseDuration {
+		return // lease still current
+	}
+	if !s.maintMu.TryLock() {
+		return // mid-split/merge; retry on the next wakeup
+	}
+	defer s.maintMu.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.MaintenanceTimeout)
+	defer cancel()
+	if err := s.rangeLock.Lock(ctx); err != nil {
+		return
+	}
+	// The adopted incarnation must fence both the lapsed holder's last
+	// advertised epoch and anything else ever advertised over the region.
+	fence := advEpoch
+	if m := s.rep.MaxAdvertisedEpoch(adv); m > fence {
+		fence = m
+	}
+	s.mu.Lock()
+	// Re-validate adjacency under the lock: a racing hand-off may have moved
+	// our boundary since the check above.
+	if !s.hasRange || adv.Hi != s.rng.Lo {
+		s.mu.Unlock()
+		s.rangeLock.Unlock()
+		return
+	}
+	epoch := s.epoch
+	if fence > epoch {
+		epoch = fence
+	}
+	if s.log != nil {
+		// Journal the expiry BEFORE the overlapping claim lands, so the
+		// lease audit sees the holder's lease voided first.
+		s.log.LeaseExpired(string(pred.Addr), string(self.Addr), adv, advEpoch)
+	}
+	s.claimLocked(s.rng.ExtendDown(adv.Lo), epoch+1)
+	s.mu.Unlock()
+	s.rangeLock.Unlock()
+	s.LeaseAdoptions.Add(1)
+
+	// Revive the adopted region from held replicas (we are the lapsed
+	// owner's first successor, so we hold its pushes' replicas).
+	items := s.rep.Revive(adv)
+	s.adoptRevived(adv, items)
 }
 
 // CheckBalance runs one balancing decision; exported so tests and the bench
@@ -104,9 +188,9 @@ func (s *Store) split() error {
 		m = sorted[mid-1].Key
 	}
 
-	addr, ok := s.pool.Acquire()
-	if !ok {
-		return fmt.Errorf("datastore: no free peer available")
+	addr, err := s.pool.Acquire()
+	if err != nil {
+		return fmt.Errorf("datastore: no free peer available: %w", err)
 	}
 	newNode := ring.Node{Addr: addr, Val: oldHi}
 
@@ -309,6 +393,15 @@ func (s *Store) OnPredChanged(newPred, prev ring.Node, predFailed bool) {
 	epoch := s.epoch
 	if adv > epoch {
 		epoch = adv
+	}
+	if s.cfg.LeaseDuration > 0 && s.log != nil && prev.Addr != "" {
+		// With leases on, a suspicion-driven revival is an adoption of the
+		// failed predecessor's lease: journal the expiry before the
+		// overlapping claim so the lease audit sees its lease voided first.
+		// (A false-positive suspicion makes this an early expiry — the epoch
+		// fence, not the lease, is what deposes the live suspect, and the
+		// journal records the adoption that actually happened.)
+		s.log.LeaseExpired(string(prev.Addr), string(s.ring.Self().Addr), revive, adv)
 	}
 	s.claimLocked(s.rng.ExtendDown(newPred.Val), epoch+1)
 	s.mu.Unlock()
@@ -537,6 +630,15 @@ func (s *Store) mergeIntoSuccessor(ctx context.Context, succ ring.Node) error {
 	s.items = make(map[keyspace.Key]Item)
 	s.hasRange = false
 	self := s.ring.Self()
+	if s.cfg.LeaseDuration > 0 && s.log != nil {
+		// Announce the lease transfer BEFORE the successor's absorbing claim
+		// can land: in journal order its extended grant would otherwise
+		// overlap our still-live lease (our release below is journaled only
+		// after the hand-off commits — a failed transfer restores our state,
+		// so the lease must not be voided in advance). The pending handoff
+		// justifies exactly that one overlapping grant for the audit.
+		s.log.LeaseHandoff(string(self.Addr), string(succ.Addr), rng, epoch)
+	}
 	s.mu.Unlock()
 	s.rangeLock.Unlock()
 
@@ -621,10 +723,12 @@ func (s *Store) StepDown(winnerEpoch uint64) {
 	}
 	s.items = make(map[keyspace.Key]Item)
 	s.hasRange = false
-	s.epoch = 0
 	// Release durably: a restart from this identity's data directory must
-	// come back as a free peer, not resurrect the deposed incarnation.
+	// come back as a free peer, not resurrect the deposed incarnation. The
+	// release precedes the epoch zeroing so the lease release it journals
+	// names the incarnation being resigned.
 	s.releaseLocked()
+	s.epoch = 0
 	s.mu.Unlock()
 	s.rangeLock.Unlock()
 	s.StepDowns.Add(1)

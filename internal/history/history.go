@@ -51,6 +51,17 @@ const (
 	ItemMoved
 	PeerFailed
 	RangeClaimed
+	// Lease lifecycle events (see lease.go for the audit over them). A lease
+	// is the time bound on a RangeClaimed incarnation: granted with the claim,
+	// renewed by the owner's replication refresh, expired when a neighbor
+	// observes the renewal lapse and adopts the range, released when the owner
+	// gives the range up voluntarily, handed off when a membership operation
+	// transfers part of it to another peer with both sides still live.
+	LeaseGranted
+	LeaseRenewed
+	LeaseExpired
+	LeaseReleased
+	LeaseHandoff
 )
 
 func (k EventKind) String() string {
@@ -65,6 +76,16 @@ func (k EventKind) String() string {
 		return "fail"
 	case RangeClaimed:
 		return "claim"
+	case LeaseGranted:
+		return "lease-grant"
+	case LeaseRenewed:
+		return "lease-renew"
+	case LeaseExpired:
+		return "lease-expire"
+	case LeaseReleased:
+		return "lease-release"
+	case LeaseHandoff:
+		return "lease-handoff"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}
@@ -169,6 +190,56 @@ func (l *Log) RecoveredClaim(peer string, r keyspace.Range, epoch uint64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.events = append(l.events, Event{Seq: l.next(), Kind: RangeClaimed, Peer: peer, Lo: r.Lo, Hi: r.Hi, Epoch: epoch, Recovered: true})
+}
+
+// LeaseGranted journals that peer's claim of r at epoch carries a fresh
+// lease. Granted together with the claim (Log.Claimed precedes it), so every
+// leased incarnation pairs a RangeClaimed with a LeaseGranted at the same
+// (peer, range, epoch).
+func (l *Log) LeaseGranted(peer string, r keyspace.Range, epoch uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, Event{Seq: l.next(), Kind: LeaseGranted, Peer: peer, Lo: r.Lo, Hi: r.Hi, Epoch: epoch})
+}
+
+// LeaseRenewed journals a renewal of peer's lease on r at epoch: the owner
+// proved it is still serving (its replication refresh landed) within the
+// lease duration.
+func (l *Log) LeaseRenewed(peer string, r keyspace.Range, epoch uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, Event{Seq: l.next(), Kind: LeaseRenewed, Peer: peer, Lo: r.Lo, Hi: r.Hi, Epoch: epoch})
+}
+
+// LeaseExpired journals that adopter observed holder's lease on r at epoch
+// lapse past the lease duration and is about to adopt the range: from this
+// event on, holder's live lease is void and an overlapping grant by the
+// adopter is justified.
+func (l *Log) LeaseExpired(holder, adopter string, r keyspace.Range, epoch uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, Event{Seq: l.next(), Kind: LeaseExpired, Peer: holder, From: adopter, Lo: r.Lo, Hi: r.Hi, Epoch: epoch})
+}
+
+// LeaseReleased journals that peer voluntarily gave up its lease on r at
+// epoch (step-down or merge departure); its live lease is void from here on.
+func (l *Log) LeaseReleased(peer string, r keyspace.Range, epoch uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, Event{Seq: l.next(), Kind: LeaseReleased, Peer: peer, Lo: r.Lo, Hi: r.Hi, Epoch: epoch})
+}
+
+// LeaseHandoff journals that giver is transferring the leased sub-range r to
+// recipient with both sides live (split hand-offs journal no handoff — the
+// giver's own re-grant shrinks its lease in the same critical section; this
+// event covers merge and redistribute transfers, where the recipient's grant
+// lands before the giver's release or re-grant reaches the journal). The
+// lease audit treats a pending handoff as advance justification for the
+// recipient's overlapping grant.
+func (l *Log) LeaseHandoff(giver, recipient string, r keyspace.Range, epoch uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, Event{Seq: l.next(), Kind: LeaseHandoff, Peer: giver, From: recipient, Lo: r.Lo, Hi: r.Hi, Epoch: epoch})
 }
 
 // BeginQuery opens a query record and returns its id and start point.

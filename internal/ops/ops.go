@@ -32,12 +32,24 @@ const SchemaVersion = 1
 // journal (polls during failure recovery stay unjournaled — this journal
 // never learns of remote failures, so a journaled poll observing the
 // transient gap would read as a phantom violation). Audit runs the
-// Definition 4 checker over every journaled query of the process.
+// Definition 4 checker over every journaled query of the process, and
+// LeaseAudit additionally runs the lease-exclusivity checker
+// (history.CheckLeases) over the same journal.
+//
+// LoadItems, when positive, has the probed process insert that many fresh
+// items through its normal insert path, placed in the largest key gap of its
+// own range so the loaded interval contains nothing else; the process
+// answers with the exact interval it used (LoadedLo/LoadedHi), which a
+// follow-up exact-count query probe can then audit. The CI cluster smoke
+// uses it to prove the cluster still absorbs writes — and still splits —
+// after the bootstrap process is killed.
 type ProbeRequest struct {
-	Query   bool
-	Lo, Hi  keyspace.Key
-	Journal bool
-	Audit   bool
+	Query      bool
+	Lo, Hi     keyspace.Key
+	Journal    bool
+	Audit      bool
+	LeaseAudit bool
+	LoadItems  int
 }
 
 // ProbeStatus reports one process's observable state.
@@ -83,6 +95,31 @@ type ProbeStatus struct {
 	Snapshots      uint64 `json:"snapshots"`
 	Recovered      bool   `json:"recovered"`
 	RecoveredItems int    `json:"recovered_items"`
+
+	// Lease state of the peer's current range claim: whether leases are
+	// enabled at all (-lease > 0), how long ago the lease was last renewed
+	// (milliseconds; -1 when disabled or not serving), whether the local
+	// clock already considers it expired (a serving peer whose refreshes are
+	// failing — the precursor to a neighbor adopting the range), how many
+	// expired-lease adoptions this peer has performed, and the lease-audit
+	// verdict (-1 unless LeaseAudit was requested).
+	LeaseEnabled    bool   `json:"lease_enabled"`
+	LeaseAgeMs      int64  `json:"lease_age_ms"`
+	LeaseExpired    bool   `json:"lease_expired"`
+	LeaseAdoptions  uint64 `json:"lease_adoptions"`
+	LeaseViolations int    `json:"lease_violations"`
+
+	// Gossip directory state: distinct members known, free-and-untaken
+	// directory entries, and anti-entropy rounds initiated. All zero when
+	// gossip is disabled (-gossip-interval 0).
+	GossipMembers int    `json:"gossip_members"`
+	GossipFree    int    `json:"gossip_free"`
+	GossipRounds  uint64 `json:"gossip_rounds"`
+
+	// Outcome of a LoadItems request: the closed key interval the loaded
+	// items were placed in (both zero when no load ran).
+	LoadedLo keyspace.Key `json:"loaded_lo"`
+	LoadedHi keyspace.Key `json:"loaded_hi"`
 }
 
 func init() {

@@ -68,10 +68,15 @@ func (c Config) withDefaults() Config {
 // origin last claimed Range at Epoch. The replica manager remembers the
 // latest advert per origin; they are what lets a successor revive a failed
 // predecessor's range at a provably higher epoch, and what lets a replica
-// holder refuse to serve for a deposed primary.
+// holder refuse to serve for a deposed primary. RenewedAt is the local
+// receive time of the latest push from the origin — the receiver-side lease
+// evidence: an origin whose advert has not refreshed within the lease
+// duration has stopped proving it still serves, and its successor may treat
+// the range as orphaned (datastore.Config.LeaseDuration).
 type advert struct {
-	Range keyspace.Range
-	Epoch uint64
+	Range     keyspace.Range
+	Epoch     uint64
+	RenewedAt time.Time
 }
 
 // Manager is one peer's Replication Manager. It implements
@@ -298,7 +303,9 @@ func (m *Manager) handlePush(_ transport.Addr, _ string, payload any) (any, erro
 			}
 		}
 		if prev, ok := m.adverts[msg.From.Addr]; !ok || msg.Epoch >= prev.Epoch {
-			m.adverts[msg.From.Addr] = advert{Range: msg.Range, Epoch: msg.Epoch}
+			// The receive time doubles as the origin's lease renewal evidence
+			// (same-epoch re-pushes refresh it; see AdvertInfo).
+			m.adverts[msg.From.Addr] = advert{Range: msg.Range, Epoch: msg.Epoch, RenewedAt: time.Now()}
 		}
 	}
 	for k := range m.replicas {
@@ -315,6 +322,18 @@ func (m *Manager) handlePush(_ transport.Addr, _ string, payload any) (any, erro
 	}
 	m.mu.Unlock()
 	return pushResp{}, nil
+}
+
+// AdvertInfo implements datastore.Replicator: the latest ownership advert
+// this peer received from the origin at addr, plus the local time it
+// arrived. The maintenance loop of the origin's successor reads it to decide
+// lease expiry: an adjacent predecessor whose advert is older than the lease
+// duration has stopped renewing and its range may be adopted.
+func (m *Manager) AdvertInfo(addr transport.Addr) (keyspace.Range, uint64, time.Time, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	a, ok := m.adverts[addr]
+	return a.Range, a.Epoch, a.RenewedAt, ok
 }
 
 // MaxAdvertisedEpoch implements datastore.Replicator: the highest ownership
@@ -490,17 +509,35 @@ func (m *Manager) RefreshOnce() {
 		pends = append(pends, transport.CallBulkAsync(m.net, ctx, self.Addr, succ.Addr, methodPush, msg))
 	}
 	var deposedBy uint64
+	acked := false
 	for _, p := range pends {
 		resp, err := p.Result()
 		if err != nil {
 			continue
 		}
-		if pr, ok := resp.(pushResp); ok && pr.Deposed && pr.Epoch > deposedBy {
-			deposedBy = pr.Epoch
+		if pr, ok := resp.(pushResp); ok {
+			if pr.Deposed {
+				if pr.Epoch > deposedBy {
+					deposedBy = pr.Epoch
+				}
+			} else {
+				acked = true
+			}
 		}
 	}
 	if deposedBy > 0 {
 		m.ds.StepDown(deposedBy)
+		return
+	}
+	// Lease renewal is evidence-based: the lease renews only when at least
+	// one successor acknowledged this refresh without deposing us — proof the
+	// push (and with it our advert/renewal) actually landed somewhere. A peer
+	// whose pushes all fail stops renewing and its lease lapses, which is
+	// exactly the wedged-owner case leases exist to bound. A single-peer ring
+	// (no successors) renews vacuously: there is no one to prove anything to
+	// and no one who could adopt.
+	if acked || len(succs) == 0 {
+		m.ds.RenewLease()
 	}
 }
 

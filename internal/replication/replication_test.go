@@ -45,8 +45,8 @@ func newRepHarnessNet(t *testing.T, netCfg simnet.Config) *repHarness {
 
 type noPool struct{}
 
-func (noPool) Acquire() (simnet.Addr, bool) { return "", false }
-func (noPool) Release(simnet.Addr)          {}
+func (noPool) Acquire() (simnet.Addr, error) { return "", fmt.Errorf("no pool") }
+func (noPool) Release(simnet.Addr)           {}
 
 func (h *repHarness) addPeer(repCfg Config) (*Manager, *datastore.Store, *ring.Peer) {
 	h.t.Helper()

@@ -83,7 +83,8 @@ type Config struct {
 	// never runs. seq is the zero-based chunk sequence number within the
 	// transfer.
 	ChunkFault func(to Addr, method string, seq int) bool
-	// SuspectFault, when set, is consulted for every Call and Send (fault
+	// SuspectFault, when set, is consulted for every Call, Send and
+	// OpenStream (fault
 	// injection): returning true makes the destination appear failed for
 	// that one message — the caller blocks for DeadCallDelay and reports
 	// ErrUnreachable (a Send is silently dropped) — while the destination
@@ -93,6 +94,16 @@ type Config struct {
 	// dead while its datastore keeps serving, reproducing the dual-claim
 	// ownership window that epoch fencing exists to close.
 	SuspectFault func(from, to Addr, method string) bool
+	// PartitionFault, when set, is consulted for every Call, Send and
+	// OpenStream (fault injection): returning true severs the (from, to)
+	// link for that message — the caller fails immediately with
+	// ErrUnreachable (no DeadCallDelay: a partition refuses, it does not
+	// time out), a Send is silently dropped, a stream fails to open. Both
+	// endpoints stay alive. Unlike SuspectFault it is meant to be aimed at
+	// whole peer pairs regardless of method, modelling a network partition:
+	// gossip convergence tests cut the cluster in half, let the directory
+	// diverge, then heal the cut and assert agreement within N rounds.
+	PartitionFault func(from, to Addr) bool
 }
 
 // DefaultConfig returns timing suited to millisecond-scale experiments.
@@ -113,6 +124,7 @@ type Stats struct {
 	Chunks         uint64 // chunk frames carried by streamed transfers
 	ChunkDrops     uint64 // chunk frames dropped by fault injection
 	SuspectDrops   uint64 // calls/sends dropped by SuspectFault injection
+	PartitionDrops uint64 // calls/sends/streams severed by PartitionFault injection
 	Failures       uint64 // calls/sends that could not be delivered
 	StrictFailures uint64 // messages rejected by the codec in strict mode
 	ByMethod       map[string]uint64
@@ -136,6 +148,7 @@ type Network struct {
 	chunks         atomic.Uint64
 	chunkDrops     atomic.Uint64
 	suspectDrops   atomic.Uint64
+	partitionDrops atomic.Uint64
 	failures       atomic.Uint64
 	strictFailures atomic.Uint64
 
@@ -254,6 +267,7 @@ func (n *Network) Stats() Stats {
 		Chunks:         n.chunks.Load(),
 		ChunkDrops:     n.chunkDrops.Load(),
 		SuspectDrops:   n.suspectDrops.Load(),
+		PartitionDrops: n.partitionDrops.Load(),
 		Failures:       n.failures.Load(),
 		StrictFailures: n.strictFailures.Load(),
 		ByMethod:       by,
@@ -393,6 +407,12 @@ func (n *Network) Call(ctx context.Context, from, to Addr, method string, payloa
 		n.failures.Add(1)
 		return nil, perr
 	}
+	if f := n.cfg.PartitionFault; f != nil && f(from, to) {
+		// Severed link: refused immediately, both endpoints alive.
+		n.partitionDrops.Add(1)
+		n.failures.Add(1)
+		return nil, fmt.Errorf("%w: %s (partitioned)", ErrUnreachable, to)
+	}
 	if err := sleep(ctx, n.latency()); err != nil {
 		n.failures.Add(1)
 		return nil, err
@@ -477,6 +497,21 @@ func (n *Network) OpenStream(_ context.Context, from, to Addr, method string) (t
 	if from != "" && !n.Alive(from) {
 		n.failures.Add(1)
 		return nil, fmt.Errorf("%w: %s", ErrSenderDead, from)
+	}
+	if f := n.cfg.PartitionFault; f != nil && f(from, to) {
+		n.partitionDrops.Add(1)
+		n.failures.Add(1)
+		return nil, fmt.Errorf("%w: %s (partitioned)", ErrUnreachable, to)
+	}
+	if f := n.cfg.SuspectFault; f != nil && f(from, to, method) {
+		// A destination this caller wrongly believes failed refuses its
+		// streams exactly as it refuses its calls.
+		n.suspectDrops.Add(1)
+		n.failures.Add(1)
+		if err := sleep(context.Background(), n.cfg.DeadCallDelay); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: %s (suspect fault)", ErrUnreachable, to)
 	}
 	return &simStream{n: n, from: from, to: to, method: method}, nil
 }
@@ -608,6 +643,11 @@ func (n *Network) Send(from, to Addr, method string, payload any) {
 		return
 	}
 	go func() {
+		if f := n.cfg.PartitionFault; f != nil && f(from, to) {
+			n.partitionDrops.Add(1)
+			n.failures.Add(1)
+			return
+		}
 		if d := n.latency(); d > 0 {
 			time.Sleep(d)
 		}

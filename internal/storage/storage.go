@@ -60,6 +60,15 @@ const (
 	RecReplicaPut
 	// RecReplicaDelete removes one held replica.
 	RecReplicaDelete
+	// RecLease journals a lease renewal for the live incarnation: Key carries
+	// the renewal wall-clock time as unix nanoseconds (reusing the fixed
+	// layout's key slot — leases have no key of their own), Epoch the
+	// incarnation it renews. Replay keeps only a renewal matching the live
+	// epoch, so a recovered peer resumes its lease clock from the LAST renewal
+	// it durably made — never from "now" — and a claim that lapsed while the
+	// process was down comes back already expired, exactly as conservative
+	// lease semantics require.
+	RecLease
 )
 
 func (k RecordKind) String() string {
@@ -78,6 +87,8 @@ func (k RecordKind) String() string {
 		return "replica-put"
 	case RecReplicaDelete:
 		return "replica-delete"
+	case RecLease:
+		return "lease"
 	default:
 		return fmt.Sprintf("RecordKind(%d)", uint8(k))
 	}
@@ -110,8 +121,14 @@ type State struct {
 	HasRange  bool
 	Range     keyspace.Range
 	Epoch     uint64
-	Items     map[keyspace.Key]string // owned items: key -> payload
-	Replicas  map[keyspace.Key]string // held replicas: key -> payload
+	// LeaseRenewedAt is the unix-nanosecond time of the last durably journaled
+	// lease renewal for the live incarnation; 0 when the claim was never
+	// renewed (or leases are disabled). Recovery hands it to the Data Store so
+	// the resumed lease clock starts at the last renewal the WAL proves, not
+	// at the restart time.
+	LeaseRenewedAt int64
+	Items          map[keyspace.Key]string // owned items: key -> payload
+	Replicas       map[keyspace.Key]string // held replicas: key -> payload
 }
 
 // clone returns a deep copy (maps included) safe to hand outside the lock.
@@ -152,6 +169,9 @@ func (st *State) apply(rec Record) {
 		st.HasRange = true
 		st.Range = keyspace.Range{Lo: rec.Lo, Hi: rec.Hi}
 		st.Epoch = rec.Epoch
+		// A new incarnation starts with a fresh lease clock; the grant-time
+		// RecLease that claim sites append right after re-stamps it.
+		st.LeaseRenewedAt = 0
 		for k := range st.Items {
 			if !st.Range.Contains(k) {
 				delete(st.Items, k)
@@ -161,6 +181,7 @@ func (st *State) apply(rec Record) {
 		st.HasRange = false
 		st.Range = keyspace.Range{}
 		st.Epoch = 0
+		st.LeaseRenewedAt = 0
 		st.Items = make(map[keyspace.Key]string)
 	case RecPut:
 		if st.HasRange && rec.Epoch == st.Epoch {
@@ -174,6 +195,10 @@ func (st *State) apply(rec Record) {
 		st.Replicas[rec.Key] = rec.Payload
 	case RecReplicaDelete:
 		delete(st.Replicas, rec.Key)
+	case RecLease:
+		if st.HasRange && rec.Epoch == st.Epoch {
+			st.LeaseRenewedAt = int64(rec.Key)
+		}
 	}
 }
 

@@ -3,7 +3,13 @@
 # 3-process TCP cluster through a churn cycle (kill one serving peer, let
 # replication revive its range, rejoin a fresh process that a split draws
 # back into the ring) and fail unless the final Definition 4 audit at the
-# bootstrap is clean.
+# bootstrap is clean. Then the decentralized-membership phase: SIGKILL the
+# BOOTSTRAP itself, prove the full load survives (the range-claim lease
+# expires and the successor adopts), and prove the cluster can still grow —
+# a fresh free peer announces to an ordinary member, the gossiped directory
+# spreads it, and a post-kill overflow split draws it in. The run ends with
+# a clean Definition 4 audit AND a clean lease-exclusivity audit at a
+# surviving peer.
 #
 # The item payloads are padded (-payload) so the split hand-offs and replica
 # pushes exceed the streaming chunk size: the chunked state transfer has to
@@ -19,13 +25,19 @@ set -euo pipefail
 # shellcheck source=scripts/lib_ports.sh
 . "$(dirname "$0")/lib_ports.sh"
 
-PORT_BASE=${1:-$(pick_port_base 4)}
+PORT_BASE=${1:-$(pick_port_base 5)}
 echo "== port base: $PORT_BASE"
 P_BOOT="127.0.0.1:$PORT_BASE"
 P_A="127.0.0.1:$((PORT_BASE + 1))"
 P_B="127.0.0.1:$((PORT_BASE + 2))"
 P_REJOIN="127.0.0.1:$((PORT_BASE + 3))"
+P_NEW="127.0.0.1:$((PORT_BASE + 4))"
 ITEMS=40
+# Range-claim lease: 10× the 500 ms replica-refresh period, and well under
+# the ring's 20 s ack timeout — the killed bootstrap's range below is
+# adopted via lease expiry before the failure detector would get there.
+LEASE=5s
+GOSSIP=300ms
 PAYLOAD=65536 # 64 KiB per item: hand-offs span multiple 256 KiB chunks
 WAIT=120s
 UB=$(( (ITEMS + 1) * 1000 ))
@@ -73,9 +85,10 @@ probe_epoch() {
   echo "$out" | sed -n 's/.*"epoch":\([0-9][0-9]*\).*/\1/p' | head -1
 }
 
-echo "== start bootstrap at $P_BOOT ($ITEMS items, $PAYLOAD-byte payloads)"
-"$BIN" -listen "$P_BOOT" -items "$ITEMS" -payload "$PAYLOAD" >"$WORK/boot.log" 2>&1 &
-PIDS+=($!)
+echo "== start bootstrap at $P_BOOT ($ITEMS items, $PAYLOAD-byte payloads, lease $LEASE, gossip $GOSSIP)"
+"$BIN" -listen "$P_BOOT" -items "$ITEMS" -payload "$PAYLOAD" -lease "$LEASE" -gossip-interval "$GOSSIP" >"$WORK/boot.log" 2>&1 &
+PID_BOOT=$!
+PIDS+=("$PID_BOOT")
 # Wait for the FULL load before any membership change: every insert must be
 # journaled at the bootstrap while it still owns the whole key space, or the
 # final Definition 4 audit is unsound (journals are per-process — an insert
@@ -87,10 +100,10 @@ EPOCH_LOADED=$(probe_epoch -probe "$P_BOOT" -expect "$ITEMS" -probe-ub "$UB" -wa
 echo "== bootstrap epoch after load: ${EPOCH_LOADED:?probe printed no epoch}"
 
 echo "== start two free peers ($P_A, $P_B); splits draw them into the ring"
-"$BIN" -listen "$P_A" -join "$P_BOOT" >"$WORK/peer-a.log" 2>&1 &
+"$BIN" -listen "$P_A" -join "$P_BOOT" -lease "$LEASE" -gossip-interval "$GOSSIP" >"$WORK/peer-a.log" 2>&1 &
 PID_A=$!
 PIDS+=("$PID_A")
-"$BIN" -listen "$P_B" -join "$P_BOOT" >"$WORK/peer-b.log" 2>&1 &
+"$BIN" -listen "$P_B" -join "$P_BOOT" -lease "$LEASE" -gossip-interval "$GOSSIP" >"$WORK/peer-b.log" 2>&1 &
 PID_B=$!
 PIDS+=("$PID_B")
 
@@ -118,7 +131,7 @@ echo "== recovery: replication must revive the lost range"
 "$BIN" -probe "$P_BOOT" -expect "$ITEMS" -probe-ub "$UB" -wait "$WAIT"
 
 echo "== rejoin: a fresh process re-enters and the pending split draws it in"
-"$BIN" -listen "$P_REJOIN" -join "$P_BOOT" >"$WORK/peer-rejoin.log" 2>&1 &
+"$BIN" -listen "$P_REJOIN" -join "$P_BOOT" -lease "$LEASE" -gossip-interval "$GOSSIP" >"$WORK/peer-rejoin.log" 2>&1 &
 PIDS+=($!)
 "$BIN" -probe "$P_REJOIN" -serving -min-epoch 1 -wait "$WAIT"
 
@@ -129,6 +142,49 @@ echo "== final audit: journaled full query + Definition 4 check at the bootstrap
 # whole kill/recover/rejoin cycle the bootstrap's epoch must never have
 # regressed below its post-split value (epochs are monotonic per range).
 "$BIN" -probe "$P_BOOT" -expect "$ITEMS" -probe-ub "$UB" -min-cache-hits 1 -min-epoch "$EPOCH_SPLIT" -audit -wait "$WAIT"
+
+echo "== decentralized membership: a fresh free peer announces to an ORDINARY member ($P_REJOIN)"
+# The announce target is deliberately not the bootstrap: free-peer
+# announcements work against any serving member, and the gossiped directory
+# is what spreads the entry to whoever needs it for a split.
+"$BIN" -listen "$P_NEW" -join "$P_REJOIN" -lease "$LEASE" -gossip-interval "$GOSSIP" >"$WORK/peer-new.log" 2>&1 &
+PIDS+=($!)
+# Wait for the directory to spread: $P_A (which never saw the announce) must
+# learn of all 5 member processes via gossip. The member count is a monotone
+# union, so this gate cannot be satisfied and then un-satisfied by a racing
+# split consuming the free entry.
+"$BIN" -probe "$P_A" -min-gossip-members 5 -wait "$WAIT"
+
+echo "== SIGKILL the bootstrap ($P_BOOT): its lease must expire and its successor adopt the range"
+kill -9 "$PID_BOOT"
+
+echo "== the full load survives without the bootstrap"
+"$BIN" -probe "$P_A" -expect "$ITEMS" -probe-ub "$UB" -wait "$WAIT"
+
+echo "== post-kill growth: probe-load overflows $P_A; the split must draw $P_NEW in"
+# With the bootstrap dead there is no central pool to borrow from: the
+# overflowed peer resolves the free peer from the gossiped directory (or the
+# revival adopter already did — either way a split completes without the
+# bootstrap). The load goes into an item-free gap of $P_A's own range and
+# the JSON reply reports the exact loaded interval for the final audit.
+LOAD_OUT=$("$BIN" -probe "$P_A" -serving -probe-load 12 -json -wait "$WAIT")
+echo "$LOAD_OUT"
+if ! echo "$LOAD_OUT" | grep -q "\"schema_version\":$SCHEMA[,}]"; then
+  echo "probe status schema_version is not $SCHEMA; this script no longer matches the ops contract" >&2
+  exit 1
+fi
+LOAD_LO=$(echo "$LOAD_OUT" | sed -n 's/.*"loaded_lo":\([0-9][0-9]*\).*/\1/p')
+LOAD_HI=$(echo "$LOAD_OUT" | sed -n 's/.*"loaded_hi":\([0-9][0-9]*\).*/\1/p')
+echo "== loaded interval: [${LOAD_LO:?probe printed no loaded_lo}, ${LOAD_HI:?probe printed no loaded_hi}]"
+"$BIN" -probe "$P_NEW" -serving -min-epoch 1 -wait "$WAIT"
+
+echo "== final: exact-count query over the loaded interval + Definition 4 + lease audit at $P_A"
+# -expect over [loaded_lo, loaded_hi] must return exactly the probe-loaded
+# items (the gap was item-free cluster-wide at load time); -audit journals
+# the query and requires a clean Definition 4 check; -lease-audit requires
+# that no two unexpired leases ever overlapped a key in $P_A's journal —
+# including across the bootstrap kill and the adoption it forced.
+"$BIN" -probe "$P_A" -expect 12 -probe-lb "$LOAD_LO" -probe-ub "$LOAD_HI" -audit -lease-audit -wait "$WAIT"
 
 STATUS=0
 echo "== cluster smoke PASSED"
