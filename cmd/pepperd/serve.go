@@ -10,6 +10,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/auth"
 	"repro/internal/core"
 	"repro/internal/datastore"
 	"repro/internal/gossip"
@@ -56,7 +57,7 @@ func tcpPeerConfig(seed int64) core.Config {
 }
 
 // serveMain runs one peer as its own OS process over TCP: the -listen mode.
-func serveMain(listen, join string, items, payload int, seed int64, dataDir string, syncInterval, lease, gossipInterval time.Duration) {
+func serveMain(listen, join string, items, payload int, seed int64, dataDir string, syncInterval, lease, gossipInterval time.Duration, clusterKey string, chaosDropChunk int) {
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "pepperd: %v\n", err)
 		os.Exit(1)
@@ -72,7 +73,7 @@ func serveMain(listen, join string, items, payload int, seed int64, dataDir stri
 			Seed:        seed,
 		}
 	}
-	tcpCfg := tcp.Config{DialTimeout: 2 * time.Second, CallTimeout: 10 * time.Second}
+	tcpCfg := tcp.Config{DialTimeout: 2 * time.Second, CallTimeout: 10 * time.Second, ChaosChunkDrop: chaosDropChunk}
 	if dataDir != "" {
 		factory := storage.DiskFactory{Dir: dataDir, Opts: storage.Options{SyncInterval: syncInterval}}
 		cfg.Storage = factory
@@ -80,6 +81,28 @@ func serveMain(listen, join string, items, payload int, seed int64, dataDir stri
 		// requests and dial-side chunked responses spill to files, so the
 		// MaxStreamBytes RAM ceiling no longer bounds transfer size.
 		tcpCfg.Stager = factory.NewStager
+	}
+	if clusterKey != "" {
+		key, err := auth.LoadClusterKey(clusterKey)
+		if err != nil {
+			fail(err)
+		}
+		// One identity per process: persisted beside the WAL when -data-dir is
+		// set (so a restart resumes the same identity and its advert
+		// signatures keep verifying), ephemeral otherwise.
+		var id *auth.Identity
+		if dataDir != "" {
+			id, err = auth.LoadOrCreate(dataDir)
+		} else {
+			id, err = auth.NewIdentity()
+		}
+		if err != nil {
+			fail(err)
+		}
+		tcpCfg.ClusterKey = key
+		tcpCfg.Identity = id
+		cfg.Identities = func(transport.Addr) (*auth.Identity, error) { return id, nil }
+		fmt.Printf("pepperd: wire authentication enabled (cluster key %s)\n", clusterKey)
 	}
 	tr := tcp.New(tcpCfg)
 	defer tr.Close()
@@ -165,21 +188,24 @@ func loadItems(ctx context.Context, node *core.Standalone, items, payload int, f
 
 // probeOpts are the success criteria of one pepperd -probe invocation.
 type probeOpts struct {
-	expect        int           // required query item count; <0 = no query
-	serving       bool          // require JOINED with a range
-	minPool       int           // required free-pool size; <0 = don't care
-	minCacheHits  int64         // required owner-lookup cache hits; <0 = don't care
-	minEpoch      int64         // required ownership epoch; <0 = don't care
-	minRecovered  int           // required recovered-item count; <0 = don't care
-	minGossipFree int           // required gossiped free-directory entries; <0 = don't care
-	minGossipMem  int           // required gossiped member count; <0 = don't care
-	audit         bool          // final journaled query + Definition 4 audit
-	leaseAudit    bool          // final lease-exclusivity audit (CheckLeases)
-	wait          time.Duration // keep retrying until satisfied or this elapses
-	lb            keyspace.Key  // query interval lower bound
-	ub            keyspace.Key  // query interval upper bound
-	load          int           // items to probe-load once criteria hold; 0 = none
-	jsonOut       bool          // emit the final status as JSON on stdout
+	expect              int           // required query item count; <0 = no query
+	serving             bool          // require JOINED with a range
+	minPool             int           // required free-pool size; <0 = don't care
+	minCacheHits        int64         // required owner-lookup cache hits; <0 = don't care
+	minEpoch            int64         // required ownership epoch; <0 = don't care
+	minRecovered        int           // required recovered-item count; <0 = don't care
+	minGossipFree       int           // required gossiped free-directory entries; <0 = don't care
+	minGossipMem        int           // required gossiped member count; <0 = don't care
+	minStreamResumes    int           // required resumed bulk transfers; <0 = don't care
+	minHandshakeRejects int           // required handshake refusals; <0 = don't care
+	audit               bool          // final journaled query + Definition 4 audit
+	leaseAudit          bool          // final lease-exclusivity audit (CheckLeases)
+	wait                time.Duration // keep retrying until satisfied or this elapses
+	lb                  keyspace.Key  // query interval lower bound
+	ub                  keyspace.Key  // query interval upper bound
+	load                int           // items to probe-load once criteria hold; 0 = none
+	jsonOut             bool          // emit the final status as JSON on stdout
+	clusterKey          string        // cluster-secret path; the probe's own dials handshake with it
 }
 
 // probeMain is the -probe mode: a thin RPC client that interrogates a
@@ -189,7 +215,16 @@ type probeOpts struct {
 // criteria hold, one final journaled query runs and the process's
 // Definition 4 checker must come back clean.
 func probeMain(target string, o probeOpts) int {
-	tr := tcp.New(tcp.Config{DialTimeout: 2 * time.Second, CallTimeout: 60 * time.Second})
+	tcpCfg := tcp.Config{DialTimeout: 2 * time.Second, CallTimeout: 60 * time.Second}
+	if o.clusterKey != "" {
+		key, err := auth.LoadClusterKey(o.clusterKey)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pepperd: %v\n", err)
+			return 1
+		}
+		tcpCfg.ClusterKey = key // ephemeral probe identity, minted by tcp.New
+	}
+	tr := tcp.New(tcpCfg)
 	defer tr.Close()
 	ctx := context.Background()
 	deadline := time.Now().Add(o.wait)
@@ -287,6 +322,12 @@ func probeSatisfied(st core.ProbeStatus, o probeOpts) bool {
 	if o.minGossipMem >= 0 && st.GossipMembers < o.minGossipMem {
 		return false
 	}
+	if o.minStreamResumes >= 0 && st.StreamResumes < uint64(o.minStreamResumes) {
+		return false
+	}
+	if o.minHandshakeRejects >= 0 && st.HandshakeRejects < uint64(o.minHandshakeRejects) {
+		return false
+	}
 	return st.RejoinErr == ""
 }
 
@@ -310,6 +351,12 @@ func renderStatus(st core.ProbeStatus) string {
 	}
 	if st.GossipMembers > 0 {
 		out += fmt.Sprintf(" gossip-members=%d gossip-free=%d gossip-rounds=%d", st.GossipMembers, st.GossipFree, st.GossipRounds)
+	}
+	if st.AuthEnabled {
+		out += fmt.Sprintf(" auth=on handshake-rejects=%d sig-rejects=%d", st.HandshakeRejects, st.SigRejects)
+	}
+	if st.StreamResumes > 0 {
+		out += fmt.Sprintf(" stream-resumes=%d", st.StreamResumes)
 	}
 	if st.RejoinErr != "" {
 		out += fmt.Sprintf(" rejoin-err=%q", st.RejoinErr)

@@ -1,0 +1,129 @@
+package auth
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSignVerifyAdvert(t *testing.T) {
+	id, err := NewIdentity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kr := NewKeyring()
+	sig := id.SignAdvert("peer-1", 100, 200, 7)
+	if err := kr.VerifyAdvert("peer-1", 100, 200, 7, sig); err != nil {
+		t.Fatalf("valid advert rejected: %v", err)
+	}
+	// Any field change invalidates the signature.
+	if err := kr.VerifyAdvert("peer-1", 100, 200, 8, sig); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("tampered epoch accepted: %v", err)
+	}
+	if err := kr.VerifyAdvert("peer-1", 100, 201, 7, sig); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("tampered range accepted: %v", err)
+	}
+	if err := kr.VerifyAdvert("peer-2", 100, 200, 7, sig); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("tampered owner accepted: %v", err)
+	}
+	if err := kr.VerifyAdvert("peer-1", 100, 200, 7, AdvertSig{}); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("unsigned advert accepted: %v", err)
+	}
+	if kr.Rejects() != 4 {
+		t.Fatalf("rejects = %d, want 4", kr.Rejects())
+	}
+}
+
+func TestKeyringPinsFirstKey(t *testing.T) {
+	honest, _ := NewIdentity()
+	forger, _ := NewIdentity()
+	kr := NewKeyring()
+	if err := kr.VerifyAdvert("victim", 0, 500, 3, honest.SignAdvert("victim", 0, 500, 3)); err != nil {
+		t.Fatal(err)
+	}
+	// A correctly-signed advert in the victim's name under a different key —
+	// the forged higher-epoch advert — must be rejected.
+	err := kr.VerifyAdvert("victim", 0, 500, 99, forger.SignAdvert("victim", 0, 500, 99))
+	if !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("forged advert accepted: %v", err)
+	}
+	// The honest owner keeps working.
+	if err := kr.VerifyAdvert("victim", 0, 500, 4, honest.SignAdvert("victim", 0, 500, 4)); err != nil {
+		t.Fatalf("honest advert rejected after forgery attempt: %v", err)
+	}
+}
+
+func TestLoadOrCreatePersists(t *testing.T) {
+	dir := t.TempDir()
+	a, err := LoadOrCreate(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadOrCreate(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a.Public()) != string(b.Public()) {
+		t.Fatal("reloaded identity has a different public key")
+	}
+	info, err := os.Stat(filepath.Join(dir, identityFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o600 {
+		t.Fatalf("identity file mode = %v, want 0600", info.Mode().Perm())
+	}
+}
+
+func TestHandshakePrimitives(t *testing.T) {
+	cli, _ := NewIdentity()
+	srv, _ := NewIdentity()
+	dn, _ := NewNonce()
+	sn, _ := NewNonce()
+	key := []byte("cluster-secret")
+	tr := HandshakeTranscript(dn, sn, cli.Public(), srv.Public())
+
+	mac := HandshakeMAC(key, "srv", tr)
+	if !CheckHandshakeMAC(key, "srv", tr, mac) {
+		t.Fatal("valid MAC rejected")
+	}
+	if CheckHandshakeMAC([]byte("wrong"), "srv", tr, mac) {
+		t.Fatal("MAC verified under the wrong cluster key")
+	}
+	if CheckHandshakeMAC(key, "cli", tr, mac) {
+		t.Fatal("MAC verified under the wrong role label (reflection)")
+	}
+
+	sig := srv.SignTranscript("srv", tr)
+	if !CheckTranscriptSig(srv.Public(), "srv", tr, sig) {
+		t.Fatal("valid transcript signature rejected")
+	}
+	if CheckTranscriptSig(srv.Public(), "cli", tr, sig) {
+		t.Fatal("transcript signature verified under the wrong role (reflection)")
+	}
+	if CheckTranscriptSig(cli.Public(), "srv", tr, sig) {
+		t.Fatal("transcript signature verified under the wrong key")
+	}
+}
+
+func TestLoadClusterKey(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cluster.key")
+	if err := os.WriteFile(path, []byte("  s3cret\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	key, err := LoadClusterKey(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(key) != "s3cret" {
+		t.Fatalf("key = %q, want trimmed %q", key, "s3cret")
+	}
+	if err := os.WriteFile(path, []byte("\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadClusterKey(path); err == nil {
+		t.Fatal("empty key file accepted")
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/auth"
 	"repro/internal/datastore"
 	"repro/internal/gossip"
 	"repro/internal/history"
@@ -73,6 +74,13 @@ type Config struct {
 	// test and benchmark runs on; pepperd -data-dir supplies a
 	// storage.DiskFactory.
 	Storage storage.Factory
+	// Identities, when set, gives each assembled peer an ed25519 identity:
+	// its ownership adverts (replication pushes and gossiped range adverts)
+	// are signed, and adverts it receives are verified against a per-peer
+	// trust-on-first-use keyring before they may depose anyone. nil disables
+	// advert authentication (the pre-identity behaviour). pepperd supplies
+	// the identity persisted in -data-dir (or an ephemeral one).
+	Identities func(addr transport.Addr) (*auth.Identity, error)
 	// Seed drives entry-peer selection.
 	Seed int64
 }
@@ -130,6 +138,10 @@ type Peer struct {
 	// Backend is the peer's storage engine; the Data Store and Replication
 	// Manager write ahead to it, and Stop closes it.
 	Backend storage.Backend
+	// Identity and Keyring carry the peer's advert-signing state; both nil
+	// when Config.Identities is unset.
+	Identity *auth.Identity
+	Keyring  *auth.Keyring
 
 	tr  transport.Transport
 	log *history.Log
@@ -204,6 +216,37 @@ func assemblePeer(tr transport.Transport, addr transport.Addr, cfg Config, log *
 			}
 		}
 		p.Gossip = g
+	}
+
+	if cfg.Identities != nil {
+		id, err := cfg.Identities(addr)
+		if err != nil {
+			return nil, fmt.Errorf("core: obtaining identity for %s: %w", addr, err)
+		}
+		kr := auth.NewKeyring()
+		// Pin our own key first: a forged advert in this peer's name can then
+		// never be the first key the keyring sees for it.
+		kr.Pin(string(addr), id.Public())
+		p.Identity, p.Keyring = id, kr
+		sign := func(rng keyspace.Range, epoch uint64) auth.AdvertSig {
+			return id.SignAdvert(string(addr), rng.Lo, rng.Hi, epoch)
+		}
+		p.Rep.SignAdvert = sign
+		p.Rep.VerifyAdvert = func(owner transport.Addr, rng keyspace.Range, epoch uint64, sig auth.AdvertSig) error {
+			return kr.VerifyAdvert(string(owner), rng.Lo, rng.Hi, epoch, sig)
+		}
+		p.Rep.OnSigReject = func(owner transport.Addr, rng keyspace.Range, epoch uint64) {
+			log.SigRejected(string(addr), string(owner), rng, epoch)
+		}
+		if p.Gossip != nil {
+			p.Gossip.SignAdvert = sign
+			p.Gossip.VerifyAd = func(owner transport.Addr, ad gossip.RangeAd) error {
+				return kr.VerifyAdvert(string(owner), ad.Range.Lo, ad.Range.Hi, ad.Epoch, ad.Sig)
+			}
+			p.Gossip.OnSigReject = func(owner transport.Addr, ad gossip.RangeAd) {
+				log.SigRejected(string(addr), string(owner), ad.Range, ad.Epoch)
+			}
+		}
 	}
 
 	// One backend per peer identity: the Data Store and Replication Manager

@@ -110,6 +110,14 @@ func (s *Standalone) handleProbe(_ transport.Addr, _ string, payload any) (any, 
 		resp.GossipMembers = g.MemberCount()
 		resp.GossipFree = g.FreeCount()
 		resp.GossipRounds = g.Rounds()
+		resp.SigRejects += g.SigRejects()
+	}
+	resp.SigRejects += p.Rep.SigRejects.Load()
+	if wsp, ok := s.tr.(transport.WireStatsProvider); ok {
+		ws := wsp.WireStats()
+		resp.AuthEnabled = ws.AuthEnabled
+		resp.HandshakeRejects = ws.HandshakeRejects
+		resp.StreamResumes = ws.StreamResumes
 	}
 	if req.LoadItems > 0 {
 		lo, hi, err := s.probeLoad(p, req.LoadItems)
@@ -432,7 +440,7 @@ func (s *Standalone) buildPeer(addr transport.Addr) (*Peer, error) {
 	})
 	p.Mux.Handle(methodProbe, s.handleProbe)
 	p.Mux.Handle(methodAcquireFree, func(_ transport.Addr, _ string, _ any) (any, error) {
-		addr, err := s.Pool.Acquire()
+		addr, err := s.acquireLocal(p)
 		if err != nil {
 			return announceMsg{}, nil
 		}
@@ -445,6 +453,27 @@ func (s *Standalone) buildPeer(addr transport.Addr) (*Peer, error) {
 		return nil, err
 	}
 	return p, nil
+}
+
+// acquireLocal pops from the locally announced pool, discarding any address
+// the gossiped directory has seen advertise a range. Such an identity is
+// spent: the peer joined the ring (a merged-away process re-announces under
+// a fresh identity, never the old address), so handing it out again can only
+// produce a doomed insert. The discard matters after two members race for
+// the same gossiped free entry — the loser's failed split Releases the
+// already-joined address back into its local pool, and without this filter
+// every retry would re-acquire it first and wedge the split loop for good.
+func (s *Standalone) acquireLocal(cur *Peer) (transport.Addr, error) {
+	for {
+		addr, err := s.Pool.Acquire()
+		if err != nil {
+			return "", err
+		}
+		if cur != nil && cur.Gossip != nil && cur.Gossip.OwnsRange(addr) {
+			continue
+		}
+		return addr, nil
+	}
 }
 
 // Acquire implements datastore.FreePool for this process's splits, trying
@@ -464,7 +493,7 @@ func (s *Standalone) Acquire() (transport.Addr, error) {
 	bootstrap := s.bootstrap
 	cur := s.peer
 	s.mu.Unlock()
-	if addr, err := s.Pool.Acquire(); err == nil {
+	if addr, err := s.acquireLocal(cur); err == nil {
 		if cur != nil && cur.Gossip != nil {
 			cur.Gossip.MarkTaken(addr)
 		}

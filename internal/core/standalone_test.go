@@ -6,10 +6,12 @@ import (
 	"time"
 
 	"repro/internal/datastore"
+	"repro/internal/gossip"
 	"repro/internal/keyspace"
 	"repro/internal/replication"
 	"repro/internal/ring"
 	"repro/internal/router"
+	"repro/internal/simnet"
 	"repro/internal/transport"
 	"repro/internal/transport/tcp"
 )
@@ -289,5 +291,58 @@ func TestAcquireBorrowsFreePeerFromBootstrap(t *testing.T) {
 	member.Release(addr)
 	if member.Pool.Len() != 1 {
 		t.Fatalf("released borrowed peer not re-pooled locally (len=%d)", member.Pool.Len())
+	}
+}
+
+// A locally pooled address that the gossip directory has since seen
+// advertise a range is a spent identity and must never be handed to a
+// split. Regression for a livelock: two members race for the same gossiped
+// free entry, the loser's failed insert Releases the already-joined address
+// back into its local pool, and every subsequent split would re-acquire it
+// first and wedge in INSERTING forever (the joined node never acks a second
+// join). A merged-away peer re-announces under a fresh identity, so
+// dropping the spent address loses nothing.
+func TestAcquireSkipsPooledPeerThatJoinedElsewhere(t *testing.T) {
+	net := simnet.New(simnet.DefaultConfig())
+	defer net.Close()
+
+	cfg := tcpConfig()
+	cfg.Gossip = gossip.Config{Interval: time.Hour, Fanout: 2, CallTimeout: 200 * time.Millisecond, Seed: 1}
+	s, err := NewStandalone(net, "node-0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// "stale-owner" once announced to this process, then joined the ring
+	// through someone else; its signedless range advert arrives via gossip.
+	mux := simnet.NewMux()
+	owner := gossip.New(net, mux, "stale-owner", gossip.Config{Fanout: 2, CallTimeout: 200 * time.Millisecond, Seed: 7})
+	if err := net.Register("stale-owner", mux.Dispatch); err != nil {
+		t.Fatal(err)
+	}
+	owner.SelfAdvert = func() (keyspace.Range, uint64, bool) {
+		return keyspace.Range{Lo: 0, Hi: 100}, 2, true
+	}
+	owner.AddMember("node-0")
+
+	s.Pool.Add("stale-owner")
+	s.Pool.Add("fresh-peer")
+
+	deadline := time.Now().Add(5 * time.Second)
+	for !s.CurrentPeer().Gossip.OwnsRange("stale-owner") {
+		if time.Now().After(deadline) {
+			t.Fatal("range advert never reached the local directory")
+		}
+		owner.RunRound(context.Background())
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	addr, err := s.Acquire()
+	if err != nil || addr != "fresh-peer" {
+		t.Fatalf("Acquire = %v, %v; want fresh-peer (stale-owner's identity is spent)", addr, err)
+	}
+	if addr, err := s.Acquire(); err == nil {
+		t.Fatalf("Acquire handed out %s; the spent identity must not re-enter circulation", addr)
 	}
 }

@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/auth"
 	"repro/internal/keyspace"
 	"repro/internal/transport"
 )
@@ -54,10 +55,15 @@ type FreeEntry struct {
 
 // RangeAd is the latest ownership advert known for one peer: the range it
 // claimed and the epoch of the claim. Adverts merge by higher epoch — the
-// same monotonic order the epoch fence enforces on the data path.
+// same monotonic order the epoch fence enforces on the data path. Sig, when
+// present, signs (owner, range, epoch) with the owner's identity key; on
+// clusters with identities a receiver verifies it before the advert may enter
+// its directory or reach ObserveAdvert, so a forged higher-epoch advert
+// cannot ride gossip to depose the real owner.
 type RangeAd struct {
 	Range keyspace.Range
 	Epoch uint64
+	Sig   auth.AdvertSig
 }
 
 // SuspectEntry is the directory's liveness suspicion of one peer, versioned
@@ -157,6 +163,19 @@ type Agent struct {
 	// core wires it to Store.ObserveRemoteClaim, which steps the local peer
 	// down if the advert proves its own claim stale. Set before Start.
 	ObserveAdvert func(owner transport.Addr, rng keyspace.Range, epoch uint64)
+	// SignAdvert, when set, signs this peer's own range advert each time
+	// republishSelf re-injects it, so the claim gossips with proof of origin.
+	// Set before Start.
+	SignAdvert func(rng keyspace.Range, epoch uint64) auth.AdvertSig
+	// VerifyAd, when set, is consulted for every merged advert that would
+	// enter or improve in the directory: an advert whose signature does not
+	// verify under the key pinned for its claimed owner is dropped — it never
+	// installs, never reaches ObserveAdvert, and never gossips onward from
+	// this peer. Set before Start.
+	VerifyAd func(owner transport.Addr, ad RangeAd) error
+	// OnSigReject, when set, is invoked (without internal locks held) for
+	// every advert dropped by VerifyAd (journaling hook).
+	OnSigReject func(owner transport.Addr, ad RangeAd)
 
 	tr   transport.Transport
 	self transport.Addr
@@ -168,7 +187,8 @@ type Agent struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
-	rounds atomic.Uint64
+	rounds     atomic.Uint64
+	sigRejects atomic.Uint64
 
 	stopOnce sync.Once
 	stopCh   chan struct{}
@@ -225,6 +245,10 @@ func (a *Agent) Stop() {
 
 // Rounds reports how many anti-entropy rounds this agent has initiated.
 func (a *Agent) Rounds() uint64 { return a.rounds.Load() }
+
+// SigRejects reports how many merged adverts were dropped because their
+// signature failed verification.
+func (a *Agent) SigRejects() uint64 { return a.sigRejects.Load() }
 
 // RunRound performs one anti-entropy round: republish the local claim, pick
 // up to Fanout unsuspected members, and push-pull the directory with each.
@@ -284,9 +308,13 @@ func (a *Agent) republishSelf() {
 	if !has {
 		return
 	}
+	ad := RangeAd{Range: rng, Epoch: epoch}
+	if a.SignAdvert != nil {
+		ad.Sig = a.SignAdvert(rng, epoch)
+	}
 	a.mu.Lock()
 	if cur, ok := a.dir.Ranges[a.self]; !ok || epoch >= cur.Epoch {
-		a.dir.Ranges[a.self] = RangeAd{Range: rng, Epoch: epoch}
+		a.dir.Ranges[a.self] = ad
 	}
 	a.dir.Members[a.self] = true
 	a.mu.Unlock()
@@ -348,7 +376,7 @@ func (a *Agent) merge(in Directory) {
 		owner transport.Addr
 		ad    RangeAd
 	}
-	var observed []obs
+	var observed, rejected []obs
 
 	a.mu.Lock()
 	for addr, e := range in.Free {
@@ -361,6 +389,16 @@ func (a *Agent) merge(in Directory) {
 	for owner, ad := range in.Ranges {
 		cur, ok := a.dir.Ranges[owner]
 		if !ok || ad.Epoch > cur.Epoch {
+			// Verify before install: a forged advert must not improve the
+			// directory, trigger a step-down, or gossip onward from here. The
+			// owner is not even recorded as a member on its say-so.
+			if a.VerifyAd != nil {
+				if err := a.VerifyAd(owner, ad); err != nil {
+					a.sigRejects.Add(1)
+					rejected = append(rejected, obs{owner: owner, ad: ad})
+					continue
+				}
+			}
 			a.dir.Ranges[owner] = ad
 			if owner != a.self {
 				observed = append(observed, obs{owner: owner, ad: ad})
@@ -383,6 +421,11 @@ func (a *Agent) merge(in Directory) {
 	if hook != nil {
 		for _, o := range observed {
 			hook(o.owner, o.ad.Range, o.ad.Epoch)
+		}
+	}
+	if a.OnSigReject != nil {
+		for _, o := range rejected {
+			a.OnSigReject(o.owner, o.ad)
 		}
 	}
 }
@@ -480,6 +523,18 @@ func (a *Agent) FreeCount() int {
 		n++
 	}
 	return n
+}
+
+// OwnsRange reports whether the directory has seen a range advert from addr.
+// An address that ever served a range never legitimately returns to the free
+// pool — a merged-away peer rejoins under a fresh identity — so free-peer
+// resolution uses this to discard stale pool entries for peers that have
+// since joined the ring elsewhere.
+func (a *Agent) OwnsRange(addr transport.Addr) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_, ok := a.dir.Ranges[addr]
+	return ok
 }
 
 // MemberCount reports how many distinct peers the directory knows of

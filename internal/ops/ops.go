@@ -109,6 +109,17 @@ type ProbeStatus struct {
 	LeaseAdoptions  uint64 `json:"lease_adoptions"`
 	LeaseViolations int    `json:"lease_violations"`
 
+	// Wire-trust state: whether this process requires the cluster-secret
+	// handshake on every connection, how many connections its transport
+	// failed at the handshake (either side), how many received ownership adverts
+	// it rejected for a bad signature (replication pushes plus gossiped range
+	// adverts), and how many bulk transfers its transport resumed from the
+	// receiver's high-water chunk mark after a connection loss.
+	AuthEnabled      bool   `json:"auth_enabled"`
+	HandshakeRejects uint64 `json:"handshake_rejects"`
+	SigRejects       uint64 `json:"sig_rejects"`
+	StreamResumes    uint64 `json:"stream_resumes"`
+
 	// Gossip directory state: distinct members known, free-and-untaken
 	// directory entries, and anti-entropy rounds initiated. All zero when
 	// gossip is disabled (-gossip-interval 0).

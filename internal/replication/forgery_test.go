@@ -1,0 +1,145 @@
+package replication
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/auth"
+	"repro/internal/datastore"
+	"repro/internal/history"
+	"repro/internal/keyspace"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+)
+
+// wireAuth gives every manager in the harness a real identity and a keyring
+// pre-pinned with every peer's genuine public key (what a converged TOFU
+// cluster looks like), journaling rejects into the harness log. It returns
+// the per-peer identities so a test can sign genuine and forged adverts.
+func wireAuth(t *testing.T, h *repHarness) map[simnet.Addr]*auth.Identity {
+	t.Helper()
+	ids := make(map[simnet.Addr]*auth.Identity)
+	kr := auth.NewKeyring()
+	for addr := range h.mgrs {
+		id, err := auth.NewIdentity()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[addr] = id
+		kr.Pin(string(addr), id.Public())
+	}
+	for addr, m := range h.mgrs {
+		addr, id := addr, ids[addr]
+		m.SignAdvert = func(rng keyspace.Range, epoch uint64) auth.AdvertSig {
+			return id.SignAdvert(string(addr), rng.Lo, rng.Hi, epoch)
+		}
+		m.VerifyAdvert = func(owner transport.Addr, rng keyspace.Range, epoch uint64, sig auth.AdvertSig) error {
+			return kr.VerifyAdvert(string(owner), rng.Lo, rng.Hi, epoch, sig)
+		}
+		m.OnSigReject = func(owner transport.Addr, rng keyspace.Range, epoch uint64) {
+			h.log.SigRejected(string(addr), string(owner), rng, epoch)
+		}
+	}
+	return ids
+}
+
+// A forged higher-epoch push advert — correctly signed, but with a key other
+// than the one pinned for its claimed owner — cannot depose the real owner:
+// the receiver refuses it before any epoch bookkeeping, journals the refusal,
+// and the claim and lease audits stay clean.
+func TestForgedPushAdvertCannotDepose(t *testing.T) {
+	h := newRepHarness(t)
+	mgrs, stores, rings := h.bootRing(3, Config{Factor: 2, DisableAutoRefresh: true})
+	wireAuth(t, h)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	waitRep(t, 5*time.Second, "successors", func() bool { return len(rings[0].Successors()) >= 2 })
+	if err := stores[0].InsertAt(ctx, stores[0].Addr(), datastore.Item{Key: 50}); err != nil {
+		t.Fatal(err)
+	}
+	mgrs[0].RefreshOnce() // genuine signed push: must still pass verification
+
+	rng0, epoch0, _ := stores[0].RangeEpoch()
+	holder := rings[0].Successors()[0].Addr
+	holderMgr := h.mgrs[holder]
+	iv := keyspace.ClosedInterval(40, 60)
+	if items, err := mgrs[0].ReplicaItems(ctx, holder, iv, epoch0); err != nil || len(items) != 1 {
+		t.Fatalf("signed refresh did not install replicas: (%v, %v)", items, err)
+	}
+
+	// The forgery: an advert claiming the victim's range at a higher epoch in
+	// an established member's name — the deposition attack the signature
+	// exists to stop. It is validly signed, just not by the key pinned for
+	// the claimed owner.
+	claimant := rings[0].Successors()[1] // the peer whose name the forger abuses
+	forger, err := auth.NewIdentity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := pushMsg{
+		From:  claimant,
+		Range: rng0,
+		Epoch: epoch0 + 1,
+		Sig:   forger.SignAdvert(string(claimant.Addr), rng0.Lo, rng0.Hi, epoch0+1),
+	}
+	if _, err := h.net.Call(ctx, claimant.Addr, holder, methodPush, forged); err == nil {
+		t.Fatal("forged higher-epoch push was accepted")
+	} else if !errors.Is(err, auth.ErrBadSignature) {
+		t.Fatalf("forged push: err = %v, want ErrBadSignature", err)
+	}
+
+	// An unsigned higher-epoch push is refused the same way on an
+	// authenticated cluster.
+	unsigned := pushMsg{From: claimant, Range: rng0, Epoch: epoch0 + 2}
+	if _, err := h.net.Call(ctx, claimant.Addr, holder, methodPush, unsigned); !errors.Is(err, auth.ErrBadSignature) {
+		t.Fatalf("unsigned push: err = %v, want ErrBadSignature", err)
+	}
+
+	if got := holderMgr.SigRejects.Load(); got != 2 {
+		t.Fatalf("holder SigRejects = %d, want 2", got)
+	}
+
+	// The real owner was not deposed: its chain still serves replica reads at
+	// its current epoch, and its store still owns the range.
+	if _, err := mgrs[0].ReplicaItems(ctx, holder, iv, epoch0); err != nil {
+		t.Fatalf("replica read at the real owner's epoch after the forgery: %v", err)
+	}
+	if got := stores[0].Epoch(); got != epoch0 {
+		t.Fatalf("owner epoch = %d after forgery, want %d (undeposed)", got, epoch0)
+	}
+	if got := stores[0].StepDowns.Load(); got != 0 {
+		t.Fatalf("owner StepDowns = %d, want 0", got)
+	}
+
+	// Both refusals are journaled, attributed to the holder and the abused
+	// owner name, and neither perturbs the claim or lease audits.
+	var rejects int
+	for _, e := range h.log.Events() {
+		if e.Kind == history.SigRejected {
+			rejects++
+			if e.Peer != string(holder) || e.From != string(claimant.Addr) {
+				t.Fatalf("SigRejected journaled as (verifier %s, owner %s), want (%s, %s)",
+					e.Peer, e.From, holder, claimant.Addr)
+			}
+		}
+	}
+	if rejects != 2 {
+		t.Fatalf("journaled SigRejected events = %d, want 2", rejects)
+	}
+	if v := history.CheckClaims(h.log.Events()); len(v) != 0 {
+		t.Fatalf("claim audit after forgery: %v", v)
+	}
+	if v := h.log.CheckLeases(); len(v) != 0 {
+		t.Fatalf("lease audit after forgery: %v", v)
+	}
+
+	// The genuine owner's next signed refresh still verifies: the rejects did
+	// not poison the keyring.
+	mgrs[0].RefreshOnce()
+	if got := holderMgr.SigRejects.Load(); got != 2 {
+		t.Fatalf("holder SigRejects = %d after a genuine refresh, want still 2", got)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/auth"
 	"repro/internal/datastore"
 	"repro/internal/keyspace"
 	"repro/internal/ring"
@@ -82,6 +83,20 @@ type advert struct {
 // Manager is one peer's Replication Manager. It implements
 // datastore.Replicator.
 type Manager struct {
+	// SignAdvert, when set, signs this peer's ownership advert before each
+	// push carries it: the signature covers (self address, range, epoch), so a
+	// receiver can prove the advert came from the addressed owner and not from
+	// a forger asserting a higher epoch in its name. Set before Start.
+	SignAdvert func(rng keyspace.Range, epoch uint64) auth.AdvertSig
+	// VerifyAdvert, when set, is consulted for every epoch-carrying push
+	// before any epoch bookkeeping: a push whose advert signature does not
+	// verify under the key pinned for its origin is refused outright — it
+	// neither deposes anyone nor installs replicas. Set before Start.
+	VerifyAdvert func(owner transport.Addr, rng keyspace.Range, epoch uint64, sig auth.AdvertSig) error
+	// OnSigReject, when set, is invoked for every refused push advert
+	// (journaling hook; core wires it to history.Log.SigRejected).
+	OnSigReject func(owner transport.Addr, rng keyspace.Range, epoch uint64)
+
 	cfg     Config
 	net     transport.Transport
 	ring    *ring.Peer
@@ -99,6 +114,9 @@ type Manager struct {
 	// primary's epoch was superseded by a later advert (fencing on the
 	// availability fallback).
 	StaleChainRefusals atomic.Uint64
+	// SigRejects counts pushes refused because their advert signature failed
+	// verification (forged or unsigned ownership assertions).
+	SigRejects atomic.Uint64
 
 	kick    chan struct{}
 	lifeMu  sync.Mutex // guards started/stopped transitions vs wg
@@ -226,6 +244,10 @@ type pushMsg struct {
 	Range keyspace.Range
 	Epoch uint64
 	Items []datastore.Item
+	// Sig signs the ownership advert (From.Addr, Range, Epoch) with the
+	// origin's identity key. Empty on epoch-0 pushes (they assert nothing) and
+	// on clusters running without identities.
+	Sig auth.AdvertSig
 }
 
 // pushResp acknowledges a push. Deposed tells the pusher its ownership
@@ -249,6 +271,22 @@ func (m *Manager) handlePush(_ transport.Addr, _ string, payload any) (any, erro
 		return nil, fmt.Errorf("replication: bad push payload %T", payload)
 	}
 	if msg.Epoch != 0 {
+		// Signature check first: an epoch-carrying push is an ownership
+		// assertion, and on clusters with identities it must prove the
+		// assertion is the origin's own. A push signed under the wrong key (or
+		// not at all) is refused before it can depose anyone, install
+		// replicas, or even record an advert — a forged higher-epoch push is
+		// inert.
+		if m.VerifyAdvert != nil {
+			if err := m.VerifyAdvert(msg.From.Addr, msg.Range, msg.Epoch, msg.Sig); err != nil {
+				m.SigRejects.Add(1)
+				if m.OnSigReject != nil {
+					m.OnSigReject(msg.From.Addr, msg.Range, msg.Epoch)
+				}
+				return nil, fmt.Errorf("replication: push advert from %s for %v at epoch %d refused: %w",
+					msg.From.Addr, msg.Range, msg.Epoch, err)
+			}
+		}
 		// Deposition check against our own primary claim: overlapping claims
 		// by two live peers are a dual-ownership anomaly, and the epochs
 		// decide who yields. Strictly higher than the pusher: its
@@ -322,6 +360,15 @@ func (m *Manager) handlePush(_ transport.Addr, _ string, payload any) (any, erro
 	}
 	m.mu.Unlock()
 	return pushResp{}, nil
+}
+
+// signAdvert signs this peer's ownership advert when an identity is wired,
+// and returns the empty (absent) signature otherwise.
+func (m *Manager) signAdvert(rng keyspace.Range, epoch uint64) auth.AdvertSig {
+	if m.SignAdvert == nil {
+		return auth.AdvertSig{}
+	}
+	return m.SignAdvert(rng, epoch)
 }
 
 // AdvertInfo implements datastore.Replicator: the latest ownership advert
@@ -501,7 +548,7 @@ func (m *Manager) RefreshOnce() {
 	if len(succs) > m.cfg.Factor {
 		succs = succs[:m.cfg.Factor]
 	}
-	msg := pushMsg{From: self, Range: rng, Epoch: epoch, Items: items}
+	msg := pushMsg{From: self, Range: rng, Epoch: epoch, Items: items, Sig: m.signAdvert(rng, epoch)}
 	ctx, cancel := context.WithTimeout(context.Background(), m.cfg.CallTimeout)
 	defer cancel()
 	pends := make([]*transport.Pending, 0, len(succs))
@@ -562,7 +609,7 @@ func (m *Manager) BeforeLeave(ctx context.Context) error {
 
 	// Own items one extra hop: k+1 successors instead of k. The pushes are
 	// independent, so they run as one pipelined burst.
-	own := pushMsg{From: self, Range: rng, Epoch: epoch, Items: m.ds.LocalItems()}
+	own := pushMsg{From: self, Range: rng, Epoch: epoch, Items: m.ds.LocalItems(), Sig: m.signAdvert(rng, epoch)}
 	limit := m.cfg.Factor + 1
 	if limit > len(succs) {
 		limit = len(succs)

@@ -1,0 +1,130 @@
+package simnet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// A DisconnectFault mid-transfer models a connection loss, not a transfer
+// failure: the chunks staged so far survive, CallBulk resumes from the
+// high-water mark, and the committed payload is byte-exact. Only the dropped
+// chunk is retransmitted.
+func TestDisconnectFaultResumesFromHighWaterMark(t *testing.T) {
+	var arm atomic.Bool
+	cfg := Config{
+		DeadCallDelay: time.Millisecond,
+		Seed:          3,
+		ChunkBytes:    1024,
+		DisconnectFault: func(_ Addr, method string, seq int) bool {
+			// One-shot: the first rep.push chunk 2 loses its connection.
+			return method == "rep.push" && seq == 2 && arm.CompareAndSwap(true, false)
+		},
+	}
+	n := New(cfg)
+	var got atomic.Value
+	if err := n.Register("rcv", func(_ Addr, _ string, p any) (any, error) {
+		got.Store(p)
+		return true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register("snd", func(Addr, string, any) (any, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	want := streamPattern(8 * 1024)
+	payload := chunkedPayload{Data: want}
+	body, err := transport.Encode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantChunks := (len(body) + cfg.ChunkBytes - 1) / cfg.ChunkBytes
+
+	arm.Store(true)
+	resp, err := transport.CallBulk(n, context.Background(), "snd", "rcv", "rep.push", payload)
+	if err != nil {
+		t.Fatalf("bulk call across the connection loss: %v", err)
+	}
+	if ok, _ := resp.(bool); !ok {
+		t.Fatalf("bulk response = %v, want true", resp)
+	}
+	cp, ok := got.Load().(chunkedPayload)
+	if !ok {
+		t.Fatalf("handler payload type %T", got.Load())
+	}
+	if !bytes.Equal(cp.Data, want) {
+		t.Fatal("resumed payload corrupted in flight")
+	}
+
+	st := n.Stats()
+	if st.DisconnectDrops != 1 {
+		t.Fatalf("DisconnectDrops = %d, want 1", st.DisconnectDrops)
+	}
+	if st.StreamResumes != 1 {
+		t.Fatalf("StreamResumes = %d, want 1", st.StreamResumes)
+	}
+	if st.ChunkDrops != 0 {
+		t.Fatalf("ChunkDrops = %d, want 0 (a connection loss is not a chunk drop)", st.ChunkDrops)
+	}
+	// The dropped chunk is the only one retransmitted: total chunk frames are
+	// the transfer's chunk count plus exactly one retry.
+	if st.Chunks != uint64(wantChunks)+1 {
+		t.Fatalf("Chunks = %d, want %d (%d chunks + 1 retransmit)", st.Chunks, wantChunks+1, wantChunks)
+	}
+}
+
+// An AuthFault refusal is prompt and typed: the caller gets
+// transport.ErrUnauthenticated without waiting out the dead-call delay, so a
+// policy refusal can never be mistaken for a fail-stopped peer.
+func TestAuthFaultRefusesPromptlyAndTyped(t *testing.T) {
+	cfg := Config{
+		DeadCallDelay: 500 * time.Millisecond, // long on purpose: rejects must not wait it out
+		Seed:          1,
+		AuthFault: func(_, to Addr) bool {
+			return to == "locked"
+		},
+	}
+	n := New(cfg)
+	for _, a := range []Addr{"locked", "open", "snd"} {
+		if err := n.Register(a, func(Addr, string, any) (any, error) { return true, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	start := time.Now()
+	_, err := n.Call(context.Background(), "snd", "locked", "m", int64(1))
+	if !errors.Is(err, transport.ErrUnauthenticated) {
+		t.Fatalf("call to locked peer: err = %v, want ErrUnauthenticated", err)
+	}
+	if errors.Is(err, ErrUnreachable) {
+		t.Fatal("auth refusal read as ErrUnreachable: callers would treat a policy failure as a fail-stop")
+	}
+	if elapsed := time.Since(start); elapsed >= cfg.DeadCallDelay {
+		t.Fatalf("auth refusal took %v, want < the %v dead-call delay", elapsed, cfg.DeadCallDelay)
+	}
+
+	if _, err := n.OpenStream(context.Background(), "snd", "locked", "m"); !errors.Is(err, transport.ErrUnauthenticated) {
+		t.Fatalf("stream to locked peer: err = %v, want ErrUnauthenticated", err)
+	}
+
+	// The same sender still reaches unlocked peers.
+	if _, err := n.Call(context.Background(), "snd", "open", "m", int64(1)); err != nil {
+		t.Fatalf("call to open peer: %v", err)
+	}
+
+	// A Send is silently dropped and counted.
+	n.Send("snd", "locked", "m", int64(1))
+	deadline := time.Now().Add(2 * time.Second)
+	for n.Stats().AuthRejects < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := n.Stats().AuthRejects; got != 3 {
+		t.Fatalf("AuthRejects = %d, want 3 (call + stream + send)", got)
+	}
+}

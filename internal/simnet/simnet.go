@@ -104,6 +104,22 @@ type Config struct {
 	// gossip convergence tests cut the cluster in half, let the directory
 	// diverge, then heal the cut and assert agreement within N rounds.
 	PartitionFault func(from, to Addr) bool
+	// DisconnectFault, when set, is consulted for every chunk frame of every
+	// streamed transfer (fault injection): returning true drops that chunk
+	// as a CONNECTION loss rather than a transfer failure. The sender's
+	// stream reports ErrUnreachable for that chunk, but — unlike ChunkFault —
+	// the chunks staged so far survive (the in-process twin of a real
+	// receiver parking its staged state across connections) and the stream
+	// is resumable: transport.CallBulk asks for the high-water mark and
+	// continues from it, so only the dropped chunk is retransmitted.
+	DisconnectFault func(to Addr, method string, seq int) bool
+	// AuthFault, when set, is consulted for every Call, Send and OpenStream
+	// (fault injection): returning true models an authentication-handshake
+	// refusal on the (from, to) link — the operation fails immediately with
+	// transport.ErrUnauthenticated (a Send is silently dropped). There is
+	// deliberately no dead-call delay: a policy refusal answers promptly, it
+	// does not time out, and callers must not mistake it for a fail-stop.
+	AuthFault func(from, to Addr) bool
 }
 
 // DefaultConfig returns timing suited to millisecond-scale experiments.
@@ -118,16 +134,19 @@ func DefaultConfig() Config {
 
 // Stats aggregates network traffic counters.
 type Stats struct {
-	Calls          uint64 // synchronous request/responses attempted
-	Sends          uint64 // one-way messages attempted
-	Streams        uint64 // chunked transfers opened
-	Chunks         uint64 // chunk frames carried by streamed transfers
-	ChunkDrops     uint64 // chunk frames dropped by fault injection
-	SuspectDrops   uint64 // calls/sends dropped by SuspectFault injection
-	PartitionDrops uint64 // calls/sends/streams severed by PartitionFault injection
-	Failures       uint64 // calls/sends that could not be delivered
-	StrictFailures uint64 // messages rejected by the codec in strict mode
-	ByMethod       map[string]uint64
+	Calls           uint64 // synchronous request/responses attempted
+	Sends           uint64 // one-way messages attempted
+	Streams         uint64 // chunked transfers opened
+	Chunks          uint64 // chunk frames carried by streamed transfers
+	ChunkDrops      uint64 // chunk frames dropped by fault injection
+	SuspectDrops    uint64 // calls/sends dropped by SuspectFault injection
+	PartitionDrops  uint64 // calls/sends/streams severed by PartitionFault injection
+	DisconnectDrops uint64 // chunk frames lost to DisconnectFault connection losses
+	StreamResumes   uint64 // streamed transfers resumed from their high-water mark
+	AuthRejects     uint64 // calls/sends/streams refused by AuthFault injection
+	Failures        uint64 // calls/sends that could not be delivered
+	StrictFailures  uint64 // messages rejected by the codec in strict mode
+	ByMethod        map[string]uint64
 }
 
 // Network is an in-process message network implementing transport.Transport.
@@ -142,15 +161,18 @@ type Network struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
-	calls          atomic.Uint64
-	sends          atomic.Uint64
-	streams        atomic.Uint64
-	chunks         atomic.Uint64
-	chunkDrops     atomic.Uint64
-	suspectDrops   atomic.Uint64
-	partitionDrops atomic.Uint64
-	failures       atomic.Uint64
-	strictFailures atomic.Uint64
+	calls           atomic.Uint64
+	sends           atomic.Uint64
+	streams         atomic.Uint64
+	chunks          atomic.Uint64
+	chunkDrops      atomic.Uint64
+	suspectDrops    atomic.Uint64
+	partitionDrops  atomic.Uint64
+	disconnectDrops atomic.Uint64
+	streamResumes   atomic.Uint64
+	authRejects     atomic.Uint64
+	failures        atomic.Uint64
+	strictFailures  atomic.Uint64
 
 	strictMu  sync.Mutex
 	strictErr error // first codec rejection observed in strict mode
@@ -261,16 +283,19 @@ func (n *Network) Stats() Stats {
 	}
 	n.methodMu.Unlock()
 	return Stats{
-		Calls:          n.calls.Load(),
-		Sends:          n.sends.Load(),
-		Streams:        n.streams.Load(),
-		Chunks:         n.chunks.Load(),
-		ChunkDrops:     n.chunkDrops.Load(),
-		SuspectDrops:   n.suspectDrops.Load(),
-		PartitionDrops: n.partitionDrops.Load(),
-		Failures:       n.failures.Load(),
-		StrictFailures: n.strictFailures.Load(),
-		ByMethod:       by,
+		Calls:           n.calls.Load(),
+		Sends:           n.sends.Load(),
+		Streams:         n.streams.Load(),
+		Chunks:          n.chunks.Load(),
+		ChunkDrops:      n.chunkDrops.Load(),
+		SuspectDrops:    n.suspectDrops.Load(),
+		PartitionDrops:  n.partitionDrops.Load(),
+		DisconnectDrops: n.disconnectDrops.Load(),
+		StreamResumes:   n.streamResumes.Load(),
+		AuthRejects:     n.authRejects.Load(),
+		Failures:        n.failures.Load(),
+		StrictFailures:  n.strictFailures.Load(),
+		ByMethod:        by,
 	}
 }
 
@@ -407,6 +432,12 @@ func (n *Network) Call(ctx context.Context, from, to Addr, method string, payloa
 		n.failures.Add(1)
 		return nil, perr
 	}
+	if f := n.cfg.AuthFault; f != nil && f(from, to) {
+		// Handshake refusal: answered promptly, never a fail-stop signal.
+		n.authRejects.Add(1)
+		n.failures.Add(1)
+		return nil, fmt.Errorf("%w: %s", transport.ErrUnauthenticated, to)
+	}
 	if f := n.cfg.PartitionFault; f != nil && f(from, to) {
 		// Severed link: refused immediately, both endpoints alive.
 		n.partitionDrops.Add(1)
@@ -498,6 +529,11 @@ func (n *Network) OpenStream(_ context.Context, from, to Addr, method string) (t
 		n.failures.Add(1)
 		return nil, fmt.Errorf("%w: %s", ErrSenderDead, from)
 	}
+	if f := n.cfg.AuthFault; f != nil && f(from, to) {
+		n.authRejects.Add(1)
+		n.failures.Add(1)
+		return nil, fmt.Errorf("%w: %s", transport.ErrUnauthenticated, to)
+	}
 	if f := n.cfg.PartitionFault; f != nil && f(from, to) {
 		n.partitionDrops.Add(1)
 		n.failures.Add(1)
@@ -524,6 +560,7 @@ type simStream struct {
 	method string
 	chunks [][]byte
 	failed error
+	lost   bool // failure was a DisconnectFault connection loss: resumable
 	done   bool
 }
 
@@ -547,6 +584,15 @@ func (s *simStream) Chunk(ctx context.Context, data []byte) error {
 	}
 	seq := len(s.chunks)
 	s.n.chunks.Add(1)
+	if f := s.n.cfg.DisconnectFault; f != nil && f(s.to, s.method, seq) {
+		// Connection loss, not transfer failure: the chunks staged so far
+		// survive and the transfer can Resume from its high-water mark.
+		s.n.disconnectDrops.Add(1)
+		s.n.failures.Add(1)
+		s.lost = true
+		s.failed = fmt.Errorf("%w: %s (connection lost at chunk %d of a %s stream)", ErrUnreachable, s.to, seq, s.method)
+		return s.failed
+	}
 	if f := s.n.cfg.ChunkFault; f != nil && f(s.to, s.method, seq) {
 		s.n.chunkDrops.Add(1)
 		s.n.failures.Add(1)
@@ -560,6 +606,27 @@ func (s *simStream) Chunk(ctx context.Context, data []byte) error {
 	copy(c, data)
 	s.chunks = append(s.chunks, c)
 	return nil
+}
+
+// Resume implements transport.Resumer: after a DisconnectFault connection
+// loss the sender reconnects and asks for the receiver's high-water chunk
+// mark. Because simnet stages chunks sender-side, the mark is simply the
+// count staged so far — the dropped chunk is the only one retransmitted.
+func (s *simStream) Resume(ctx context.Context) (int, error) {
+	if s.done || !s.lost {
+		// Only a connection loss is resumable; a transfer torn down by
+		// ChunkFault (the receiver discarded its staging) is not.
+		return 0, transport.ErrStreamAborted
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if _, ok := s.n.lookup(s.to); !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnreachable, s.to)
+	}
+	s.failed, s.lost = nil, false
+	s.n.streamResumes.Add(1)
+	return len(s.chunks), nil
 }
 
 // Commit delivers the reassembled transfer to the destination handler and
@@ -643,6 +710,11 @@ func (n *Network) Send(from, to Addr, method string, payload any) {
 		return
 	}
 	go func() {
+		if f := n.cfg.AuthFault; f != nil && f(from, to) {
+			n.authRejects.Add(1)
+			n.failures.Add(1)
+			return
+		}
 		if f := n.cfg.PartitionFault; f != nil && f(from, to) {
 			n.partitionDrops.Add(1)
 			n.failures.Add(1)

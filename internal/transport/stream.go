@@ -71,6 +71,25 @@ type StreamOpener interface {
 	OpenStream(ctx context.Context, from, to Addr, method string) (Stream, error)
 }
 
+// Resumer is implemented by sender-side streams that can survive a
+// connection loss. Resume re-establishes the transfer (re-dialing with
+// bounded, jittered backoff) and asks the receiver for its high-water chunk
+// mark — the count of chunks it has durably staged. It returns that mark:
+// the sequence number the sender should continue from, so chunks the
+// receiver already holds are never retransmitted. If the receiver has
+// already committed the transfer (the terminal frame applied but its
+// acknowledgment was lost), the mark equals the total staged count and the
+// retried Commit returns the memoized response without re-running the
+// handler.
+type Resumer interface {
+	Resume(ctx context.Context) (int, error)
+}
+
+// maxStreamResumes bounds how many connection losses one CallBulk rides out
+// before reporting the failure. Each resume performs its own bounded
+// redial-with-backoff, so this is a second-order bound on total retry work.
+const maxStreamResumes = 5
+
 // CallBulk performs a request/response whose payload and response may exceed
 // MaxFrameSize. On a streaming transport the encoded payload travels as
 // chunk frames and commits atomically at the receiver; on any other
@@ -100,17 +119,42 @@ func CallBulk(t Transport, ctx context.Context, from, to Addr, method string, pa
 	if size <= 0 {
 		size = DefaultChunkBytes
 	}
-	for off := 0; off < len(body); off += size {
-		end := off + size
-		if end > len(body) {
-			end = len(body)
+	nchunks := (len(body) + size - 1) / size
+	next, resumes := 0, 0
+	for {
+		var chunkErr error
+		for ; next < nchunks; next++ {
+			off := next * size
+			end := off + size
+			if end > len(body) {
+				end = len(body)
+			}
+			if chunkErr = st.Chunk(ctx, body[off:end]); chunkErr != nil {
+				break
+			}
 		}
-		if err := st.Chunk(ctx, body[off:end]); err != nil {
+		err := chunkErr
+		if err == nil {
+			var resp any
+			if resp, err = st.Commit(ctx); err == nil {
+				return resp, nil
+			}
+		}
+		// A connection-level loss on a resumable stream is survivable: ask
+		// the receiver how far it got and continue from there. Handler
+		// errors, aborts, context expiry and exhausted retries are not.
+		if r, ok := st.(Resumer); ok && resumes < maxStreamResumes && ctx.Err() == nil && errors.Is(err, ErrUnreachable) {
+			if mark, rerr := r.Resume(ctx); rerr == nil {
+				resumes++
+				next = mark
+				continue
+			}
+		}
+		if chunkErr != nil {
 			st.Abort(err.Error())
-			return nil, err
 		}
+		return nil, err
 	}
-	return st.Commit(ctx)
 }
 
 // CallBulkAsync is CallBulk issued asynchronously, so bulk transfers can be

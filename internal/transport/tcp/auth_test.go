@@ -1,0 +1,128 @@
+package tcp
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// authPair builds two independent transports — each with its own cluster key
+// configuration, like two OS processes — and one listening endpoint on each.
+func authPair(t *testing.T, srvKey, cliKey []byte) (srv, cli *Transport, a, b transport.Addr) {
+	t.Helper()
+	echo := func(_ transport.Addr, _ string, p any) (any, error) { return p, nil }
+	srv = New(Config{DialTimeout: time.Second, CallTimeout: 2 * time.Second, ClusterKey: srvKey})
+	t.Cleanup(func() { srv.Close() })
+	cli = New(Config{DialTimeout: time.Second, CallTimeout: 2 * time.Second, ClusterKey: cliKey})
+	t.Cleanup(func() { cli.Close() })
+	var err error
+	if a, err = srv.Listen("127.0.0.1:0", echo); err != nil {
+		t.Fatal(err)
+	}
+	if b, err = cli.Listen("127.0.0.1:0", echo); err != nil {
+		t.Fatal(err)
+	}
+	return srv, cli, a, b
+}
+
+// Two transports sharing the cluster secret handshake transparently: calls
+// round-trip as if authentication were off, and both ends report it enabled
+// with no rejects.
+func TestAuthenticatedCallRoundTrip(t *testing.T) {
+	key := []byte("correct horse battery staple")
+	srv, cli, a, b := authPair(t, key, key)
+
+	resp, err := cli.Call(context.Background(), b, a, "ring.ping", int64(7))
+	if err != nil {
+		t.Fatalf("authenticated call: %v", err)
+	}
+	if got, ok := resp.(int64); !ok || got != 7 {
+		t.Fatalf("authenticated call response = %v, want 7", resp)
+	}
+	for name, tr := range map[string]*Transport{"server": srv, "client": cli} {
+		ws := tr.WireStats()
+		if !ws.AuthEnabled {
+			t.Errorf("%s reports AuthEnabled = false", name)
+		}
+		if ws.HandshakeRejects != 0 {
+			t.Errorf("%s HandshakeRejects = %d, want 0", name, ws.HandshakeRejects)
+		}
+	}
+}
+
+// A dialer holding a different cluster secret is refused at the handshake:
+// the caller sees the typed ErrUnauthenticated (not a fail-stop), and the
+// server counts the reject.
+func TestWrongClusterKeyRejected(t *testing.T) {
+	srv, cli, a, b := authPair(t, []byte("the real secret"), []byte("an impostor's guess"))
+
+	_, err := cli.Call(context.Background(), b, a, "ring.ping", int64(1))
+	if !errors.Is(err, transport.ErrUnauthenticated) {
+		t.Fatalf("wrong-key call: err = %v, want ErrUnauthenticated", err)
+	}
+	if errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("wrong-key call read as ErrClosed: %v", err)
+	}
+	if got := cli.WireStats().HandshakeRejects; got < 1 {
+		t.Fatalf("client HandshakeRejects = %d, want >= 1", got)
+	}
+	// The server observes the abandoned handshake on its own goroutine,
+	// shortly after the dialer's error returns.
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.WireStats().HandshakeRejects == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := srv.WireStats().HandshakeRejects; got < 1 {
+		t.Fatalf("server HandshakeRejects = %d, want >= 1", got)
+	}
+}
+
+// A dialer with no cluster key at all cannot exchange a single RPC with an
+// authenticated server: its first frame is not a handshake hello, so the
+// server rejects and hangs up before dispatching anything.
+func TestPlainDialerRejectedByAuthenticatedServer(t *testing.T) {
+	var served bool
+	srv := New(Config{DialTimeout: time.Second, CallTimeout: 2 * time.Second, ClusterKey: []byte("secret")})
+	t.Cleanup(func() { srv.Close() })
+	a, err := srv.Listen("127.0.0.1:0", func(_ transport.Addr, _ string, p any) (any, error) {
+		served = true
+		return p, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := New(Config{DialTimeout: time.Second, CallTimeout: 2 * time.Second})
+	t.Cleanup(func() { cli.Close() })
+	b, err := cli.Listen("127.0.0.1:0", func(_ transport.Addr, _ string, p any) (any, error) { return p, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := cli.Call(context.Background(), b, a, "ring.ping", int64(1)); err == nil {
+		t.Fatal("unauthenticated call to an authenticated server succeeded")
+	}
+	if served {
+		t.Fatal("handler ran for an unauthenticated connection")
+	}
+	if got := srv.WireStats().HandshakeRejects; got < 1 {
+		t.Fatalf("server HandshakeRejects = %d, want >= 1", got)
+	}
+}
+
+// The inverse misconfiguration — an auth-expecting dialer against a server
+// with no cluster key — fails loudly with the typed error instead of hanging:
+// the server recognizes the stray hello and answers with a reject.
+func TestKeyedDialerRejectedByPlainServer(t *testing.T) {
+	srv, cli, a, b := authPair(t, nil, []byte("secret"))
+
+	_, err := cli.Call(context.Background(), b, a, "ring.ping", int64(1))
+	if !errors.Is(err, transport.ErrUnauthenticated) {
+		t.Fatalf("keyed call to plain server: err = %v, want ErrUnauthenticated", err)
+	}
+	if srv.WireStats().AuthEnabled {
+		t.Fatal("plain server reports AuthEnabled = true")
+	}
+}

@@ -32,14 +32,18 @@ package tcp
 import (
 	"bytes"
 	"context"
+	crand "crypto/rand"
 	"encoding/gob"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	mrand "math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/auth"
 	"repro/internal/transport"
 )
 
@@ -82,6 +86,33 @@ type Config struct {
 	// staging capped at MaxStreamBytes (transport.NewMemStager); a durable
 	// storage backend supplies a disk-spilling factory instead.
 	Stager transport.StagerFactory
+	// ClusterKey is the shared cluster secret. When set, every connection —
+	// inbound and outbound — runs a mutual challenge–response handshake
+	// before carrying a single frame: both ends prove possession of the
+	// secret (HMAC over a nonce transcript) and of their ed25519 identity
+	// key (signature over the same transcript). A peer that fails either
+	// proof is rejected with transport.ErrUnauthenticated. Empty disables
+	// authentication entirely (the pre-auth wire format, frame for frame).
+	ClusterKey []byte
+	// Identity is this process's ed25519 keypair, presented during the
+	// handshake. Only consulted when ClusterKey is set; generated
+	// ephemerally by New when left nil.
+	Identity *auth.Identity
+	// HandshakeTimeout bounds the whole connection handshake. Default 3s.
+	HandshakeTimeout time.Duration
+	// RedialBackoff is the initial delay before re-dialing a destination
+	// whose last dial failed; it doubles per consecutive failure (with
+	// jitter) up to RedialBackoffMax, and resets on success. While the
+	// backoff window is open, calls to the destination fail fast instead of
+	// hot-looping dials under churn. Defaults 100ms / 2s.
+	RedialBackoff    time.Duration
+	RedialBackoffMax time.Duration
+	// ChaosChunkDrop, when n > 0, injects exactly one connection loss per
+	// process: the first outbound stream to reach chunk sequence n has its
+	// carrying connection killed just before that chunk is queued, forcing
+	// a real resume over the real wire. Fault injection for tests and smoke
+	// scripts only.
+	ChaosChunkDrop int
 }
 
 func (c Config) withDefaults() Config {
@@ -115,6 +146,15 @@ func (c Config) withDefaults() Config {
 	if c.Stager == nil {
 		c.Stager = transport.NewMemStager
 	}
+	if c.HandshakeTimeout <= 0 {
+		c.HandshakeTimeout = 3 * time.Second
+	}
+	if c.RedialBackoff <= 0 {
+		c.RedialBackoff = 100 * time.Millisecond
+	}
+	if c.RedialBackoffMax <= 0 {
+		c.RedialBackoffMax = 2 * time.Second
+	}
 	return c
 }
 
@@ -136,6 +176,20 @@ const (
 	kindCommit
 	kindAbort
 	kindRespChunk
+	// Stream resume: kindStreamResume asks the receiver for the high-water
+	// chunk mark of a parked transfer (by stream ID); kindResumeMark is its
+	// dedicated reply, so the chunked-response join logic keyed on kindResp
+	// can never misread a mark. New kinds are appended here — the iota
+	// values are the wire contract.
+	kindStreamResume
+	kindResumeMark
+	// Authentication handshake frames, exchanged raw on a fresh connection
+	// before the mux loops start: hello (pubkey + nonce), proof (transcript
+	// MAC + signature), accept, reject.
+	kindHsHello
+	kindHsProof
+	kindHsOK
+	kindHsReject
 )
 
 // wireMsg is the header of every frame. Payload holds a codec envelope (or,
@@ -145,12 +199,13 @@ const (
 type wireMsg struct {
 	Kind    int
 	ID      uint64
-	Seq     int // chunk sequence number; on kindCommit/terminal kindResp: total chunk count
+	Seq     int // chunk sequence number; on kindCommit/terminal kindResp: total chunk count; on kindResumeMark: the high-water mark
 	From    string
 	Method  string
 	Payload []byte
 	Err     string // kindResp only: non-empty when the handler or stream failed
 	Fail    bool   // kindResp only: Err is a stream-protocol failure, not a handler error
+	SID     string // stream frames: the transfer's resumable stream ID ("" = legacy, connection-scoped transfer)
 }
 
 // Transport is a TCP implementation of transport.Transport with stream
@@ -163,15 +218,29 @@ type Transport struct {
 	peers     map[transport.Addr]*peerConns
 	closed    bool
 	wg        sync.WaitGroup
+
+	// Resumable inbound transfers, keyed by (sender, stream ID). Entries
+	// outlive the connection that carried their chunks: a sender that loses
+	// its connection mid-transfer re-dials, asks for the high-water mark,
+	// and continues — the staged chunks never cross the wire twice.
+	rsMu     sync.Mutex
+	rstreams map[string]*rstream
+
+	handshakeRejects atomic.Uint64
+	streamResumes    atomic.Uint64
+	chaosFired       atomic.Bool
+	sidSeq           atomic.Uint64
+	sidBase          string
 }
 
 // Transport must satisfy the full substrate contract, including native
 // asynchronous pipelining and chunked streaming.
 var (
-	_ transport.Transport    = (*Transport)(nil)
-	_ transport.Deregistrar  = (*Transport)(nil)
-	_ transport.AsyncCaller  = (*Transport)(nil)
-	_ transport.StreamOpener = (*Transport)(nil)
+	_ transport.Transport         = (*Transport)(nil)
+	_ transport.Deregistrar       = (*Transport)(nil)
+	_ transport.AsyncCaller       = (*Transport)(nil)
+	_ transport.StreamOpener      = (*Transport)(nil)
+	_ transport.WireStatsProvider = (*Transport)(nil)
 )
 
 type listener struct {
@@ -224,10 +293,33 @@ func (l *listener) kill() {
 
 // New constructs a TCP transport.
 func New(cfg Config) *Transport {
+	cfg = cfg.withDefaults()
+	if len(cfg.ClusterKey) > 0 && cfg.Identity == nil {
+		id, err := auth.NewIdentity()
+		if err != nil {
+			// crypto/rand failure is unrecoverable; an authenticated
+			// transport without an identity cannot complete any handshake.
+			panic(fmt.Sprintf("tcp: generating ephemeral identity: %v", err))
+		}
+		cfg.Identity = id
+	}
+	var base [6]byte
+	_, _ = crand.Read(base[:])
 	return &Transport{
-		cfg:       cfg.withDefaults(),
+		cfg:       cfg,
 		listeners: make(map[transport.Addr]*listener),
 		peers:     make(map[transport.Addr]*peerConns),
+		rstreams:  make(map[string]*rstream),
+		sidBase:   hex.EncodeToString(base[:]),
+	}
+}
+
+// WireStats implements transport.WireStatsProvider.
+func (t *Transport) WireStats() transport.WireStats {
+	return transport.WireStats{
+		AuthEnabled:      len(t.cfg.ClusterKey) > 0,
+		HandshakeRejects: t.handshakeRejects.Load(),
+		StreamResumes:    t.streamResumes.Load(),
 	}
 }
 
@@ -307,6 +399,304 @@ func (t *Transport) acceptLoop(l *listener) {
 	}
 }
 
+// hsPayload is the body of a handshake frame (gob-encoded inside
+// wireMsg.Payload): the hello carries PubKey+Nonce, the proofs carry
+// MAC+Sig over the role-labelled transcript (the server's proof carries all
+// four).
+type hsPayload struct {
+	PubKey []byte
+	Nonce  []byte
+	MAC    []byte
+	Sig    []byte
+}
+
+// writeHs writes one handshake frame directly (the mux loops have not
+// started yet, so the connection is exclusively ours).
+func writeHs(conn net.Conn, m wireMsg) error {
+	body, err := encodeMsg(m)
+	if err != nil {
+		return err
+	}
+	return transport.WriteFrame(conn, body)
+}
+
+// readHs reads one handshake frame.
+func readHs(conn net.Conn) (wireMsg, error) {
+	raw, err := transport.ReadFrame(conn)
+	if err != nil {
+		return wireMsg{}, err
+	}
+	var m wireMsg
+	err = decodeMsg(raw, &m)
+	return m, err
+}
+
+// hsResult is what the server side of the handshake yields: the
+// authenticated remote public key (nil when authentication is disabled) and,
+// in the disabled case, the first ordinary frame that was read while
+// checking for a hello — the serve loop processes it before reading more.
+type hsResult struct {
+	remotePub []byte
+	deferred  []byte
+}
+
+// serverHandshake authenticates one accepted connection. With a cluster key
+// configured, the dialer must open with a hello and prove possession of both
+// the cluster secret and its identity key before a single mux frame is
+// exchanged; anything else is rejected with a kindHsReject and counted.
+// Without a cluster key the first frame is inspected: a hello from an
+// auth-expecting dialer is rejected loudly (so a misconfigured cluster fails
+// with a typed error, not a hang) and any other frame is handed back for
+// normal serving.
+func (t *Transport) serverHandshake(conn net.Conn) (hsResult, error) {
+	reject := func(reason string) (hsResult, error) {
+		t.handshakeRejects.Add(1)
+		_ = writeHs(conn, wireMsg{Kind: kindHsReject, Err: reason})
+		return hsResult{}, fmt.Errorf("%w: %s", transport.ErrUnauthenticated, reason)
+	}
+	if len(t.cfg.ClusterKey) == 0 {
+		raw, err := transport.ReadFrame(conn)
+		if err != nil {
+			return hsResult{}, err
+		}
+		var m wireMsg
+		if err := decodeMsg(raw, &m); err != nil {
+			return hsResult{}, err
+		}
+		if m.Kind == kindHsHello {
+			return reject("tcp: peer requires authentication but this process has no cluster key")
+		}
+		return hsResult{deferred: raw}, nil
+	}
+	_ = conn.SetDeadline(time.Now().Add(t.cfg.HandshakeTimeout))
+	defer conn.SetDeadline(time.Time{})
+	m, err := readHs(conn)
+	if err != nil {
+		return hsResult{}, err
+	}
+	if m.Kind != kindHsHello {
+		return reject("tcp: connection is not authenticated (no handshake hello)")
+	}
+	var hello hsPayload
+	if err := gob.NewDecoder(bytes.NewReader(m.Payload)).Decode(&hello); err != nil {
+		return reject("tcp: malformed handshake hello")
+	}
+	sNonce, err := auth.NewNonce()
+	if err != nil {
+		return hsResult{}, err
+	}
+	tr := auth.HandshakeTranscript(hello.Nonce, sNonce, hello.PubKey, t.cfg.Identity.Public())
+	srvProof := hsPayload{
+		PubKey: t.cfg.Identity.Public(),
+		Nonce:  sNonce,
+		MAC:    auth.HandshakeMAC(t.cfg.ClusterKey, "srv", tr),
+		Sig:    t.cfg.Identity.SignTranscript("srv", tr),
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&srvProof); err != nil {
+		return hsResult{}, err
+	}
+	if err := writeHs(conn, wireMsg{Kind: kindHsProof, Payload: buf.Bytes()}); err != nil {
+		return hsResult{}, err
+	}
+	m, err = readHs(conn)
+	if err != nil {
+		// The dialer opened with a hello, saw this server's proof, and walked
+		// away instead of answering: its check of our cluster-key MAC failed
+		// (a wrong-key dialer refuses the server first). That is an
+		// authentication failure of this connection, not network noise, so it
+		// counts as a handshake reject on this side too.
+		t.handshakeRejects.Add(1)
+		return hsResult{}, fmt.Errorf("%w: tcp: dialer abandoned the handshake (%v)", transport.ErrUnauthenticated, err)
+	}
+	var proof hsPayload
+	if m.Kind != kindHsProof || gob.NewDecoder(bytes.NewReader(m.Payload)).Decode(&proof) != nil {
+		return reject("tcp: malformed handshake proof")
+	}
+	if !auth.CheckHandshakeMAC(t.cfg.ClusterKey, "cli", tr, proof.MAC) {
+		return reject("tcp: cluster key mismatch")
+	}
+	if !auth.CheckTranscriptSig(hello.PubKey, "cli", tr, proof.Sig) {
+		return reject("tcp: identity proof failed")
+	}
+	if err := writeHs(conn, wireMsg{Kind: kindHsOK}); err != nil {
+		return hsResult{}, err
+	}
+	return hsResult{remotePub: hello.PubKey}, nil
+}
+
+// clientHandshake authenticates one dialed connection before the mux loops
+// start. Failures carry the transport.ErrUnauthenticated identity so callers
+// can tell a policy refusal from a fail-stopped peer.
+func (t *Transport) clientHandshake(conn net.Conn) error {
+	if len(t.cfg.ClusterKey) == 0 {
+		return nil
+	}
+	unauthed := func(why string) error {
+		return fmt.Errorf("%w: %s", transport.ErrUnauthenticated, why)
+	}
+	_ = conn.SetDeadline(time.Now().Add(t.cfg.HandshakeTimeout))
+	defer conn.SetDeadline(time.Time{})
+	dNonce, err := auth.NewNonce()
+	if err != nil {
+		return err
+	}
+	hello := hsPayload{PubKey: t.cfg.Identity.Public(), Nonce: dNonce}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&hello); err != nil {
+		return err
+	}
+	if err := writeHs(conn, wireMsg{Kind: kindHsHello, Payload: buf.Bytes()}); err != nil {
+		return err
+	}
+	m, err := readHs(conn)
+	if err != nil {
+		// An auth-disabled peer running an older loop just hangs up on the
+		// unknown frame kind; surface that as the policy failure it is.
+		return unauthed(fmt.Sprintf("tcp: connection closed during handshake (%v)", err))
+	}
+	if m.Kind == kindHsReject {
+		return unauthed(m.Err)
+	}
+	var srvProof hsPayload
+	if m.Kind != kindHsProof || gob.NewDecoder(bytes.NewReader(m.Payload)).Decode(&srvProof) != nil {
+		return unauthed("tcp: malformed server handshake proof")
+	}
+	tr := auth.HandshakeTranscript(dNonce, srvProof.Nonce, hello.PubKey, srvProof.PubKey)
+	if !auth.CheckHandshakeMAC(t.cfg.ClusterKey, "srv", tr, srvProof.MAC) {
+		return unauthed("tcp: cluster key mismatch")
+	}
+	if !auth.CheckTranscriptSig(srvProof.PubKey, "srv", tr, srvProof.Sig) {
+		return unauthed("tcp: server identity proof failed")
+	}
+	proof := hsPayload{
+		MAC: auth.HandshakeMAC(t.cfg.ClusterKey, "cli", tr),
+		Sig: t.cfg.Identity.SignTranscript("cli", tr),
+	}
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(&proof); err != nil {
+		return err
+	}
+	if err := writeHs(conn, wireMsg{Kind: kindHsProof, Payload: buf.Bytes()}); err != nil {
+		return err
+	}
+	m, err = readHs(conn)
+	if err != nil {
+		return unauthed(fmt.Sprintf("tcp: connection closed awaiting handshake verdict (%v)", err))
+	}
+	switch m.Kind {
+	case kindHsOK:
+		return nil
+	case kindHsReject:
+		return unauthed(m.Err)
+	default:
+		return unauthed("tcp: unexpected handshake verdict frame")
+	}
+}
+
+// resumeWindow is how long a receiver parks an interrupted (or committed but
+// possibly unacknowledged) resumable transfer, waiting for its sender to
+// come back. Senders bound their retries well under this.
+const resumeWindow = 60 * time.Second
+
+// rstream is one resumable inbound transfer. It lives in the transport-level
+// registry, not the connection, so it survives the connection that carried
+// its chunks. After commit the entry is kept (stager released, response
+// memoized) until expiry, so a re-sent commit whose first acknowledgment was
+// lost returns the same response without running the handler twice.
+type rstream struct {
+	mu        sync.Mutex
+	from      string
+	method    string
+	stager    transport.ChunkStager
+	committed bool
+	total     int           // chunk count fixed at commit
+	done      chan struct{} // closed when the handler has run
+	resp      any
+	herr      error
+	expires   time.Time
+}
+
+func rsKey(from, sid string) string { return from + "\x00" + sid }
+
+// rsGet returns the parked transfer for (from, sid), refreshing its expiry.
+func (t *Transport) rsGet(from, sid string) *rstream {
+	t.rsMu.Lock()
+	defer t.rsMu.Unlock()
+	e := t.rstreams[rsKey(from, sid)]
+	if e != nil {
+		e.mu.Lock()
+		e.expires = time.Now().Add(resumeWindow)
+		e.mu.Unlock()
+	}
+	return e
+}
+
+// rsCreate parks a new transfer, sweeping expired entries while it is here.
+func (t *Transport) rsCreate(from, method, sid string) *rstream {
+	e := &rstream{
+		from:    from,
+		method:  method,
+		stager:  t.cfg.Stager(int64(t.cfg.MaxStreamBytes)),
+		done:    make(chan struct{}),
+		expires: time.Now().Add(resumeWindow),
+	}
+	now := time.Now()
+	t.rsMu.Lock()
+	for k, old := range t.rstreams {
+		old.mu.Lock()
+		expired := now.After(old.expires)
+		var st transport.ChunkStager
+		if expired {
+			st, old.stager = old.stager, nil
+		}
+		old.mu.Unlock()
+		if expired {
+			delete(t.rstreams, k)
+			if st != nil {
+				st.Discard()
+			}
+		}
+	}
+	t.rstreams[rsKey(from, sid)] = e
+	t.rsMu.Unlock()
+	return e
+}
+
+// rsDrop discards a parked transfer (abort, protocol failure, expiry).
+func (t *Transport) rsDrop(from, sid string) {
+	t.rsMu.Lock()
+	e := t.rstreams[rsKey(from, sid)]
+	delete(t.rstreams, rsKey(from, sid))
+	t.rsMu.Unlock()
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	st := e.stager
+	e.stager = nil
+	e.mu.Unlock()
+	if st != nil {
+		st.Discard()
+	}
+}
+
+// resumeMark reports how far a parked transfer got: the count of staged
+// chunks, the committed total when the transfer already applied, or 0 when
+// nothing is parked (the sender restarts from the first chunk).
+func (t *Transport) resumeMark(from, sid string) int {
+	e := t.rsGet(from, sid)
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.committed {
+		return e.total
+	}
+	return e.stager.Chunks()
+}
+
 // inboundStream is one transfer being staged at the receiver: chunks
 // accumulate in the configured stager (RAM by default, spill files with a
 // disk-backed storage engine) and nothing touches the handler until the
@@ -332,6 +722,15 @@ func (t *Transport) serveConn(conn net.Conn, l *listener) {
 		return
 	}
 	defer l.untrack(conn)
+	// Authenticate before the mux loops exist: with a cluster key set, not
+	// one request frame is read — let alone dispatched — from a connection
+	// that has not proven possession of the secret. The remote public key
+	// is the connection's authenticated identity; per-owner authority over
+	// range claims is proven separately by advert signatures.
+	hs, err := t.serverHandshake(conn)
+	if err != nil {
+		return
+	}
 	w := newBatchWriter(conn, t.cfg)
 	// A dead writer must take the whole connection down: otherwise this loop
 	// would keep reading and dispatching pipelined requests whose responses
@@ -346,7 +745,8 @@ func (t *Transport) serveConn(conn net.Conn, l *listener) {
 	h := l.h
 	streams := make(map[uint64]*inboundStream)
 	// A connection that dies mid-stream drops its staged state; disk-spilled
-	// stagers release their files.
+	// stagers release their files. Resumable (SID-carrying) transfers live
+	// in the transport registry instead and survive for the resume window.
 	defer func() {
 		for _, st := range streams {
 			st.stager.Discard()
@@ -361,14 +761,15 @@ func (t *Transport) serveConn(conn net.Conn, l *listener) {
 		delete(streams, id)
 		_ = w.enqueueMsg(wireMsg{Kind: kindResp, ID: id, Fail: true, Err: reason})
 	}
-	for {
-		raw, err := transport.ReadFrame(conn)
-		if err != nil {
-			return
-		}
+	// failResumable is failStream for a registry-parked transfer.
+	failResumable := func(id uint64, from, sid, reason string) {
+		t.rsDrop(from, sid)
+		_ = w.enqueueMsg(wireMsg{Kind: kindResp, ID: id, Fail: true, Err: reason})
+	}
+	handle := func(raw []byte) bool {
 		var req wireMsg
 		if err := decodeMsg(raw, &req); err != nil {
-			return
+			return false
 		}
 		switch req.Kind {
 		case kindPing:
@@ -380,26 +781,64 @@ func (t *Transport) serveConn(conn net.Conn, l *listener) {
 				t.dispatch(h, w, req)
 			}()
 		case kindChunk:
+			if req.SID != "" {
+				e := t.rsGet(req.From, req.SID)
+				if e == nil {
+					if req.Seq != 0 {
+						// Tail of a transfer whose parked state expired or was
+						// rejected; tell the sender instead of staging a hole.
+						failResumable(req.ID, req.From, req.SID, "tcp: no parked stream state for resumed chunk")
+						return true
+					}
+					e = t.rsCreate(req.From, req.Method, req.SID)
+				}
+				e.mu.Lock()
+				var apErr error
+				reject := ""
+				switch {
+				case e.committed:
+					if req.Seq >= e.total {
+						reject = "tcp: chunk after commit"
+					} // else: duplicate of an already-applied transfer; ignore
+				case req.Seq < e.stager.Chunks():
+					// Duplicate from a resend race; already staged.
+				case req.Seq > e.stager.Chunks():
+					reject = fmt.Sprintf("tcp: stream chunk %d out of sequence (want %d)", req.Seq, e.stager.Chunks())
+				default:
+					apErr = e.stager.Append(req.Payload)
+				}
+				e.mu.Unlock()
+				if reject != "" {
+					failResumable(req.ID, req.From, req.SID, reject)
+				} else if apErr != nil {
+					failResumable(req.ID, req.From, req.SID, apErr.Error())
+				}
+				return true
+			}
 			st := streams[req.ID]
 			if st == nil {
 				if req.Seq != 0 {
-					continue // tail of a transfer already rejected; ignore
+					return true // tail of a transfer already rejected; ignore
 				}
 				st = &inboundStream{from: req.From, method: req.Method, stager: t.cfg.Stager(int64(t.cfg.MaxStreamBytes))}
 				streams[req.ID] = st
 			}
 			if req.Seq != st.stager.Chunks() {
 				failStream(req.ID, fmt.Sprintf("tcp: stream chunk %d out of sequence (want %d)", req.Seq, st.stager.Chunks()))
-				continue
+				return true
 			}
 			if err := st.stager.Append(req.Payload); err != nil {
 				// Staging refused the chunk — with the default stager this is
 				// the typed ErrStageOverflow past MaxStreamBytes; the reason
 				// crosses the wire so the sender's error stays actionable.
 				failStream(req.ID, err.Error())
-				continue
+				return true
 			}
 		case kindCommit:
+			if req.SID != "" {
+				t.commitResumable(h, w, req, failResumable)
+				return true
+			}
 			st := streams[req.ID]
 			delete(streams, req.ID)
 			from, method := req.From, req.Method
@@ -413,7 +852,7 @@ func (t *Transport) serveConn(conn net.Conn, l *listener) {
 			}
 			if err != nil {
 				failStream(req.ID, err.Error())
-				continue
+				return true
 			}
 			t.wg.Add(1)
 			go func() {
@@ -422,10 +861,86 @@ func (t *Transport) serveConn(conn net.Conn, l *listener) {
 			}()
 		case kindAbort:
 			delete(streams, req.ID)
+			if req.SID != "" {
+				t.rsDrop(req.From, req.SID)
+			}
+		case kindStreamResume:
+			_ = w.enqueueMsg(wireMsg{Kind: kindResumeMark, ID: req.ID, Seq: t.resumeMark(req.From, req.SID)})
 		default:
-			return // protocol error: abandon the connection
+			return false // protocol error: abandon the connection
+		}
+		return true
+	}
+	if hs.deferred != nil && !handle(hs.deferred) {
+		return
+	}
+	for {
+		raw, err := transport.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		if !handle(raw) {
+			return
 		}
 	}
+}
+
+// commitResumable applies the terminal frame of a registry-parked transfer.
+// The handler runs exactly once per stream ID: the first commit joins the
+// staged chunks, dispatches, and memoizes the outcome; a re-sent commit
+// (the first acknowledgment lost with its connection) waits for that
+// dispatch and re-sends the memoized response through the new connection's
+// writer.
+func (t *Transport) commitResumable(h transport.Handler, w *batchWriter, req wireMsg, failResumable func(id uint64, from, sid, reason string)) {
+	e := t.rsGet(req.From, req.SID)
+	if e == nil {
+		if req.Seq != 0 {
+			failResumable(req.ID, req.From, req.SID, "tcp: no parked stream state for resumed commit")
+			return
+		}
+		e = t.rsCreate(req.From, req.Method, req.SID)
+	}
+	e.mu.Lock()
+	if e.committed {
+		if req.Seq != e.total {
+			e.mu.Unlock()
+			failResumable(req.ID, req.From, req.SID, fmt.Sprintf("tcp: resumed commit count %d does not match committed %d", req.Seq, e.total))
+			return
+		}
+		e.mu.Unlock()
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			<-e.done
+			t.respond(w, req.ID, e.resp, e.herr)
+		}()
+		return
+	}
+	body, err := e.stager.Join(req.Seq)
+	if err != nil {
+		e.mu.Unlock()
+		failResumable(req.ID, req.From, req.SID, err.Error())
+		return
+	}
+	e.committed = true
+	e.total = req.Seq
+	from, method := e.from, e.method
+	e.mu.Unlock()
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		var resp any
+		var herr error
+		payload, derr := transport.Decode(body)
+		if derr != nil {
+			herr = derr
+		} else {
+			resp, herr = h(transport.Addr(from), method, payload)
+		}
+		e.resp, e.herr = resp, herr
+		close(e.done)
+		t.respond(w, req.ID, resp, herr)
+	}()
 }
 
 // dispatchStream runs one reassembled transfer through the handler and
@@ -628,6 +1143,10 @@ func (t *Transport) OpenStream(ctx context.Context, from, to transport.Addr, met
 		ch:     ch,
 		from:   string(from),
 		method: method,
+		// The stream ID names this transfer across connections: a random
+		// per-process base plus a counter, so parked receiver state can
+		// never be claimed by another process's stream.
+		sid: fmt.Sprintf("%s-%d", t.sidBase, t.sidSeq.Add(1)),
 	}, nil
 }
 
@@ -641,10 +1160,15 @@ type tcpStream struct {
 	ch     chan pendingResp
 	from   string
 	method string
+	sid    string // resumable stream ID, constant across connections
 	seq    int
 	early  *pendingResp // receiver rejected the transfer before commit
 	done   bool
 }
+
+// tcpStream survives connection loss: transport.CallBulk resumes it from the
+// receiver's high-water mark instead of restarting from chunk 0.
+var _ transport.Resumer = (*tcpStream)(nil)
 
 func (s *tcpStream) MaxChunk() int { return s.t.cfg.ChunkBytes }
 
@@ -668,7 +1192,13 @@ func (s *tcpStream) Chunk(ctx context.Context, data []byte) error {
 	if s.early != nil {
 		return s.earlyErr()
 	}
-	msg := wireMsg{Kind: kindChunk, ID: s.id, Seq: s.seq, From: s.from, Method: s.method, Payload: data}
+	if n := s.t.cfg.ChaosChunkDrop; n > 0 && s.seq == n && s.t.chaosFired.CompareAndSwap(false, true) {
+		// Fault injection: kill the carrying connection right before this
+		// chunk, once per process. The enqueue below then fails and the
+		// transfer must survive via a real resume on a fresh connection.
+		s.mc.fail(errors.New("tcp: chaos-drop-chunk fault injected"))
+	}
+	msg := wireMsg{Kind: kindChunk, ID: s.id, Seq: s.seq, From: s.from, Method: s.method, Payload: data, SID: s.sid}
 	if err := s.mc.w.enqueueMsgCtx(ctx, msg); err != nil {
 		// A dead writer means the connection (and with it the peer, as far
 		// as this transfer is concerned) is gone: keep the fail-stop error
@@ -681,12 +1211,13 @@ func (s *tcpStream) Chunk(ctx context.Context, data []byte) error {
 
 // Commit sends the terminal frame and waits for the receiver's typed
 // acknowledgment, applying the transport's default call timeout when ctx
-// carries no deadline.
+// carries no deadline. A connection-level failure leaves the stream open
+// (not done): the transfer is resumable, and a retried Commit after Resume
+// reaches the receiver's memoized response without re-running its handler.
 func (s *tcpStream) Commit(ctx context.Context) (any, error) {
 	if s.done {
 		return nil, transport.ErrStreamAborted
 	}
-	s.done = true
 	if _, ok := ctx.Deadline(); !ok {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.t.cfg.CallTimeout)
@@ -696,14 +1227,18 @@ func (s *tcpStream) Commit(ctx context.Context) (any, error) {
 		s.mc.unregister(s.id)
 		return nil, s.earlyErr()
 	}
-	msg := wireMsg{Kind: kindCommit, ID: s.id, Seq: s.seq, From: s.from, Method: s.method}
+	msg := wireMsg{Kind: kindCommit, ID: s.id, Seq: s.seq, From: s.from, Method: s.method, SID: s.sid}
 	if err := s.mc.w.enqueueMsgCtx(ctx, msg); err != nil {
 		s.mc.unregister(s.id)
 		return nil, unreachable(s.to, err)
 	}
 	select {
 	case r := <-s.ch:
-		return s.resolveAck(r)
+		resp, err := s.resolveAck(r)
+		if err == nil || !errors.Is(err, transport.ErrUnreachable) {
+			s.done = true // settled: success, handler error, or stream failure
+		}
+		return resp, err
 	case <-ctx.Done():
 		s.mc.unregister(s.id)
 		return nil, unreachable(s.to, ctx.Err())
@@ -717,15 +1252,78 @@ func (s *tcpStream) Abort(reason string) {
 	}
 	s.done = true
 	s.mc.unregister(s.id)
-	_ = s.mc.enqueueMsg(wireMsg{Kind: kindAbort, ID: s.id, Err: reason})
+	_ = s.mc.enqueueMsg(wireMsg{Kind: kindAbort, ID: s.id, From: s.from, Err: reason, SID: s.sid})
 }
 
-// earlyErr converts a pre-commit receiver rejection into the caller error.
+// streamRedialAttempts bounds the re-dials one Resume call makes before
+// reporting the destination unreachable.
+const streamRedialAttempts = 4
+
+// Resume implements transport.Resumer: after a connection loss, re-dial the
+// destination (bounded attempts, jittered exponential backoff), ask it for
+// the transfer's high-water chunk mark, and re-attach the stream to the new
+// connection. Returns the mark — the chunk sequence to continue from.
+func (s *tcpStream) Resume(ctx context.Context) (int, error) {
+	if s.done {
+		return 0, transport.ErrStreamAborted
+	}
+	s.mc.unregister(s.id)
+	backoff := s.t.cfg.RedialBackoff
+	var lastErr error = transport.ErrUnreachable
+	for attempt := 0; attempt < streamRedialAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(jitter(backoff)):
+			case <-ctx.Done():
+				return 0, unreachable(s.to, ctx.Err())
+			}
+			if backoff *= 2; backoff > s.t.cfg.RedialBackoffMax {
+				backoff = s.t.cfg.RedialBackoffMax
+			}
+		}
+		actx, cancel := context.WithTimeout(ctx, s.t.cfg.CallTimeout)
+		deadline, _ := actx.Deadline()
+		mc, err := s.t.grabConn(actx, s.to, deadline)
+		if err != nil {
+			cancel()
+			lastErr = err
+			continue
+		}
+		mark, err := mc.exchange(actx, wireMsg{Kind: kindStreamResume, From: s.from, Method: s.method, SID: s.sid})
+		if err == nil && mark.Kind != kindResumeMark {
+			err = fmt.Errorf("tcp: unexpected resume-mark reply kind %d", mark.Kind)
+		}
+		if err != nil {
+			cancel()
+			lastErr = err
+			continue
+		}
+		id, ch, err := mc.register()
+		cancel()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		s.mc, s.id, s.ch = mc, id, ch
+		s.seq = mark.Seq
+		s.early = nil
+		s.t.streamResumes.Add(1)
+		return mark.Seq, nil
+	}
+	return 0, unreachable(s.to, lastErr)
+}
+
+// earlyErr converts a pre-commit receiver rejection into the caller error. A
+// connection-level failure (the rejection is the connection dying, not the
+// receiver refusing) leaves the stream resumable.
 func (s *tcpStream) earlyErr() error {
-	s.done = true
 	if _, err := s.resolveAck(*s.early); err != nil {
+		if !errors.Is(err, transport.ErrUnreachable) {
+			s.done = true
+		}
 		return err
 	}
+	s.done = true
 	return transport.ErrStreamAborted // a success ack before commit is a protocol bug
 }
 
@@ -779,6 +1377,14 @@ type peerConns struct {
 	rr      int
 	dialing bool
 	waiters []chan struct{}
+
+	// Dial backoff: after a failed dial the destination is not re-dialed
+	// before nextDial (jittered exponential in failCnt); attempts inside the
+	// window fail fast with the last dial error instead of hot-looping
+	// against a dead peer under churn.
+	failCnt     int
+	nextDial    time.Time
+	lastDialErr error
 }
 
 // pruneLocked drops dead connections. Callers hold pc.mu.
@@ -848,6 +1454,14 @@ func (t *Transport) grabConn(ctx context.Context, addr transport.Addr, deadline 
 				return nil, ctx.Err()
 			}
 		}
+		if len(pc.conns) == 0 && pc.failCnt > 0 && time.Now().Before(pc.nextDial) {
+			// Inside the backoff window after a failed dial: fail fast with
+			// the remembered cause rather than re-dialing a dead peer on
+			// every call.
+			err := pc.lastDialErr
+			pc.mu.Unlock()
+			return nil, fmt.Errorf("tcp: dial backoff (%d consecutive failures): %w", pc.failCnt, err)
+		}
 		pc.dialing = true
 		pc.mu.Unlock()
 
@@ -856,9 +1470,18 @@ func (t *Transport) grabConn(ctx context.Context, addr transport.Addr, deadline 
 		pc.dialing = false
 		pc.notifyLocked()
 		if err != nil {
+			pc.failCnt++
+			step := t.cfg.RedialBackoff << (pc.failCnt - 1)
+			if step <= 0 || step > t.cfg.RedialBackoffMax {
+				step = t.cfg.RedialBackoffMax
+			}
+			pc.nextDial = time.Now().Add(jitter(step))
+			pc.lastDialErr = err
 			pc.mu.Unlock()
 			return nil, err
 		}
+		pc.failCnt = 0
+		pc.lastDialErr = nil
 		pc.conns = append(pc.conns, mc)
 		pc.mu.Unlock()
 		// Close may have drained pc.conns between the dial and the append
@@ -887,6 +1510,13 @@ func (t *Transport) dialConn(addr transport.Addr, deadline time.Time) (*muxConn,
 	}
 	conn, err := net.DialTimeout("tcp", string(addr), timeout)
 	if err != nil {
+		return nil, err
+	}
+	if err := t.clientHandshake(conn); err != nil {
+		conn.Close()
+		if errors.Is(err, transport.ErrUnauthenticated) {
+			t.handshakeRejects.Add(1)
+		}
 		return nil, err
 	}
 	mc := &muxConn{
@@ -1178,6 +1808,19 @@ func (t *Transport) Close() error {
 		}
 	}
 	t.wg.Wait()
+	t.rsMu.Lock()
+	parked := t.rstreams
+	t.rstreams = make(map[string]*rstream)
+	t.rsMu.Unlock()
+	for _, e := range parked {
+		e.mu.Lock()
+		st := e.stager
+		e.stager = nil
+		e.mu.Unlock()
+		if st != nil {
+			st.Discard()
+		}
+	}
 	return nil
 }
 
@@ -1189,10 +1832,11 @@ type batchWriter struct {
 	ch         chan []byte
 	done       chan struct{}
 	stopOnce   sync.Once
+	failed     atomic.Bool
 	batchBytes int
 	batchDelay time.Duration
 	writeWait  time.Duration
-	onError    func(error) // optional: invoked once on a write failure
+	onError    func(error) // optional: invoked once when the writer stops (write failure or stop)
 }
 
 func newBatchWriter(conn net.Conn, cfg Config) *batchWriter {
@@ -1217,7 +1861,7 @@ func (w *batchWriter) enqueueMsg(m wireMsg) error {
 	case w.ch <- body:
 		return nil
 	case <-w.done:
-		return errors.New("tcp: connection writer stopped")
+		return transport.ErrWriterStopped
 	}
 }
 
@@ -1233,16 +1877,32 @@ func (w *batchWriter) enqueueMsgCtx(ctx context.Context, m wireMsg) error {
 	case w.ch <- body:
 		return nil
 	case <-w.done:
-		return errors.New("tcp: connection writer stopped")
+		return transport.ErrWriterStopped
 	case <-ctx.Done():
 		return ctx.Err()
 	}
 }
 
-// stop terminates the writer loop; queued frames not yet written are lost
-// (the connection is dying anyway).
+// stop terminates the writer loop. Queued frames not yet written never reach
+// the wire, so the connection's pending calls must not wait out their
+// deadlines: stopping fires onError (once, with the typed
+// transport.ErrWriterStopped) exactly like a write failure, and the dial
+// side's onError — muxConn.fail — resolves every in-flight exchange
+// promptly.
 func (w *batchWriter) stop() {
+	w.fail(transport.ErrWriterStopped)
+}
+
+// fail stops the writer and reports err to onError exactly once. The flag
+// flips before onError runs, so the re-entrant stop() that muxConn.fail
+// issues on its own writer terminates instead of deadlocking.
+func (w *batchWriter) fail(err error) {
 	w.stopOnce.Do(func() { close(w.done) })
+	if w.failed.CompareAndSwap(false, true) {
+		if w.onError != nil {
+			w.onError(err)
+		}
+	}
 }
 
 func (w *batchWriter) loop() {
@@ -1306,10 +1966,7 @@ func (w *batchWriter) loop() {
 			}
 			_ = w.conn.SetWriteDeadline(time.Now().Add(w.writeWait))
 			if _, err := w.conn.Write(buf.Bytes()); err != nil {
-				w.stop()
-				if w.onError != nil {
-					w.onError(err)
-				}
+				w.fail(err)
 				return
 			}
 			_ = w.conn.SetWriteDeadline(time.Time{})
@@ -1347,9 +2004,21 @@ func decodeMsg(b []byte, m *wireMsg) error {
 
 // unreachable wraps a transport-level failure as ErrUnreachable, preserving
 // the caller-visible fail-stop semantics of the simulated network.
+// Authentication refusals keep their ErrUnauthenticated identity — the peer
+// is alive, it just refuses us — so callers never mistake a key mismatch for
+// a fail-stopped peer.
 func unreachable(to transport.Addr, err error) error {
-	if errors.Is(err, transport.ErrClosed) {
+	if errors.Is(err, transport.ErrClosed) || errors.Is(err, transport.ErrUnauthenticated) {
 		return err
 	}
 	return fmt.Errorf("%w: %s (%v)", transport.ErrUnreachable, to, err)
+}
+
+// jitter spreads a backoff delay uniformly over [d/2, d), so peers backing
+// off from the same failure do not re-dial in lockstep.
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	return d/2 + time.Duration(mrand.Int63n(int64(d/2)))
 }

@@ -60,7 +60,26 @@ var (
 	// strictly a guard against un-chunked protocol messages outgrowing a
 	// frame.
 	ErrFrameTooLarge = errors.New("transport: message exceeds frame size limit")
+	// ErrUnauthenticated reports a connection refused by the authentication
+	// handshake: the remote end does not hold the cluster secret (or refused
+	// ours). Unlike ErrUnreachable it is a policy failure — the peer is up,
+	// it just will not talk to us — so callers should not treat it as a
+	// fail-stop signal.
+	ErrUnauthenticated = errors.New("transport: peer not authenticated")
+	// ErrWriterStopped reports a frame that was queued on a connection whose
+	// writer stopped before writing it. The frame never reached the wire;
+	// pending calls carrying it are failed promptly with this error (wrapped
+	// in ErrUnreachable semantics by the TCP transport) instead of waiting
+	// out their deadlines.
+	ErrWriterStopped = errors.New("transport: connection writer stopped")
 )
+
+func init() {
+	// These sentinels can surface inside stream-failure notices and remote
+	// error text; register them so errors.Is works across the wire.
+	RegisterWireError(ErrUnauthenticated)
+	RegisterWireError(ErrWriterStopped)
+}
 
 // Transport is the message substrate connecting peers. All methods are safe
 // for concurrent use.
@@ -131,6 +150,28 @@ func (p *Pending) Done() <-chan struct{} { return p.done }
 func (p *Pending) Result() (any, error) {
 	<-p.done
 	return p.val, p.err
+}
+
+// WireStats are a transport's authentication and resilience counters,
+// surfaced through operator probes (ops.ProbeStatus).
+type WireStats struct {
+	// AuthEnabled reports whether the transport requires the cluster-secret
+	// handshake on every connection.
+	AuthEnabled bool
+	// HandshakeRejects counts connections this transport failed at the
+	// authentication handshake, on either side of the dial: inbound dialers
+	// it refused (wrong cluster key, malformed hello, auth disabled on one
+	// side, or a dialer that abandoned the handshake after seeing this
+	// server's proof) and outbound dials it refused to complete.
+	HandshakeRejects uint64
+	// StreamResumes counts bulk transfers that survived a connection loss by
+	// resuming from the receiver's high-water chunk mark.
+	StreamResumes uint64
+}
+
+// WireStatsProvider is implemented by transports that track WireStats.
+type WireStatsProvider interface {
+	WireStats() WireStats
 }
 
 // AsyncCaller is implemented by transports with native asynchronous calls.

@@ -24,6 +24,15 @@
 # size, and every process runs with -data-dir, so the chunked transfers are
 # staged through storage.Disk spill files rather than RAM.
 #
+# The whole run is authenticated (-cluster-key). Identities live beside the
+# WAL, so a restarted process resumes the SAME ed25519 identity and its
+# signed ownership adverts keep verifying at its peers across the crash.
+# The restarted bootstrap also runs with -chaos-drop-chunk: its first bulk
+# send that reaches the chosen chunk has its connection torn down mid-
+# transfer, and the run gates on -min-stream-resumes — the hand-off must
+# have completed by resuming from the receiver's high-water chunk mark, not
+# by luck.
+#
 # Usage: scripts/recovery_smoke.sh [port-base]
 set -euo pipefail
 
@@ -45,6 +54,9 @@ SCHEMA=1
 
 WORK=$(mktemp -d)
 BIN="$WORK/pepperd"
+# The shared cluster secret: every serve and every probe presents it.
+KEY="$WORK/cluster.key"
+od -An -tx1 -N32 /dev/urandom | tr -d ' \n' >"$KEY"
 DATA_BOOT="$WORK/boot-data"
 DATA_JOIN="$WORK/join-data"
 declare -a PIDS=()
@@ -89,11 +101,11 @@ json_uint() {
 }
 
 echo "== start bootstrap at $P_BOOT with -data-dir ($ITEMS items, $PAYLOAD-byte payloads)"
-"$BIN" -listen "$P_BOOT" -data-dir "$DATA_BOOT" -items "$ITEMS" -payload "$PAYLOAD" >"$WORK/boot.log" 2>&1 &
+"$BIN" -listen "$P_BOOT" -data-dir "$DATA_BOOT" -items "$ITEMS" -payload "$PAYLOAD" -cluster-key "$KEY" >"$WORK/boot.log" 2>&1 &
 PID_BOOT=$!
 PIDS+=("$PID_BOOT")
-"$BIN" -probe "$P_BOOT" -serving -wait 30s
-OUT=$(probe_json -probe "$P_BOOT" -expect "$ITEMS" -probe-ub "$UB" -wait "$WAIT")
+"$BIN" -probe "$P_BOOT" -cluster-key "$KEY" -serving -wait 30s
+OUT=$(probe_json -probe "$P_BOOT" -cluster-key "$KEY" -expect "$ITEMS" -probe-ub "$UB" -wait "$WAIT")
 EPOCH_LOADED=$(json_uint "$OUT" epoch)
 echo "== bootstrap loaded; epoch ${EPOCH_LOADED:?probe printed no epoch}"
 
@@ -101,13 +113,16 @@ echo "== crash 1: kill -9 the bootstrap"
 kill -9 "$PID_BOOT"
 wait "$PID_BOOT" 2>/dev/null || true
 
-echo "== restart the bootstrap from $DATA_BOOT (same command line)"
-"$BIN" -listen "$P_BOOT" -data-dir "$DATA_BOOT" -items "$ITEMS" -payload "$PAYLOAD" >"$WORK/boot-restart.log" 2>&1 &
+echo "== restart the bootstrap from $DATA_BOOT (same command line, plus chunk chaos)"
+# -chaos-drop-chunk arms one fault in the restarted process's transport: the
+# first bulk send to reach chunk 2 has its connection killed mid-transfer.
+# The split hand-off below is that send, so it must complete by resuming.
+"$BIN" -listen "$P_BOOT" -data-dir "$DATA_BOOT" -items "$ITEMS" -payload "$PAYLOAD" -cluster-key "$KEY" -chaos-drop-chunk 2 >"$WORK/boot-restart.log" 2>&1 &
 PIDS+=($!)
 # -min-recovered gates on the durable restart itself: the process must report
 # recovered=true with the full load recovered from WAL+snapshot, not a fresh
 # bootstrap that happens to pass the item count by reloading.
-OUT=$(probe_json -probe "$P_BOOT" -expect "$ITEMS" -probe-ub "$UB" -serving -min-recovered "$ITEMS" -wait "$WAIT")
+OUT=$(probe_json -probe "$P_BOOT" -cluster-key "$KEY" -expect "$ITEMS" -probe-ub "$UB" -serving -min-recovered "$ITEMS" -wait "$WAIT")
 EPOCH_RECOVERED=$(json_uint "$OUT" epoch)
 if [ "$EPOCH_RECOVERED" != "$EPOCH_LOADED" ]; then
   echo "recovered epoch $EPOCH_RECOVERED != pre-crash epoch $EPOCH_LOADED (a restart is the same incarnation; the epoch must not move)" >&2
@@ -116,23 +131,30 @@ fi
 echo "== bootstrap recovered at epoch $EPOCH_RECOVERED with all $ITEMS items"
 
 echo "== start a free peer at $P_JOIN with -data-dir; the split draws it in"
-"$BIN" -listen "$P_JOIN" -join "$P_BOOT" -data-dir "$DATA_JOIN" >"$WORK/join.log" 2>&1 &
+"$BIN" -listen "$P_JOIN" -join "$P_BOOT" -data-dir "$DATA_JOIN" -cluster-key "$KEY" >"$WORK/join.log" 2>&1 &
 PID_JOIN=$!
 PIDS+=("$PID_JOIN")
-OUT=$(probe_json -probe "$P_JOIN" -serving -min-epoch 1 -wait "$WAIT")
+OUT=$(probe_json -probe "$P_JOIN" -cluster-key "$KEY" -serving -min-epoch 1 -wait "$WAIT")
 EPOCH_JOIN=$(json_uint "$OUT" epoch)
 JOIN_ITEMS=$(json_uint "$OUT" items)
 echo "== joiner serving ${JOIN_ITEMS:?} items at epoch ${EPOCH_JOIN:?}"
 # The split bumped the bootstrap's epoch past its recovered value.
-OUT=$(probe_json -probe "$P_BOOT" -expect "$ITEMS" -probe-ub "$UB" -min-epoch $((EPOCH_RECOVERED + 1)) -wait "$WAIT")
+OUT=$(probe_json -probe "$P_BOOT" -cluster-key "$KEY" -expect "$ITEMS" -probe-ub "$UB" -min-epoch $((EPOCH_RECOVERED + 1)) -wait "$WAIT")
 EPOCH_SPLIT=$(json_uint "$OUT" epoch)
+
+echo "== the hand-off survived the injected connection loss by resuming"
+# The chaos fault armed at restart tore down the connection under the
+# split's chunked state transfer; the transfer nonetheless completed (the
+# joiner serves, the bootstrap's count still audits), so the transport must
+# report at least one stream resumed from the receiver's high-water mark.
+probe_json -probe "$P_BOOT" -cluster-key "$KEY" -min-stream-resumes 1 -wait "$WAIT" >/dev/null
 
 echo "== crash 2: kill -9 the joiner, restart it promptly from $DATA_JOIN"
 kill -9 "$PID_JOIN"
 wait "$PID_JOIN" 2>/dev/null || true
-"$BIN" -listen "$P_JOIN" -join "$P_BOOT" -data-dir "$DATA_JOIN" >"$WORK/join-restart.log" 2>&1 &
+"$BIN" -listen "$P_JOIN" -join "$P_BOOT" -data-dir "$DATA_JOIN" -cluster-key "$KEY" >"$WORK/join-restart.log" 2>&1 &
 PIDS+=($!)
-OUT=$(probe_json -probe "$P_JOIN" -serving -min-recovered 1 -wait "$WAIT")
+OUT=$(probe_json -probe "$P_JOIN" -cluster-key "$KEY" -serving -min-recovered 1 -wait "$WAIT")
 EPOCH_REJOIN=$(json_uint "$OUT" epoch)
 if [ "$EPOCH_REJOIN" != "$EPOCH_JOIN" ]; then
   echo "joiner recovered epoch $EPOCH_REJOIN != pre-crash epoch $EPOCH_JOIN" >&2
@@ -145,7 +167,7 @@ echo "== final audit: journaled full query + Definition 4 check at the bootstrap
 # any membership change, the recovery (journaled as a legal resumption of
 # the same incarnation), and the split's outbound moves. -min-epoch asserts
 # the epoch never regressed across both crash cycles.
-probe_json -probe "$P_BOOT" -expect "$ITEMS" -probe-ub "$UB" -min-epoch "$EPOCH_SPLIT" -audit -wait "$WAIT" >/dev/null
+probe_json -probe "$P_BOOT" -cluster-key "$KEY" -expect "$ITEMS" -probe-ub "$UB" -min-epoch "$EPOCH_SPLIT" -audit -wait "$WAIT" >/dev/null
 
 STATUS=0
 echo "== recovery smoke PASSED"
